@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Ablation: fabric sensitivity (§3, §8 "distance matters").
+ *
+ *  - Link-latency sweep on the crossbar: remote-read RTT and the
+ *    remote:local ratio as the rack grows (20 ns board trace -> 500 ns
+ *    optical hop).
+ *  - Topology: flat crossbar vs 4x4 2D torus (per-hop 11 ns router)
+ *    under all-to-all traffic.
+ *
+ * Not a paper figure; quantifies rack-scale deployment choices the
+ * paper discusses qualitatively.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/common.hh"
+#include "fabric/torus.hh"
+
+namespace {
+
+using namespace sonuma;
+
+double
+rttWithLinkLatency(double linkNs)
+{
+    node::ClusterParams params;
+    params.nodes = 2;
+    params.crossbar.linkLatency = sim::nsToTicks(linkNs);
+    sim::Simulation sim(1);
+    node::Cluster cluster(sim, params);
+    cluster.createSharedContext(1);
+    auto &sp = cluster.node(0).os().createProcess(0);
+    const auto seg = sp.alloc(8 << 20);
+    cluster.node(0).driver().openContext(sp, 1);
+    cluster.node(0).driver().registerSegment(sp, 1, seg, 8 << 20);
+    auto &cp = cluster.node(1).os().createProcess(0);
+    api::RmcSession s(cluster.node(1).core(0), cluster.node(1).driver(),
+                      cp, 1);
+    const auto buf = s.allocBuffer(64);
+    double rtt = 0;
+    sim.spawn([](sim::Simulation *sim, api::RmcSession *s, vm::VAddr buf,
+                 double *out) -> sim::Task {
+        rmc::CqStatus st;
+        for (int i = 0; i < 16; ++i)
+            co_await s->readSync(0, std::uint64_t(i) * 64, buf, 64, &st);
+        const sim::Tick t0 = sim->now();
+        for (int i = 0; i < 200; ++i)
+            co_await s->readSync(0, std::uint64_t(i) * 64, buf, 64, &st);
+        *out = sim::ticksToNs(sim->now() - t0) / 200;
+    }(&sim, &s, buf, &rtt));
+    sim.run();
+    return rtt;
+}
+
+/** All-to-all 64 B reads on 16 nodes; returns mean RTT. */
+double
+allToAllRtt(node::Topology topo)
+{
+    node::ClusterParams params;
+    params.nodes = 16;
+    params.topology = topo;
+    params.torus.dims = {4, 4};
+    sim::Simulation sim(3);
+    node::Cluster cluster(sim, params);
+    cluster.createSharedContext(1);
+
+    struct NodeCtx
+    {
+        os::Process *proc;
+        vm::VAddr seg;
+        std::unique_ptr<api::RmcSession> session;
+        vm::VAddr buf;
+    };
+    std::vector<NodeCtx> ctx(16);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        auto &nd = cluster.node(i);
+        ctx[i].proc = &nd.os().createProcess(0);
+        ctx[i].seg = ctx[i].proc->alloc(1 << 20);
+        nd.driver().openContext(*ctx[i].proc, 1);
+        nd.driver().registerSegment(*ctx[i].proc, 1, ctx[i].seg, 1 << 20);
+        ctx[i].session = std::make_unique<api::RmcSession>(
+            nd.core(0), nd.driver(), *ctx[i].proc, 1);
+        ctx[i].buf = ctx[i].session->allocBuffer(64);
+    }
+
+    std::vector<double> rtts(16, 0);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+        sim.spawn([](sim::Simulation *sim, api::RmcSession *s,
+                     vm::VAddr buf, std::uint32_t self,
+                     double *out) -> sim::Task {
+            rmc::CqStatus st;
+            const int iters = 60;
+            const sim::Tick t0 = sim->now();
+            for (int i = 0; i < iters; ++i) {
+                const auto peer = static_cast<sim::NodeId>(
+                    (self + 1 + (static_cast<std::uint32_t>(i) % 15)) %
+                    16);
+                co_await s->readSync(peer,
+                                     (std::uint64_t(i) % 256) * 64, buf,
+                                     64, &st);
+            }
+            *out = sim::ticksToNs(sim->now() - t0) / iters;
+        }(&sim, ctx[i].session.get(), ctx[i].buf, i, &rtts[i]));
+    }
+    sim.run();
+    return std::accumulate(rtts.begin(), rtts.end(), 0.0) / 16.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double localNs = sonuma::bench::measureLocalDramNs();
+    std::printf("# Ablation: fabric sensitivity (local DRAM = %.0f ns)\n\n",
+                localNs);
+
+    std::printf("## crossbar link-latency sweep (64 B remote read)\n");
+    std::printf("%-14s %12s %16s\n", "link(ns/way)", "RTT(ns)",
+                "remote:local");
+    for (double link : {10.0, 20.0, 50.0, 100.0, 200.0, 500.0}) {
+        const double rtt = rttWithLinkLatency(link);
+        std::printf("%-14.0f %12.1f %16.1f\n", link, rtt, rtt / localNs);
+    }
+
+    std::printf("\n## topology: 16 nodes, all-to-all 64 B reads\n");
+    std::printf("%-22s %14s\n", "topology", "mean RTT(ns)");
+    std::printf("%-22s %14.1f\n", "crossbar (flat 50ns)",
+                allToAllRtt(sonuma::node::Topology::kCrossbar));
+    std::printf("%-22s %14.1f\n", "4x4 torus (11ns/hop)",
+                allToAllRtt(sonuma::node::Topology::kTorus));
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation: the RMC's microarchitectural structures (§4.3).
+ *
+ *  - MAQ depth sweep: in-flight memory accesses bound remote-read
+ *    bandwidth (Table 1 uses 32, matching the L1 MSHRs).
+ *  - TLB size sweep: page-walk frequency under a large working set.
+ *  - CT$ on/off: steady-state requests avoid a CT memory read.
+ *
+ * Not a paper figure; quantifies design choices DESIGN.md calls out.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+
+namespace {
+
+using namespace sonuma;
+using bench::TwoNodeHarness;
+
+struct Result
+{
+    double gbps = 0;
+    double latencyNs = 0;
+    std::uint64_t walks = 0;
+    std::uint64_t ctMisses = 0;
+};
+
+Result
+measure(const rmc::RmcParams &params, bool disableCtCache,
+        std::uint32_t readSize, int ops, std::uint64_t stride = 0,
+        std::uint64_t spanBytes = 0)
+{
+    Result r;
+    TwoNodeHarness h(params);
+    if (disableCtCache)
+        h.cluster->node(0).rmc().contextTable().setCacheEnabled(false);
+    auto s = h.clientSession();
+    const auto buf = s.allocBuffer(64ull * readSize);
+    h.sim.spawn([](sim::Simulation *sim, api::RmcSession *s, vm::VAddr buf,
+                   std::uint64_t segBytes, std::uint32_t size, int ops,
+                   std::uint64_t stride, std::uint64_t spanBytes,
+                   Result *r) -> sim::Task {
+        auto cb = [](std::uint32_t, rmc::CqStatus) {};
+        rmc::CqStatus st;
+        if (stride == 0)
+            stride = size;
+        if (spanBytes == 0)
+            spanBytes = segBytes / 2;
+        // Latency (sync, warm).
+        for (int i = 0; i < 16; ++i)
+            co_await s->readSync(0, (std::uint64_t(i) * stride) % spanBytes,
+                                 buf, size, &st);
+        sim::Tick t0 = sim->now();
+        for (int i = 0; i < 100; ++i)
+            co_await s->readSync(
+                0, (std::uint64_t(i) * stride) % spanBytes, buf, size,
+                &st);
+        r->latencyNs = sim::ticksToNs(sim->now() - t0) / 100;
+        // Bandwidth (async window).
+        t0 = sim->now();
+        for (int i = 0; i < ops; ++i) {
+            std::uint32_t slot = 0;
+            co_await s->waitForSlot(cb, &slot);
+            co_await s->postRead(
+                slot, 0, (std::uint64_t(i) * stride) % spanBytes,
+                buf + (std::uint64_t(i) % 64) * size, size);
+        }
+        co_await s->drainCq(cb);
+        const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
+        r->gbps = static_cast<double>(ops) * size * 8.0 / secs / 1e9;
+    }(&h.sim, &s, buf, h.segBytes, readSize, ops, stride, spanBytes, &r));
+    h.sim.run();
+    r.walks = h.cluster->node(0).rmc().tlb().missCount();
+    r.ctMisses =
+        h.cluster->node(0).rmc().contextTable().cacheMisses();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Ablation: RMC structures (remote reads, 2 nodes)\n\n");
+
+    std::printf("## MAQ depth sweep (8 KB reads)\n");
+    std::printf("%-10s %14s %14s\n", "maq", "bw(Gbps)", "lat(ns)");
+    for (std::uint32_t maq : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        auto p = sonuma::rmc::RmcParams::simulatedHardware();
+        p.maqEntries = maq;
+        const auto r = measure(p, false, 8192, 600);
+        std::printf("%-10u %14.1f %14.1f\n", maq, r.gbps, r.latencyNs);
+    }
+
+    std::printf("\n## TLB size sweep (64 B reads, one per page over a "
+                "64-page working set)\n");
+    std::printf("%-10s %14s %14s %14s\n", "tlb", "Mops", "lat(ns)",
+                "walks");
+    for (std::uint32_t tlb : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        auto p = sonuma::rmc::RmcParams::simulatedHardware();
+        p.tlbEntries = tlb;
+        const auto r = measure(p, false, 64, 8000, /*stride=*/8192,
+                               /*spanBytes=*/64 * 8192);
+        std::printf("%-10u %14.2f %14.1f %14llu\n", tlb,
+                    r.gbps / 8.0 * 1e9 / 64 / 1e6, r.latencyNs,
+                    static_cast<unsigned long long>(r.walks));
+    }
+
+    std::printf("\n## CT$ on/off (64 B reads)\n");
+    std::printf("%-10s %14s %14s\n", "ct$", "lat(ns)", "ctMisses");
+    for (bool disabled : {false, true}) {
+        const auto r =
+            measure(sonuma::rmc::RmcParams::simulatedHardware(), disabled,
+                    64, 4000);
+        std::printf("%-10s %14.1f %14llu\n", disabled ? "off" : "on",
+                    r.latencyNs,
+                    static_cast<unsigned long long>(r.ctMisses));
+    }
+    return 0;
+}

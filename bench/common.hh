@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Shared benchmark scaffolding: a two-node harness (the microbenchmark
+ * configuration of paper §7.2/7.3), tiny CLI-flag parsing, and table
+ * printing that mirrors the paper's rows/series.
+ */
+
+#ifndef SONUMA_BENCH_COMMON_HH
+#define SONUMA_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/session.hh"
+#include "node/cluster.hh"
+#include "sim/simulation.hh"
+
+namespace sonuma::bench {
+
+/** Minimal flag parser: --name=value / --name. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i)
+            args_.emplace_back(argv[i]);
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        for (const auto &a : args_) {
+            if (a == "--" + name ||
+                a.rfind("--" + name + "=", 0) == 0)
+                return true;
+        }
+        return false;
+    }
+
+    std::string
+    get(const std::string &name, const std::string &def) const
+    {
+        const std::string prefix = "--" + name + "=";
+        for (const auto &a : args_) {
+            if (a.rfind(prefix, 0) == 0)
+                return a.substr(prefix.size());
+        }
+        return def;
+    }
+
+    std::uint64_t
+    getU64(const std::string &name, std::uint64_t def) const
+    {
+        const auto s = get(name, "");
+        return s.empty() ? def : std::stoull(s);
+    }
+
+  private:
+    std::vector<std::string> args_;
+};
+
+/** Print the Table 1 configuration header once per bench. */
+inline void
+printConfigHeader(const char *bench, const rmc::RmcParams &rmc)
+{
+    std::printf("# %s\n", bench);
+    std::printf("# platform: %s\n",
+                rmc.emulation() ? "development platform (RMCemu)"
+                                : "simulated hardware (Table 1)");
+    std::printf(
+        "# node: 2 GHz core, 32 KB 2-way L1 (3 cyc), 4 MB L2 (6 cyc), "
+        "DDR3-1600 (60 ns, 12.8 GB/s)\n");
+    std::printf(
+        "# rmc: RGP/RRPP/RCP, %u-entry MAQ, %u-entry TLB; fabric: "
+        "crossbar, 50 ns/hop\n",
+        rmc.maqEntries, rmc.tlbEntries);
+}
+
+/**
+ * Two nodes sharing one context: node 0 registers a segment ("server"),
+ * node 1 runs the issuing application ("client"). Mirrors the paper's
+ * two-node microbenchmark setup.
+ */
+struct TwoNodeHarness
+{
+    sim::Simulation sim;
+    std::unique_ptr<node::Cluster> cluster;
+    os::Process *serverProc = nullptr;
+    os::Process *clientProc = nullptr;
+    vm::VAddr serverSegBase = 0;
+    vm::VAddr clientSegBase = 0;
+    std::uint64_t segBytes;
+    static constexpr sim::CtxId kCtx = 1;
+
+    explicit TwoNodeHarness(const rmc::RmcParams &rmcParams,
+                            std::uint64_t seg_bytes = 64ull << 20,
+                            std::uint64_t seed = 1)
+        : sim(seed), segBytes(seg_bytes)
+    {
+        node::ClusterParams params;
+        params.nodes = 2;
+        params.node.rmc = rmcParams;
+        params.node.physMemBytes =
+            std::max<std::uint64_t>(256ull << 20, 4 * seg_bytes);
+        cluster = std::make_unique<node::Cluster>(sim, params);
+        cluster->createSharedContext(kCtx);
+
+        serverProc = &cluster->node(0).os().createProcess(0);
+        serverSegBase = serverProc->alloc(seg_bytes);
+        cluster->node(0).driver().openContext(*serverProc, kCtx);
+        cluster->node(0).driver().registerSegment(*serverProc, kCtx,
+                                                  serverSegBase, seg_bytes);
+
+        clientProc = &cluster->node(1).os().createProcess(0);
+        clientSegBase = clientProc->alloc(seg_bytes);
+        cluster->node(1).driver().openContext(*clientProc, kCtx);
+        cluster->node(1).driver().registerSegment(*clientProc, kCtx,
+                                                  clientSegBase, seg_bytes);
+    }
+
+    api::RmcSession
+    clientSession()
+    {
+        return api::RmcSession(cluster->node(1).core(0),
+                               cluster->node(1).driver(), *clientProc,
+                               kCtx);
+    }
+
+    api::RmcSession
+    serverSession()
+    {
+        return api::RmcSession(cluster->node(0).core(0),
+                               cluster->node(0).driver(), *serverProc,
+                               kCtx);
+    }
+};
+
+/** Measure local DRAM-load latency on a node (the paper's yardstick). */
+inline double
+measureLocalDramNs(std::uint64_t seed = 9)
+{
+    sim::Simulation sim(seed);
+    node::ClusterParams params;
+    params.nodes = 1;
+    node::Cluster cluster(sim, params);
+    auto &nd = cluster.node(0);
+    auto &proc = nd.os().createProcess(0);
+    const auto buf = proc.alloc(64ull << 20);
+    nd.core(0).attachProcess(proc);
+    double result = 0;
+    sim.spawn([](sim::Simulation *sim, node::Core *core, vm::VAddr buf,
+                 double *out) -> sim::Task {
+        const int kAccesses = 256;
+        const sim::Tick t0 = sim->now();
+        for (int i = 0; i < kAccesses; ++i) {
+            // Stride past the L2 so every load reaches DRAM.
+            co_await core->load(buf + std::uint64_t(i) * 8192 * 17);
+        }
+        *out = sim::ticksToNs(sim->now() - t0) / kAccesses;
+    }(&sim, &nd.core(0), buf, &result));
+    sim.run();
+    return result;
+}
+
+} // namespace sonuma::bench
+
+#endif // SONUMA_BENCH_COMMON_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 1: netpipe over a commodity deep network stack (the paper's
+ * motivation measurement on two directly-connected Calxeda ECX-1000
+ * microservers with integrated 10 GbE).
+ *
+ * Paper reference points: latency in excess of 40 us for small request
+ * sizes and bandwidth under 2 Gbps for large ones, despite the 10 Gbps
+ * fabric — the cost of per-packet TCP/IP processing on wimpy cores.
+ */
+
+#include <cstdio>
+
+#include "baseline/tcp_stack.hh"
+#include "bench/common.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace sonuma;
+using baseline::TcpPair;
+using baseline::TcpParams;
+
+/** Netpipe reports one-way latency = RTT/2 for the ping-pong test. */
+double
+latencyUs(std::uint32_t size)
+{
+    sim::Simulation sim;
+    TcpPair tcp(sim.eq(), sim.stats(), TcpParams{});
+    double us = 0;
+    sim.spawn([](sim::Simulation *sim, TcpPair *tcp, std::uint32_t size,
+                 double *out) -> sim::Task {
+        const int iters = 8;
+        const sim::Tick t0 = sim->now();
+        for (int i = 0; i < iters; ++i)
+            co_await tcp->pingPong(size);
+        *out = sim::ticksToUs(sim->now() - t0) / (2.0 * iters);
+    }(&sim, &tcp, size, &us));
+    sim.run();
+    return us;
+}
+
+double
+bandwidthGbps(std::uint32_t size)
+{
+    sim::Simulation sim;
+    TcpPair tcp(sim.eq(), sim.stats(), TcpParams{});
+    double gbps = 0;
+    sim.spawn([](sim::Simulation *sim, TcpPair *tcp, std::uint32_t size,
+                 double *out) -> sim::Task {
+        const int count = size >= 65536 ? 24 : 64;
+        const sim::Tick t0 = sim->now();
+        co_await tcp->stream(size, count);
+        const double secs = sim::ticksToUs(sim->now() - t0) * 1e-6;
+        *out = static_cast<double>(count) * size * 8.0 / secs / 1e9;
+    }(&sim, &tcp, size, &gbps));
+    sim.run();
+    return gbps;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Fig. 1: netpipe on a Calxeda-class microserver "
+                "(TCP/IP deep-stack model)\n");
+    std::printf("# 10 Gbps integrated fabric; per-packet kernel costs on "
+                "wimpy cores dominate\n");
+    std::printf("%-10s %14s %16s\n", "size(B)", "latency(us)",
+                "bandwidth(Gbps)");
+    for (std::uint32_t size :
+         {64u, 256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
+        std::printf("%-10u %14.1f %16.2f\n", size, latencyUs(size),
+                    bandwidthGbps(size));
+    }
+    std::printf("# paper shape: >40 us small-message latency, "
+                "<2 Gbps large-message bandwidth\n");
+    return 0;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Figure 7: remote read performance.
+ *
+ *  (a) latency vs request size, simulated hardware, single/double-sided
+ *  (b) bandwidth vs request size, simulated hardware, single/double-sided
+ *  (c) latency vs request size, development platform (emulation mode)
+ *
+ * Paper reference points: ~300 ns for small reads (within 4x of local
+ * DRAM), 10 M ops/s at 64 B, 9.6 GB/s at 8 KB, double-sided bandwidth =
+ * 2x single-sided; development platform ~1.5 us base latency growing
+ * with request size.
+ */
+
+#include <cinttypes>
+
+#include "bench/common.hh"
+
+namespace {
+
+using namespace sonuma;
+using bench::TwoNodeHarness;
+
+struct Point
+{
+    std::uint32_t size;
+    double latencyNs = 0;
+    double gbps = 0;
+    double mops = 0;
+};
+
+/** Synchronous latency: one node reading (single-sided). */
+sim::Task
+latencyWorker(api::RmcSession *s, vm::VAddr buf,
+              std::uint64_t segBytes, std::uint32_t size, int iters,
+              double *out)
+{
+    sim::Simulation *sim = &s->core().simulation();
+    rmc::CqStatus st;
+    const std::uint64_t span = segBytes / 2;
+    // Warm: TLB/CT$ fills.
+    for (int i = 0; i < 16; ++i)
+        co_await s->readSync(0, (std::uint64_t(i) * size) % span, buf,
+                             size, &st);
+    const sim::Tick t0 = sim->now();
+    for (int i = 0; i < iters; ++i)
+        co_await s->readSync(0, (std::uint64_t(i) * size) % span, buf,
+                             size, &st);
+    *out = sim::ticksToNs(sim->now() - t0) / iters;
+}
+
+/** Asynchronous throughput with a full window (WQ depth). */
+sim::Task
+bandwidthWorker(api::RmcSession *s, vm::VAddr buf,
+                std::uint64_t segBytes, sim::NodeId peer,
+                std::uint32_t size, int ops, double *gbps, double *mops)
+{
+    sim::Simulation *sim = &s->core().simulation();
+    auto cb = [](std::uint32_t, rmc::CqStatus) {};
+    const std::uint64_t span = segBytes / 2;
+    const std::uint64_t bufSpan = 64ull * size;
+    const sim::Tick t0 = sim->now();
+    for (int i = 0; i < ops; ++i) {
+        std::uint32_t slot = 0;
+        co_await s->waitForSlot(cb, &slot);
+        co_await s->postRead(slot, peer,
+                             (std::uint64_t(i) * size) % span,
+                             buf + (std::uint64_t(i) * size) % bufSpan,
+                             size);
+    }
+    co_await s->drainCq(cb);
+    const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
+    *gbps = static_cast<double>(ops) * size * 8.0 / secs / 1e9;
+    *mops = static_cast<double>(ops) / secs / 1e6;
+}
+
+void
+runPlatform(const rmc::RmcParams &params, bool bandwidth_too)
+{
+    const std::uint32_t sizes[] = {64,   128,  256,  512,
+                                   1024, 2048, 4096, 8192};
+    const double localNs = bench::measureLocalDramNs();
+    std::printf("# local DRAM load: %.1f ns\n", localNs);
+
+    std::printf("%-8s %14s %14s", "size(B)", "lat-1sided(ns)",
+                "lat-2sided(ns)");
+    if (bandwidth_too)
+        std::printf(" %14s %14s %10s", "bw-1sided(Gbps)",
+                    "bw-2sided(Gbps)", "Mops-1s");
+    std::printf("\n");
+
+    for (const std::uint32_t size : sizes) {
+        Point p;
+        p.size = size;
+        const int iters = size <= 512 ? 300 : 100;
+
+        // (a) single-sided latency.
+        {
+            TwoNodeHarness h(params);
+            auto s = h.clientSession();
+            const auto buf = s.allocBuffer(size);
+            h.sim.spawn(latencyWorker(&s, buf, h.segBytes, size, iters,
+                                      &p.latencyNs));
+            h.sim.run();
+        }
+
+        // (a) double-sided latency: both nodes read from each other.
+        double lat2 = 0;
+        {
+            TwoNodeHarness h(params);
+            auto sc = h.clientSession();
+            auto ss = h.serverSession();
+            const auto bufC = sc.allocBuffer(size);
+            const auto bufS = ss.allocBuffer(64ull * size);
+            double other = 0;
+            h.sim.spawn(latencyWorker(&sc, bufC, h.segBytes, size, iters,
+                                      &lat2));
+            // The peer streams reads in the opposite direction.
+            h.sim.spawn([](api::RmcSession *s, vm::VAddr buf,
+                           std::uint64_t segBytes, std::uint32_t size,
+                           int ops, double *sink) -> sim::Task {
+                double g = 0, m = 0;
+                co_await bandwidthWorker(s, buf, segBytes, 1, size, ops,
+                                         &g, &m);
+                *sink = g;
+            }(&ss, bufS, h.segBytes, size, iters + 64, &other));
+            h.sim.run();
+        }
+
+        double bw1 = 0, mops1 = 0, bw2 = 0;
+        if (bandwidth_too) {
+            const int ops = size <= 256 ? 20000 : (size <= 2048 ? 4000
+                                                                : 1500);
+            {
+                TwoNodeHarness h(params);
+                auto s = h.clientSession();
+                const auto buf = s.allocBuffer(64ull * size);
+                h.sim.spawn(bandwidthWorker(&s, buf, h.segBytes, 0, size,
+                                            ops, &bw1, &mops1));
+                h.sim.run();
+            }
+            {
+                TwoNodeHarness h(params);
+                auto sc = h.clientSession();
+                auto ss = h.serverSession();
+                const auto bufC = sc.allocBuffer(64ull * size);
+                const auto bufS = ss.allocBuffer(64ull * size);
+                double bwa = 0, bwb = 0, m1 = 0, m2 = 0;
+                h.sim.spawn(bandwidthWorker(&sc, bufC, h.segBytes, 0,
+                                            size, ops, &bwa, &m1));
+                h.sim.spawn(bandwidthWorker(&ss, bufS, h.segBytes, 1,
+                                            size, ops, &bwb, &m2));
+                h.sim.run();
+                bw2 = bwa + bwb;
+            }
+        }
+
+        std::printf("%-8u %14.1f %14.1f", p.size, p.latencyNs, lat2);
+        if (bandwidth_too)
+            std::printf(" %14.1f %14.1f %10.2f", bw1, bw2, mops1);
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const bool emuOnly = args.get("platform", "") == "emu";
+    const bool hwOnly = args.get("platform", "") == "hw";
+
+    if (!emuOnly) {
+        auto hw = rmc::RmcParams::simulatedHardware();
+        bench::printConfigHeader(
+            "Fig. 7a/7b: remote reads, simulated hardware", hw);
+        runPlatform(hw, /*bandwidth_too=*/true);
+        std::printf("\n");
+    }
+    if (!hwOnly) {
+        auto emu = rmc::RmcParams::emulationPlatform();
+        bench::printConfigHeader(
+            "Fig. 7c: remote reads, development platform", emu);
+        runPlatform(emu, /*bandwidth_too=*/false);
+    }
+    return 0;
+}

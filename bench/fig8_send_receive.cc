@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Figure 8: unsolicited send/receive performance (the software messaging
+ * library of §5.3, measured netpipe-style as in §7.3).
+ *
+ *  (a) half-duplex latency vs message size, simulated hardware, for
+ *      threshold = 0 (pull only), threshold = inf (push only), and the
+ *      tuned threshold (256 B on hardware, 1 KB on the dev platform)
+ *  (b) streaming bandwidth, same three configurations
+ *  (c) latency on the development platform
+ *
+ * Paper reference points: 340 ns minimal half-duplex latency, >10 Gbps
+ * at 4 KB, 12.8 Gbps at 8 KB on simulated hardware; 1.4 us minimum and
+ * a 1 KB optimal threshold on the development platform.
+ */
+
+#include <limits>
+#include <vector>
+
+#include "api/messaging.hh"
+#include "bench/common.hh"
+
+namespace {
+
+using namespace sonuma;
+using api::MsgEndpoint;
+using api::MsgParams;
+using bench::TwoNodeHarness;
+
+struct Endpoints
+{
+    std::unique_ptr<api::RmcSession> s0, s1;
+    std::unique_ptr<MsgEndpoint> e0, e1;
+};
+
+Endpoints
+makeEndpoints(TwoNodeHarness &h, const MsgParams &mp)
+{
+    Endpoints e;
+    e.s0 = std::make_unique<api::RmcSession>(h.cluster->node(0).core(0),
+                                             h.cluster->node(0).driver(),
+                                             *h.serverProc, h.kCtx);
+    e.s1 = std::make_unique<api::RmcSession>(h.cluster->node(1).core(0),
+                                             h.cluster->node(1).driver(),
+                                             *h.clientProc, h.kCtx);
+    e.e0 = std::make_unique<MsgEndpoint>(*e.s0, 1, h.serverSegBase, 0, 0,
+                                         mp);
+    e.e1 = std::make_unique<MsgEndpoint>(*e.s1, 0, h.clientSegBase, 0, 0,
+                                         mp);
+    return e;
+}
+
+/** Half-duplex (one-way) latency via ping-pong, as netpipe reports. */
+double
+pingPongLatencyNs(const rmc::RmcParams &rp, const MsgParams &mp,
+                  std::uint32_t size, int iters)
+{
+    TwoNodeHarness h(rp, std::max<std::uint64_t>(
+                             64ull << 20, 4 * MsgEndpoint::regionBytes(mp)));
+    auto e = makeEndpoints(h, mp);
+    double oneWayNs = 0;
+    h.sim.spawn([](sim::Simulation *sim, MsgEndpoint *ep,
+                   std::uint32_t size, int iters,
+                   double *out) -> sim::Task {
+        std::vector<std::uint8_t> msg(size, 0x5a), buf;
+        co_await ep->send(msg.data(), size); // warm
+        co_await ep->receive(&buf);
+        const sim::Tick t0 = sim->now();
+        for (int i = 0; i < iters; ++i) {
+            co_await ep->send(msg.data(), size);
+            co_await ep->receive(&buf);
+        }
+        *out = sim::ticksToNs(sim->now() - t0) / (2.0 * iters);
+    }(&h.sim, e.e0.get(), size, iters, &oneWayNs));
+    h.sim.spawn([](MsgEndpoint *ep, std::uint32_t size,
+                   int iters) -> sim::Task {
+        std::vector<std::uint8_t> msg(size, 0xa5), buf;
+        co_await ep->receive(&buf);
+        co_await ep->send(msg.data(), size);
+        for (int i = 0; i < iters; ++i) {
+            co_await ep->receive(&buf);
+            co_await ep->send(msg.data(), size);
+        }
+    }(e.e1.get(), size, iters));
+    h.sim.run();
+    return oneWayNs;
+}
+
+/** Streaming bandwidth: sender pushes messages back to back. */
+double
+streamGbps(const rmc::RmcParams &rp, const MsgParams &mp,
+           std::uint32_t size, int count)
+{
+    TwoNodeHarness h(rp, std::max<std::uint64_t>(
+                             64ull << 20, 4 * MsgEndpoint::regionBytes(mp)));
+    auto e = makeEndpoints(h, mp);
+    double gbps = 0;
+    h.sim.spawn([](MsgEndpoint *ep, std::uint32_t size,
+                   int count) -> sim::Task {
+        std::vector<std::uint8_t> msg(size, 0x42);
+        for (int i = 0; i < count; ++i)
+            co_await ep->send(msg.data(), size);
+    }(e.e0.get(), size, count));
+    h.sim.spawn([](sim::Simulation *sim, MsgEndpoint *ep,
+                   std::uint32_t size, int count,
+                   double *out) -> sim::Task {
+        std::vector<std::uint8_t> buf;
+        const sim::Tick t0 = sim->now();
+        for (int i = 0; i < count; ++i)
+            co_await ep->receive(&buf);
+        const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
+        *out = static_cast<double>(count) * size * 8.0 / secs / 1e9;
+    }(&h.sim, e.e1.get(), size, count, &gbps));
+    h.sim.run();
+    return gbps;
+}
+
+void
+runPlatform(const rmc::RmcParams &rp, std::uint32_t tunedThreshold,
+            bool bandwidth_too)
+{
+    const std::uint32_t sizes[] = {64,   128,  256,  512,
+                                   1024, 2048, 4096, 8192};
+    const std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+    std::printf("%-8s | %10s %10s %10s", "size(B)", "lat-pull", "lat-push",
+                "lat-tuned");
+    if (bandwidth_too)
+        std::printf(" | %9s %9s %9s", "bw-pull", "bw-push", "bw-tuned");
+    std::printf("   (lat ns, bw Gbps; tuned threshold=%u B)\n",
+                tunedThreshold);
+
+    for (const std::uint32_t size : sizes) {
+        const int iters = rp.emulation() ? 40 : 100;
+        MsgParams pull, push, tuned;
+        pull.pushThreshold = 0;
+        push.pushThreshold = kInf;
+        tuned.pushThreshold = tunedThreshold;
+
+        const double lp = pingPongLatencyNs(rp, pull, size, iters);
+        const double lh = pingPongLatencyNs(rp, push, size, iters);
+        const double lt = pingPongLatencyNs(rp, tuned, size, iters);
+        std::printf("%-8u | %10.0f %10.0f %10.0f", size, lp, lh, lt);
+
+        if (bandwidth_too) {
+            const int count = size >= 4096 ? 400 : 800;
+            const double bp = streamGbps(rp, pull, size, count);
+            const double bh = streamGbps(rp, push, size, count);
+            const double bt = streamGbps(rp, tuned, size, count);
+            std::printf(" | %9.2f %9.2f %9.2f", bp, bh, bt);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv);
+    const bool emuOnly = args.get("platform", "") == "emu";
+    const bool hwOnly = args.get("platform", "") == "hw";
+
+    if (!emuOnly) {
+        auto hw = rmc::RmcParams::simulatedHardware();
+        bench::printConfigHeader(
+            "Fig. 8a/8b: send/receive, simulated hardware", hw);
+        runPlatform(hw, /*tunedThreshold=*/256, /*bandwidth_too=*/true);
+        std::printf("\n");
+    }
+    if (!hwOnly) {
+        auto emu = rmc::RmcParams::emulationPlatform();
+        bench::printConfigHeader(
+            "Fig. 8c: send/receive, development platform", emu);
+        runPlatform(emu, /*tunedThreshold=*/1024, /*bandwidth_too=*/false);
+    }
+    return 0;
+}

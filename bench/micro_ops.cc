@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Host-side microbenchmarks (google-benchmark) of the simulator's hot
+ * primitives: event-queue throughput, coroutine switching, cache-model
+ * accesses, and end-to-end simulated remote reads per host-second.
+ *
+ * These measure *simulator* performance (how fast the model runs on the
+ * host), not simulated performance — useful when extending the models.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace sonuma;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<sim::Tick>(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CoroutineDelayChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        sim.spawn([](sim::Simulation *s) -> sim::Task {
+            for (int i = 0; i < 1000; ++i)
+                co_await sim::Delay(s->eq(), 10);
+        }(&sim));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+void
+BM_CacheHitAccess(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    sim::StatRegistry stats;
+    mem::DramChannel dram(eq, stats, "dram", {});
+    mem::L2Cache l2(eq, stats, "l2", {}, dram);
+    mem::L1Cache l1(eq, stats, "l1", {}, l2);
+    // Warm one line.
+    l1.access(0, false, [] {});
+    eq.run();
+    for (auto _ : state) {
+        for (int i = 0; i < 100; ++i)
+            l1.access(0, false, [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CacheHitAccess);
+
+void
+BM_SimulatedRemoteReads(benchmark::State &state)
+{
+    for (auto _ : state) {
+        bench::TwoNodeHarness h(rmc::RmcParams::simulatedHardware(),
+                                8ull << 20);
+        auto s = h.clientSession();
+        const auto buf = s.allocBuffer(64);
+        h.sim.spawn([](api::RmcSession *s, vm::VAddr buf) -> sim::Task {
+            rmc::CqStatus st;
+            for (int i = 0; i < 200; ++i)
+                co_await s->readSync(0, (std::uint64_t(i) % 1024) * 64,
+                                     buf, 64, &st);
+        }(&s, buf));
+        h.sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_SimulatedRemoteReads);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Table 2: soNUMA (development platform + simulated hardware) versus
+ * RDMA/InfiniBand (ConnectX-3 class model) on four metrics:
+ *
+ *            | soNUMA dev | soNUMA sim'd HW | RDMA/IB
+ *   Max BW   |  1.8 Gbps  |     77 Gbps     | 50 Gbps
+ *   Read RTT |   1.5 us   |     0.3 us      | 1.19 us
+ *   F&A      |   1.5 us   |     0.3 us      | 1.15 us
+ *   IOPS     |   1.97 M   |     10.9 M      | 35 M @ 4 QPs (8.75/QP)
+ */
+
+#include <cstdio>
+
+#include "baseline/rdma.hh"
+#include "bench/common.hh"
+
+namespace {
+
+using namespace sonuma;
+using bench::TwoNodeHarness;
+
+struct Metrics
+{
+    double maxBwGbps = 0;
+    double readRttUs = 0;
+    double fetchAddUs = 0;
+    double mops = 0;
+};
+
+Metrics
+measureSonuma(const rmc::RmcParams &params)
+{
+    Metrics m;
+    const bool emu = params.emulation();
+
+    // Read RTT + fetch-and-add (synchronous, warm).
+    {
+        TwoNodeHarness h(params);
+        auto s = h.clientSession();
+        const auto buf = s.allocBuffer(64);
+        h.sim.spawn([](sim::Simulation *sim, api::RmcSession *s,
+                       vm::VAddr buf, Metrics *m) -> sim::Task {
+            rmc::CqStatus st;
+            std::uint64_t old;
+            for (int i = 0; i < 16; ++i)
+                co_await s->readSync(0, std::uint64_t(i) * 64, buf, 64,
+                                     &st);
+            sim::Tick t0 = sim->now();
+            const int iters = 200;
+            for (int i = 0; i < iters; ++i)
+                co_await s->readSync(0, std::uint64_t(i) * 64, buf, 64,
+                                     &st);
+            m->readRttUs = sim::ticksToUs(sim->now() - t0) / iters;
+            t0 = sim->now();
+            for (int i = 0; i < iters; ++i)
+                co_await s->fetchAddSync(0, 1 << 20, 1, &old, &st);
+            m->fetchAddUs = sim::ticksToUs(sim->now() - t0) / iters;
+        }(&h.sim, &s, buf, &m));
+        h.sim.run();
+    }
+
+    // Max BW: pipelined 8 KB reads. IOPS: pipelined 64 B reads.
+    {
+        TwoNodeHarness h(params);
+        auto s = h.clientSession();
+        const auto buf = s.allocBuffer(64ull * 8192);
+        h.sim.spawn([](sim::Simulation *sim, api::RmcSession *s,
+                       vm::VAddr buf, std::uint64_t segBytes, bool emu,
+                       Metrics *m) -> sim::Task {
+            auto cb = [](std::uint32_t, rmc::CqStatus) {};
+            const int ops = emu ? 100 : 1500;
+            sim::Tick t0 = sim->now();
+            for (int i = 0; i < ops; ++i) {
+                std::uint32_t slot = 0;
+                co_await s->waitForSlot(cb, &slot);
+                co_await s->postRead(
+                    slot, 0, (std::uint64_t(i) * 8192) % (segBytes / 2),
+                    buf + (std::uint64_t(i) % 64) * 8192, 8192);
+            }
+            co_await s->drainCq(cb);
+            double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
+            m->maxBwGbps = ops * 8192.0 * 8.0 / secs / 1e9;
+
+            const int iops = emu ? 4000 : 20000;
+            t0 = sim->now();
+            for (int i = 0; i < iops; ++i) {
+                std::uint32_t slot = 0;
+                co_await s->waitForSlot(cb, &slot);
+                co_await s->postRead(
+                    slot, 0, (std::uint64_t(i) * 64) % (segBytes / 2),
+                    buf, 64);
+            }
+            co_await s->drainCq(cb);
+            secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
+            m->mops = iops / secs / 1e6;
+        }(&h.sim, &s, buf, h.segBytes, emu, &m));
+        h.sim.run();
+    }
+    return m;
+}
+
+Metrics
+measureRdma()
+{
+    Metrics m;
+    {
+        sim::Simulation sim;
+        baseline::RdmaPair rdma(sim.eq(), sim.stats(), {});
+        sim.spawn([](sim::Simulation *sim, baseline::RdmaPair *r,
+                     Metrics *m) -> sim::Task {
+            const int iters = 100;
+            sim::Tick t0 = sim->now();
+            for (int i = 0; i < iters; ++i)
+                co_await r->read(64);
+            m->readRttUs = sim::ticksToUs(sim->now() - t0) / iters;
+            t0 = sim->now();
+            for (int i = 0; i < iters; ++i)
+                co_await r->fetchAdd();
+            m->fetchAddUs = sim::ticksToUs(sim->now() - t0) / iters;
+        }(&sim, &rdma, &m));
+        sim.run();
+    }
+    {
+        sim::Simulation sim;
+        baseline::RdmaPair rdma(sim.eq(), sim.stats(), {});
+        sim.spawn([](sim::Simulation *sim, baseline::RdmaPair *r,
+                     Metrics *m) -> sim::Task {
+            const int ops = 256;
+            const sim::Tick t0 = sim->now();
+            co_await r->stream(64 * 1024, ops);
+            const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
+            m->maxBwGbps = ops * 65536.0 * 8.0 / secs / 1e9;
+        }(&sim, &rdma, &m));
+        sim.run();
+    }
+    {
+        sim::Simulation sim;
+        baseline::RdmaPair rdma(sim.eq(), sim.stats(), {});
+        sim.spawn([](sim::Simulation *sim, baseline::RdmaPair *r,
+                     Metrics *m) -> sim::Task {
+            const int ops = 20000;
+            const sim::Tick t0 = sim->now();
+            co_await r->stream(8, ops);
+            const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
+            m->mops = ops / secs / 1e6;
+        }(&sim, &rdma, &m));
+        sim.run();
+    }
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Table 2: soNUMA vs RDMA/InfiniBand\n");
+    std::printf("# measuring soNUMA (dev platform)...\n");
+    const Metrics dev =
+        measureSonuma(sonuma::rmc::RmcParams::emulationPlatform());
+    std::printf("# measuring soNUMA (simulated hardware)...\n");
+    const Metrics hw =
+        measureSonuma(sonuma::rmc::RmcParams::simulatedHardware());
+    std::printf("# measuring RDMA/IB model...\n");
+    const Metrics ib = measureRdma();
+
+    std::printf("\n%-22s %14s %14s %14s\n", "Transport", "soNUMA dev",
+                "soNUMA sim'd HW", "RDMA/IB");
+    std::printf("%-22s %14.1f %14.1f %14.1f\n", "Max BW (Gbps)",
+                dev.maxBwGbps, hw.maxBwGbps, ib.maxBwGbps);
+    std::printf("%-22s %14.2f %14.2f %14.2f\n", "Read RTT (us)",
+                dev.readRttUs, hw.readRttUs, ib.readRttUs);
+    std::printf("%-22s %14.2f %14.2f %14.2f\n", "Fetch-and-add (us)",
+                dev.fetchAddUs, hw.fetchAddUs, ib.fetchAddUs);
+    std::printf("%-22s %14.2f %14.2f %14.2f\n", "IOPS (Mops/s, 1 QP)",
+                dev.mops, hw.mops, ib.mops);
+    std::printf("\n# paper:               1.8 / 77 / 50 Gbps ; "
+                "1.5 / 0.3 / 1.19 us ;\n");
+    std::printf("#                      1.5 / 0.3 / 1.15 us ; "
+                "1.97 / 10.9 / ~8.75-per-QP Mops\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Messaging and synchronization without hardware send/receive (§5.3):
+ * a pipeline of nodes passes tokens with the software send/receive
+ * library (push for small control messages, pull for bulk payloads),
+ * then all nodes meet at the one-sided barrier.
+ *
+ *   $ ./messaging
+ */
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "api/barrier.hh"
+#include "api/messaging.hh"
+#include "node/cluster.hh"
+#include "sim/simulation.hh"
+
+using namespace sonuma;
+
+int
+main()
+{
+    constexpr std::uint32_t kNodes = 4;
+    sim::Simulation sim(5);
+    node::ClusterParams params;
+    params.nodes = kNodes;
+    node::Cluster cluster(sim, params);
+    cluster.createSharedContext(1);
+
+    const api::MsgParams mp; // push <= 256 B, pull beyond
+    // Segment layout per node: barrier region, then one messaging
+    // region per neighbor direction (previous and next in the ring).
+    const std::uint64_t barBytes = api::Barrier::regionBytes(kNodes);
+    const std::uint64_t epBytes = api::MsgEndpoint::regionBytes(mp);
+    const std::uint64_t segBytes = barBytes + 2 * epBytes;
+
+    struct NodeState
+    {
+        os::Process *proc;
+        vm::VAddr seg;
+        std::unique_ptr<api::RmcSession> msgSession, barrierSession;
+        std::unique_ptr<api::MsgEndpoint> fromPrev, toNext;
+        std::unique_ptr<api::Barrier> barrier;
+    };
+    std::vector<NodeState> ns(kNodes);
+    std::vector<sim::NodeId> all(kNodes);
+    std::iota(all.begin(), all.end(), 0);
+
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+        auto &nd = cluster.node(i);
+        ns[i].proc = &nd.os().createProcess(0);
+        ns[i].seg = ns[i].proc->alloc(segBytes);
+        nd.driver().openContext(*ns[i].proc, 1);
+        nd.driver().registerSegment(*ns[i].proc, 1, ns[i].seg, segBytes);
+        ns[i].msgSession = std::make_unique<api::RmcSession>(
+            nd.core(0), nd.driver(), *ns[i].proc, 1);
+        ns[i].barrierSession = std::make_unique<api::RmcSession>(
+            nd.core(0), nd.driver(), *ns[i].proc, 1);
+        ns[i].barrier = std::make_unique<api::Barrier>(
+            *ns[i].barrierSession, all, ns[i].seg, 0);
+    }
+    // Ring endpoints: region [bar, bar+ep) receives from the previous
+    // node; region [bar+ep, bar+2ep) receives from the next node (only
+    // the first is used for data here; layout kept symmetric).
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+        const std::uint32_t next = (i + 1) % kNodes;
+        ns[i].toNext = std::make_unique<api::MsgEndpoint>(
+            *ns[i].msgSession, static_cast<sim::NodeId>(next),
+            ns[i].seg, barBytes + epBytes, barBytes, mp);
+    }
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+        const std::uint32_t prev = (i + kNodes - 1) % kNodes;
+        // Reuse the sending endpoint of prev for its receive side: the
+        // endpoint at node i receiving from prev is ns[i].fromPrev.
+        ns[i].fromPrev = std::make_unique<api::MsgEndpoint>(
+            *ns[i].msgSession, static_cast<sim::NodeId>(prev),
+            ns[i].seg, barBytes, barBytes + epBytes, mp);
+    }
+
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+        sim.spawn([](sim::Simulation *sim, NodeState *st, std::uint32_t i,
+                     std::uint32_t nodes) -> sim::Task {
+            // Token ride around the ring: node 0 injects a small (push)
+            // and a bulk (pull) message; everyone relays.
+            std::vector<std::uint8_t> bulk(16 * 1024);
+            for (std::size_t b = 0; b < bulk.size(); ++b)
+                bulk[b] = static_cast<std::uint8_t>(b * 7);
+
+            if (i == 0) {
+                std::uint64_t token = 1;
+                co_await st->toNext->send(&token, sizeof(token));
+                co_await st->toNext->send(bulk.data(),
+                                          static_cast<std::uint32_t>(
+                                              bulk.size()));
+                std::vector<std::uint8_t> back;
+                co_await st->fromPrev->receive(&back); // token returns
+                co_await st->fromPrev->receive(&back); // bulk returns
+                std::printf("node 0: token + %zu B bulk made the round "
+                            "trip in %.2f us\n",
+                            back.size(), sim::ticksToUs(sim->now()));
+                bool intact = back.size() == bulk.size();
+                for (std::size_t b = 0; intact && b < back.size(); ++b)
+                    intact = back[b] == bulk[b];
+                std::printf("node 0: bulk payload integrity: %s\n",
+                            intact ? "ok" : "CORRUPT");
+            } else {
+                std::vector<std::uint8_t> m1, m2;
+                co_await st->fromPrev->receive(&m1);
+                co_await st->fromPrev->receive(&m2);
+                std::printf("node %u: relaying token + %zu B bulk\n", i,
+                            m2.size());
+                co_await st->toNext->send(m1.data(),
+                                          static_cast<std::uint32_t>(
+                                              m1.size()));
+                co_await st->toNext->send(m2.data(),
+                                          static_cast<std::uint32_t>(
+                                              m2.size()));
+            }
+
+            // Everyone meets at the barrier (writes to peers + local
+            // polling, §5.3).
+            co_await st->barrier->arrive();
+            if (i == 0)
+                std::printf("all %u nodes passed the barrier at %.2f "
+                            "us\n",
+                            nodes, sim::ticksToUs(sim->now()));
+        }(&sim, &ns[i], i, kNodes));
+    }
+    sim.run();
+    return 0;
+}

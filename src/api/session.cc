@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Access-library implementation.
+ */
+
+#include "api/session.hh"
+
+#include <cassert>
+#include <cstring>
+
+#include "sim/log.hh"
+
+namespace sonuma::api {
+
+RmcSession::RmcSession(node::Core &core, os::RmcDriver &driver,
+                       os::Process &proc, sim::CtxId ctx,
+                       const SessionParams &params)
+    : core_(core), driver_(driver), proc_(proc), ctx_(ctx), params_(params),
+      qp_(), nid_(driver.rmc().nodeId()), wqCursor_(1), cqCursor_(1),
+      completionEvent_(core.simulation().eq())
+{
+    // Bind the thread's process to its core so timed loads/stores
+    // translate in the right address space.
+    core_.attachProcess(proc_);
+    driver_.openContext(proc_, ctx_);
+    qp_ = driver_.createQueuePair(proc_, ctx_);
+    wqCursor_ = rmc::RingCursor(qp_.entries);
+    cqCursor_ = rmc::RingCursor(qp_.entries);
+    slotBusy_.assign(qp_.entries, false);
+    syncWaiters_.assign(qp_.entries, nullptr);
+    driver_.rmc().setCompletionHook(ctx_, qp_.qpIndex,
+                                    [this] { completionEvent_.notifyAll(); });
+}
+
+void
+RmcSession::setDefaultCallback(CompletionCallback cb)
+{
+    defaultCb_ = std::move(cb);
+}
+
+sim::Task
+RmcSession::reapAvailable(const CompletionCallback &cb,
+                          std::uint32_t *reaped)
+{
+    std::uint32_t n = 0;
+    while (true) {
+        const vm::VAddr entryVa = qp_.cqEntryVa(cqCursor_.index());
+        rmc::CqEntry entry;
+        proc_.addressSpace().read(entryVa, &entry, sizeof(entry));
+        if (entry.phase != cqCursor_.expectedPhase())
+            break;
+
+        // Timed load of the CQ line + per-completion software cost.
+        co_await core_.load(entryVa);
+        co_await core_.compute(params_.completionOverheadCycles);
+
+        const std::uint32_t slot = entry.wqIndex;
+        const auto status = static_cast<rmc::CqStatus>(entry.status);
+        assert(slot < qp_.entries && slotBusy_[slot]);
+        slotBusy_[slot] = false;
+        assert(outstanding_ > 0);
+        --outstanding_;
+        cqCursor_.advance();
+        ++n;
+
+        if (syncWaiters_[slot]) {
+            syncWaiters_[slot]->done = true;
+            syncWaiters_[slot]->status = status;
+            syncWaiters_[slot] = nullptr;
+        } else if (cb) {
+            cb(slot, status);
+        } else if (defaultCb_) {
+            defaultCb_(slot, status);
+        }
+    }
+    if (reaped)
+        *reaped = n;
+}
+
+sim::Task
+RmcSession::waitForSlot(CompletionCallback cb, std::uint32_t *slot)
+{
+    const std::uint32_t next = wqCursor_.index();
+    while (slotBusy_[next]) {
+        std::uint32_t reaped = 0;
+        co_await reapAvailable(cb, &reaped);
+        if (slotBusy_[next]) {
+            co_await core_.compute(params_.syncPollOverheadCycles);
+            co_await completionEvent_.wait();
+        }
+    }
+    *slot = next;
+}
+
+sim::Task
+RmcSession::postEntry(std::uint32_t slot, const rmc::WqEntry &entry)
+{
+    assert(slot == wqCursor_.index() &&
+           "slots must be posted in ring order (use waitForSlot)");
+    assert(!slotBusy_[slot]);
+
+    rmc::WqEntry e = entry;
+    e.phase = wqCursor_.expectedPhase();
+
+    // Inline-function overhead + the producing store (one cache line).
+    co_await core_.compute(params_.issueOverheadCycles);
+    const vm::VAddr entryVa = qp_.wqEntryVa(slot);
+    co_await core_.store(entryVa);
+    proc_.addressSpace().write(entryVa, &e, sizeof(e));
+
+    slotBusy_[slot] = true;
+    ++outstanding_;
+    wqCursor_.advance();
+    driver_.rmc().doorbell(ctx_, qp_.qpIndex);
+}
+
+sim::Task
+RmcSession::postRead(std::uint32_t slot, sim::NodeId nid,
+                     std::uint64_t offset, vm::VAddr buf, std::uint32_t len)
+{
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(rmc::WqOp::kRead);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = len;
+    co_await postEntry(slot, e);
+}
+
+sim::Task
+RmcSession::postWrite(std::uint32_t slot, sim::NodeId nid,
+                      std::uint64_t offset, vm::VAddr buf, std::uint32_t len)
+{
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(rmc::WqOp::kWrite);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = len;
+    co_await postEntry(slot, e);
+}
+
+sim::Task
+RmcSession::postCompareSwap(std::uint32_t slot, sim::NodeId nid,
+                            std::uint64_t offset, vm::VAddr buf,
+                            std::uint64_t expected, std::uint64_t desired)
+{
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(rmc::WqOp::kCas);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = sizeof(std::uint64_t);
+    e.operand1 = expected;
+    e.operand2 = desired;
+    co_await postEntry(slot, e);
+}
+
+sim::Task
+RmcSession::postFetchAdd(std::uint32_t slot, sim::NodeId nid,
+                         std::uint64_t offset, vm::VAddr buf,
+                         std::uint64_t addend)
+{
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(rmc::WqOp::kFetchAdd);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = sizeof(std::uint64_t);
+    e.operand1 = addend;
+    co_await postEntry(slot, e);
+}
+
+sim::Task
+RmcSession::pollCq(CompletionCallback cb, std::uint32_t *reaped)
+{
+    co_await reapAvailable(cb, reaped);
+}
+
+sim::Task
+RmcSession::drainCq(CompletionCallback cb)
+{
+    while (outstanding_ > 0) {
+        std::uint32_t reaped = 0;
+        co_await reapAvailable(cb, &reaped);
+        if (outstanding_ > 0 && reaped == 0) {
+            co_await core_.compute(params_.syncPollOverheadCycles);
+            co_await completionEvent_.wait();
+        }
+    }
+}
+
+sim::Task
+RmcSession::syncOp(const rmc::WqEntry &entry, rmc::CqStatus *status)
+{
+    std::uint32_t slot = 0;
+    co_await waitForSlot(defaultCb_, &slot);
+    SyncWait wait;
+    co_await postEntry(slot, entry);
+    syncWaiters_[slot] = &wait;
+    while (!wait.done) {
+        std::uint32_t reaped = 0;
+        co_await reapAvailable(defaultCb_, &reaped);
+        if (!wait.done && reaped == 0) {
+            co_await core_.compute(params_.syncPollOverheadCycles);
+            co_await completionEvent_.wait();
+        }
+    }
+    if (status)
+        *status = wait.status;
+}
+
+sim::Task
+RmcSession::readSync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
+                     std::uint32_t len, rmc::CqStatus *status)
+{
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(rmc::WqOp::kRead);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = len;
+    co_await syncOp(e, status);
+}
+
+sim::Task
+RmcSession::writeSync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
+                      std::uint32_t len, rmc::CqStatus *status)
+{
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(rmc::WqOp::kWrite);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = len;
+    co_await syncOp(e, status);
+}
+
+sim::Task
+RmcSession::fetchAddSync(sim::NodeId nid, std::uint64_t offset,
+                         std::uint64_t addend, std::uint64_t *oldValue,
+                         rmc::CqStatus *status)
+{
+    const vm::VAddr buf = atomicScratch();
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(rmc::WqOp::kFetchAdd);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = sizeof(std::uint64_t);
+    e.operand1 = addend;
+    co_await syncOp(e, status);
+    if (oldValue)
+        *oldValue = proc_.addressSpace().readT<std::uint64_t>(buf);
+}
+
+sim::Task
+RmcSession::compareSwapSync(sim::NodeId nid, std::uint64_t offset,
+                            std::uint64_t expected, std::uint64_t desired,
+                            std::uint64_t *oldValue, rmc::CqStatus *status)
+{
+    const vm::VAddr buf = atomicScratch();
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(rmc::WqOp::kCas);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = sizeof(std::uint64_t);
+    e.operand1 = expected;
+    e.operand2 = desired;
+    co_await syncOp(e, status);
+    if (oldValue)
+        *oldValue = proc_.addressSpace().readT<std::uint64_t>(buf);
+}
+
+} // namespace sonuma::api

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The soNUMA access library (paper §5.2).
+ *
+ * A lightweight user-level API over the queue pairs: applications issue
+ * one-sided remote reads/writes/atomics and synchronize by polling the
+ * completion queue. Mirrors the paper's Fig. 4 interface:
+ *
+ *   - waitForSlot  ~ rmc_wait_for_slot (process CQ until WQ head frees)
+ *   - postRead     ~ rmc_read_async
+ *   - postWrite    ~ rmc_write_async
+ *   - drainCq      ~ rmc_drain_cq
+ *   - readSync / writeSync ~ the blocking variants
+ *   - fetchAddSync / compareSwapSync ~ atomic operations (§5.2)
+ *
+ * All methods are coroutines executing "on" a Core: they charge API
+ * instruction overhead on the core's compute resource and perform timed
+ * loads/stores on the core's L1 for every WQ/CQ interaction, which is
+ * exactly where soNUMA's coherence-integrated queue pairs earn their
+ * latency advantage.
+ */
+
+#ifndef SONUMA_API_SESSION_HH
+#define SONUMA_API_SESSION_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "node/core.hh"
+#include "os/rmc_driver.hh"
+#include "rmc/queue_pair.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace sonuma::api {
+
+/** Callback applied to completed WQ slots during CQ processing. */
+using CompletionCallback =
+    std::function<void(std::uint32_t slot, rmc::CqStatus status)>;
+
+/** Tunable software overheads of the inline API functions. */
+struct SessionParams
+{
+    std::uint32_t issueOverheadCycles = 120;     //!< per posted op
+    std::uint32_t completionOverheadCycles = 70; //!< per reaped completion
+    std::uint32_t syncPollOverheadCycles = 10;   //!< per empty poll
+};
+
+/**
+ * One application thread's handle on a queue pair within a global
+ * address space (context).
+ */
+class RmcSession
+{
+  public:
+    /**
+     * Open @p ctx for @p proc (driver permission check) and register a
+     * fresh queue pair. @p core is the core this thread runs on.
+     */
+    RmcSession(node::Core &core, os::RmcDriver &driver, os::Process &proc,
+               sim::CtxId ctx, const SessionParams &params = {});
+
+    RmcSession(const RmcSession &) = delete;
+    RmcSession &operator=(const RmcSession &) = delete;
+
+    //
+    // Asynchronous API (paper Fig. 4)
+    //
+
+    /**
+     * Process CQ events (invoking @p cb on completed slots) until the
+     * head of the WQ is free; returns that slot in @p slot.
+     */
+    [[nodiscard]] sim::Task waitForSlot(CompletionCallback cb,
+                                        std::uint32_t *slot);
+
+    /** Schedule a remote read of @p len bytes into local @p buf. */
+    [[nodiscard]] sim::Task postRead(std::uint32_t slot, sim::NodeId nid,
+                                     std::uint64_t offset, vm::VAddr buf,
+                                     std::uint32_t len);
+
+    /** Schedule a remote write of @p len bytes from local @p buf. */
+    [[nodiscard]] sim::Task postWrite(std::uint32_t slot, sim::NodeId nid,
+                                      std::uint64_t offset, vm::VAddr buf,
+                                      std::uint32_t len);
+
+    /** Schedule an atomic compare-and-swap; old value lands in @p buf. */
+    [[nodiscard]] sim::Task postCompareSwap(std::uint32_t slot,
+                                            sim::NodeId nid,
+                                            std::uint64_t offset,
+                                            vm::VAddr buf,
+                                            std::uint64_t expected,
+                                            std::uint64_t desired);
+
+    /** Schedule an atomic fetch-and-add; old value lands in @p buf. */
+    [[nodiscard]] sim::Task postFetchAdd(std::uint32_t slot,
+                                         sim::NodeId nid,
+                                         std::uint64_t offset,
+                                         vm::VAddr buf,
+                                         std::uint64_t addend);
+
+    /** Process available CQ events without blocking. */
+    [[nodiscard]] sim::Task pollCq(CompletionCallback cb,
+                                   std::uint32_t *reaped);
+
+    /** Block until every outstanding operation has completed. */
+    [[nodiscard]] sim::Task drainCq(CompletionCallback cb);
+
+    //
+    // Synchronous (blocking) API
+    //
+
+    [[nodiscard]] sim::Task readSync(sim::NodeId nid, std::uint64_t offset,
+                                     vm::VAddr buf, std::uint32_t len,
+                                     rmc::CqStatus *status);
+
+    [[nodiscard]] sim::Task writeSync(sim::NodeId nid, std::uint64_t offset,
+                                      vm::VAddr buf, std::uint32_t len,
+                                      rmc::CqStatus *status);
+
+    /** Atomic fetch-and-add returning the old value. */
+    [[nodiscard]] sim::Task fetchAddSync(sim::NodeId nid,
+                                         std::uint64_t offset,
+                                         std::uint64_t addend,
+                                         std::uint64_t *oldValue,
+                                         rmc::CqStatus *status);
+
+    /** Atomic compare-and-swap returning the old value. */
+    [[nodiscard]] sim::Task compareSwapSync(sim::NodeId nid,
+                                            std::uint64_t offset,
+                                            std::uint64_t expected,
+                                            std::uint64_t desired,
+                                            std::uint64_t *oldValue,
+                                            rmc::CqStatus *status);
+
+    //
+    // Introspection / helpers
+    //
+
+    std::uint32_t outstanding() const { return outstanding_; }
+    std::uint32_t queueDepth() const { return qp_.entries; }
+    node::Core &core() { return core_; }
+    os::Process &process() { return proc_; }
+    sim::NodeId nodeId() const { return nid_; }
+    rmc::Rmc &rmc() { return driver_.rmc(); }
+    sim::CtxId ctx() const { return ctx_; }
+
+    /**
+     * Callback for completions reaped inside sync calls that belong to
+     * other (async) slots. Defaults to dropping them.
+     */
+    void setDefaultCallback(CompletionCallback cb);
+
+    /** Scratch buffer allocator in the session's process. */
+    vm::VAddr
+    allocBuffer(std::uint64_t bytes)
+    {
+        return proc_.alloc(bytes);
+    }
+
+    /** Lazily-allocated per-session scratch line for sync atomics. */
+    vm::VAddr
+    atomicScratch()
+    {
+        if (scratch_ == 0)
+            scratch_ = proc_.alloc(sim::kCacheLineBytes);
+        return scratch_;
+    }
+
+  private:
+    node::Core &core_;
+    os::RmcDriver &driver_;
+    os::Process &proc_;
+    sim::CtxId ctx_;
+    SessionParams params_;
+    os::QpHandle qp_;
+    sim::NodeId nid_;
+
+    rmc::RingCursor wqCursor_;  //!< producer side
+    rmc::RingCursor cqCursor_;  //!< consumer side
+    std::uint32_t outstanding_ = 0;
+    std::vector<bool> slotBusy_;
+
+    // Sync-op rendezvous per slot.
+    struct SyncWait
+    {
+        bool done = false;
+        rmc::CqStatus status = rmc::CqStatus::kOk;
+    };
+    std::vector<SyncWait *> syncWaiters_;
+
+    sim::Condition completionEvent_;
+    CompletionCallback defaultCb_;
+    vm::VAddr scratch_ = 0;
+
+    /** Write + ring one WQ entry (shared by all post* methods). */
+    sim::Task postEntry(std::uint32_t slot, const rmc::WqEntry &entry);
+
+    /** Reap everything currently visible in the CQ. */
+    sim::Task reapAvailable(const CompletionCallback &cb,
+                            std::uint32_t *reaped);
+
+    /** Generic sync wrapper: post, then wait for that slot. */
+    sim::Task syncOp(const rmc::WqEntry &entry, rmc::CqStatus *status);
+};
+
+} // namespace sonuma::api
+
+#endif // SONUMA_API_SESSION_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Graph utilities: reference PageRank and partitioning.
+ */
+
+#include "app/graph.hh"
+
+#include <cassert>
+#include <numeric>
+
+namespace sonuma::app {
+
+std::vector<double>
+referencePageRank(const Graph &g, std::uint32_t supersteps, double damping)
+{
+    const auto n = static_cast<double>(g.numVertices);
+    std::vector<double> rank(g.numVertices, 1.0 / n);
+    std::vector<double> next(g.numVertices);
+    for (std::uint32_t step = 0; step < supersteps; ++step) {
+        for (std::uint32_t v = 0; v < g.numVertices; ++v) {
+            double sum = 0.0;
+            for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+                const std::uint32_t u = g.inNeighbor[e];
+                sum += rank[u] / static_cast<double>(g.outDegree[u]);
+            }
+            next[v] = (1.0 - damping) / n + damping * sum;
+        }
+        rank.swap(next);
+    }
+    return rank;
+}
+
+Partition
+randomPartition(sim::Rng &rng, std::uint32_t vertices, std::uint32_t parts)
+{
+    Partition p;
+    p.parts = parts;
+    p.owner.resize(vertices);
+    p.localIndex.resize(vertices);
+    p.members.resize(parts);
+
+    // Random permutation, then deal out round-robin: random placement
+    // with equal cardinality (paper: "randomly partitions the vertices
+    // into sets of equal cardinality").
+    std::vector<std::uint32_t> perm(vertices);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::uint32_t i = vertices; i > 1; --i) {
+        const auto j = static_cast<std::uint32_t>(rng.below(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    for (std::uint32_t i = 0; i < vertices; ++i) {
+        const std::uint32_t v = perm[i];
+        const std::uint32_t part = i % parts;
+        p.owner[v] = part;
+        p.localIndex[v] =
+            static_cast<std::uint32_t>(p.members[part].size());
+        p.members[part].push_back(v);
+    }
+    return p;
+}
+
+double
+Partition::crossEdgeFraction(const Graph &g) const
+{
+    if (g.numEdges() == 0)
+        return 0.0;
+    std::uint64_t cross = 0;
+    for (std::uint32_t v = 0; v < g.numVertices; ++v) {
+        for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            if (owner[v] != owner[g.inNeighbor[e]])
+                ++cross;
+        }
+    }
+    return static_cast<double>(cross) /
+           static_cast<double>(g.numEdges());
+}
+
+} // namespace sonuma::app

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Synthetic graph generators.
+ *
+ * The power-law generator uses preferential attachment over *out*
+ * endpoints: popular vertices accumulate followers, giving the heavy
+ * right tail that makes Twitter-like graphs hard to partition — the
+ * property that drives the paper's Fig. 9 behaviour.
+ */
+
+#include "app/graph.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sonuma::app {
+
+namespace {
+
+/** Assemble CSR from an in-edge list (src -> dst). */
+Graph
+buildCsr(std::uint32_t vertices,
+         const std::vector<std::pair<std::uint32_t, std::uint32_t>> &edges)
+{
+    Graph g;
+    g.numVertices = vertices;
+    g.rowPtr.assign(vertices + 1, 0);
+    g.outDegree.assign(vertices, 0);
+    for (const auto &[src, dst] : edges) {
+        ++g.rowPtr[dst + 1]; // in-edge of dst
+        ++g.outDegree[src];
+    }
+    for (std::uint32_t v = 0; v < vertices; ++v)
+        g.rowPtr[v + 1] += g.rowPtr[v];
+    g.inNeighbor.resize(edges.size());
+    std::vector<std::uint32_t> fill(vertices, 0);
+    for (const auto &[src, dst] : edges)
+        g.inNeighbor[g.rowPtr[dst] + fill[dst]++] = src;
+    // PageRank divides by out-degree; make every vertex emit something
+    // (dangling vertices get a self-loop-free fixup of degree 1).
+    for (std::uint32_t v = 0; v < vertices; ++v)
+        g.outDegree[v] = std::max<std::uint32_t>(1, g.outDegree[v]);
+    return g;
+}
+
+} // namespace
+
+Graph
+generatePowerLaw(sim::Rng &rng, std::uint32_t vertices,
+                 std::uint32_t avgDegree)
+{
+    assert(vertices >= 2);
+    const std::uint64_t target = std::uint64_t(vertices) * avgDegree;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(target);
+
+    // Out-endpoint popularity follows a Zipf distribution over a random
+    // vertex permutation: a few super-hubs (celebrities, in the Twitter
+    // analogy) emit a large fraction of all edges. Inverse-CDF sampling
+    // over the precomputed harmonic prefix keeps generation O(E log V).
+    std::vector<std::uint32_t> perm(vertices);
+    for (std::uint32_t v = 0; v < vertices; ++v)
+        perm[v] = v;
+    for (std::uint32_t i = vertices; i > 1; --i) {
+        const auto j = static_cast<std::uint32_t>(rng.below(i));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    std::vector<double> cdf(vertices);
+    double h = 0.0;
+    for (std::uint32_t r = 0; r < vertices; ++r) {
+        h += 1.0 / static_cast<double>(r + 1);
+        cdf[r] = h;
+    }
+
+    // Seed ring: every vertex has at least one in-edge and one out-edge.
+    for (std::uint32_t v = 0; v < vertices && edges.size() < target; ++v)
+        edges.emplace_back(v, (v + 1) % vertices);
+
+    while (edges.size() < target) {
+        const auto dst = static_cast<std::uint32_t>(rng.below(vertices));
+        const double u = rng.uniform() * h;
+        const auto rank = static_cast<std::uint32_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        const std::uint32_t src = perm[rank];
+        if (src == dst)
+            continue;
+        edges.emplace_back(src, dst);
+    }
+    return buildCsr(vertices, edges);
+}
+
+Graph
+generateUniform(sim::Rng &rng, std::uint32_t vertices,
+                std::uint32_t avgDegree)
+{
+    assert(vertices >= 2);
+    const std::uint64_t target = std::uint64_t(vertices) * avgDegree;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(target);
+    while (edges.size() < target) {
+        const auto src = static_cast<std::uint32_t>(rng.below(vertices));
+        const auto dst = static_cast<std::uint32_t>(rng.below(vertices));
+        if (src == dst)
+            continue;
+        edges.emplace_back(src, dst);
+    }
+    return buildCsr(vertices, edges);
+}
+
+} // namespace sonuma::app

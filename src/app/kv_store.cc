@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Key-value store implementation.
+ */
+
+#include "app/kv_store.hh"
+
+#include <cassert>
+#include <cstring>
+
+namespace sonuma::app {
+
+std::uint64_t
+KvServer::hashKey(std::uint64_t key)
+{
+    // splitmix64 finalizer: good avalanche for bucket selection.
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+KvServer::KvServer(api::RmcSession &session, vm::VAddr segBase,
+                   std::uint64_t tableOffset, std::uint32_t buckets)
+    : session_(session), tableVa_(segBase + tableOffset),
+      tableOffset_(tableOffset), buckets_(buckets)
+{
+    assert((buckets & (buckets - 1)) == 0 && "bucket count power of two");
+}
+
+std::optional<std::uint32_t>
+KvServer::findSlot(std::uint64_t key, bool forInsert) const
+{
+    auto &as = session_.process().addressSpace();
+    const auto start =
+        static_cast<std::uint32_t>(hashKey(key) & (buckets_ - 1));
+    for (std::uint32_t probe = 0; probe < KvClient::kMaxProbes; ++probe) {
+        const std::uint32_t idx = (start + probe) & (buckets_ - 1);
+        KvBucket b;
+        as.read(tableVa_ + std::uint64_t(idx) * 64, &b, sizeof(b));
+        if (b.valid && b.key == key)
+            return idx;
+        if (!b.valid && forInsert)
+            return idx;
+    }
+    return std::nullopt;
+}
+
+sim::Task
+KvServer::put(std::uint64_t key, const void *value, std::uint32_t len,
+              bool *ok)
+{
+    assert(len <= kKvValueBytes);
+    auto &as = session_.process().addressSpace();
+    const auto slot = findSlot(key, /*forInsert=*/true);
+    if (!slot) {
+        *ok = false;
+        co_return;
+    }
+    const vm::VAddr va = tableVa_ + std::uint64_t(*slot) * 64;
+    KvBucket b;
+    as.read(va, &b, sizeof(b));
+
+    // Seqlock write: version goes odd, payload updates, version goes
+    // even. Each step is a timed store on the server core; remote
+    // readers observing an odd version retry.
+    b.version += 1; // odd: write in progress
+    co_await session_.core().store(va);
+    as.write(va, &b, sizeof(b));
+
+    b.key = key;
+    b.valid = 1;
+    std::memset(b.value, 0, sizeof(b.value));
+    std::memcpy(b.value, value, len);
+    b.version += 1; // even: stable
+    co_await session_.core().store(va);
+    as.write(va, &b, sizeof(b));
+    *ok = true;
+}
+
+sim::Task
+KvServer::erase(std::uint64_t key, bool *ok)
+{
+    auto &as = session_.process().addressSpace();
+    const auto slot = findSlot(key, /*forInsert=*/false);
+    if (!slot) {
+        *ok = false;
+        co_return;
+    }
+    const vm::VAddr va = tableVa_ + std::uint64_t(*slot) * 64;
+    KvBucket b;
+    as.read(va, &b, sizeof(b));
+    b.version += 1;
+    co_await session_.core().store(va);
+    as.write(va, &b, sizeof(b));
+    b.valid = 0;
+    b.version += 1;
+    co_await session_.core().store(va);
+    as.write(va, &b, sizeof(b));
+    *ok = true;
+}
+
+KvClient::KvClient(api::RmcSession &session, sim::NodeId serverNid,
+                   std::uint64_t tableOffset, std::uint32_t buckets)
+    : session_(session), server_(serverNid), tableOffset_(tableOffset),
+      buckets_(buckets)
+{
+    landing_ = session_.allocBuffer(sim::kCacheLineBytes);
+}
+
+sim::Task
+KvClient::get(std::uint64_t key, void *value, bool *found)
+{
+    auto &as = session_.process().addressSpace();
+    const auto start =
+        static_cast<std::uint32_t>(KvServer::hashKey(key) &
+                                   (buckets_ - 1));
+    *found = false;
+    for (std::uint32_t probe = 0; probe < kMaxProbes; ++probe) {
+        const std::uint32_t idx = (start + probe) & (buckets_ - 1);
+        KvBucket b;
+        while (true) {
+            rmc::CqStatus st = rmc::CqStatus::kOk;
+            ++reads_;
+            co_await session_.readSync(
+                server_, tableOffset_ + std::uint64_t(idx) * 64, landing_,
+                64, &st);
+            if (st != rmc::CqStatus::kOk)
+                co_return; // segment torn down / failure
+            as.read(landing_, &b, sizeof(b));
+            if ((b.version & 1) == 0)
+                break; // stable snapshot (seqlock even)
+        }
+        if (b.valid && b.key == key) {
+            std::memcpy(value, b.value, kKvValueBytes);
+            *found = true;
+            co_return;
+        }
+        if (!b.valid)
+            co_return; // probe chain ends at an empty bucket
+    }
+}
+
+} // namespace sonuma::app

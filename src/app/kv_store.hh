@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A one-sided-read key-value store in the style the paper cites as a
+ * killer application (§7.5, referencing Pilaf [38]): clients GET by
+ * issuing remote reads of hash buckets directly out of the server's
+ * context segment, with zero server CPU involvement; the server applies
+ * PUTs locally. Bucket versioning (seqlock) lets clients detect racing
+ * updates and retry.
+ */
+
+#ifndef SONUMA_APP_KV_STORE_HH
+#define SONUMA_APP_KV_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/session.hh"
+
+namespace sonuma::app {
+
+/** One 64-byte hash bucket. */
+struct KvBucket
+{
+    std::uint64_t version; //!< seqlock: odd while being written
+    std::uint64_t key;
+    std::uint64_t valid;
+    std::uint64_t value[5];
+};
+
+static_assert(sizeof(KvBucket) == 64, "bucket is one line");
+
+inline constexpr std::uint32_t kKvValueBytes = 40;
+
+/**
+ * Server side: owns the bucket array inside a registered context
+ * segment and applies PUTs locally (functional + timed stores via the
+ * server core are charged by the caller's coroutine).
+ */
+class KvServer
+{
+  public:
+    /**
+     * @param session server node session (segment must be registered)
+     * @param segBase local VA of the server's context segment
+     * @param tableOffset offset of the bucket array within the segment
+     * @param buckets power-of-two bucket count
+     */
+    KvServer(api::RmcSession &session, vm::VAddr segBase,
+             std::uint64_t tableOffset, std::uint32_t buckets);
+
+    /** Required segment bytes for @p buckets. */
+    static std::uint64_t
+    tableBytes(std::uint32_t buckets)
+    {
+        return std::uint64_t(buckets) * sizeof(KvBucket);
+    }
+
+    /** Local PUT (insert or update). Linear probing; false if full. */
+    [[nodiscard]] sim::Task put(std::uint64_t key, const void *value,
+                                std::uint32_t len, bool *ok);
+
+    /** Local DELETE. */
+    [[nodiscard]] sim::Task erase(std::uint64_t key, bool *ok);
+
+    std::uint32_t buckets() const { return buckets_; }
+    std::uint64_t tableOffset() const { return tableOffset_; }
+
+    static std::uint64_t hashKey(std::uint64_t key);
+
+  private:
+    api::RmcSession &session_;
+    vm::VAddr tableVa_;
+    std::uint64_t tableOffset_;
+    std::uint32_t buckets_;
+
+    std::optional<std::uint32_t> findSlot(std::uint64_t key,
+                                          bool forInsert) const;
+};
+
+/**
+ * Client side: GETs via one-sided remote reads of bucket lines.
+ */
+class KvClient
+{
+  public:
+    /**
+     * @param session client node session (same context as the server)
+     * @param serverNid the server's node id
+     * @param tableOffset the server's bucket-array segment offset
+     * @param buckets the server's bucket count
+     */
+    KvClient(api::RmcSession &session, sim::NodeId serverNid,
+             std::uint64_t tableOffset, std::uint32_t buckets);
+
+    /**
+     * Remote GET. On success, *found = true and value bytes are copied
+     * to @p value (kKvValueBytes capacity). Reads chase linear-probe
+     * chains and retry on torn (odd-version) buckets.
+     */
+    [[nodiscard]] sim::Task get(std::uint64_t key, void *value,
+                                bool *found);
+
+    /** Remote reads issued (probe chain length observability). */
+    std::uint64_t readsIssued() const { return reads_; }
+
+    /** Maximum buckets probed per GET before giving up. */
+    static constexpr std::uint32_t kMaxProbes = 16;
+
+  private:
+    api::RmcSession &session_;
+    sim::NodeId server_;
+    std::uint64_t tableOffset_;
+    std::uint32_t buckets_;
+    vm::VAddr landing_;
+    std::uint64_t reads_ = 0;
+};
+
+} // namespace sonuma::app
+
+#endif // SONUMA_APP_KV_STORE_HH

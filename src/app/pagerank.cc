@@ -1,0 +1,525 @@
+/**
+ * @file
+ * PageRank runners (SHM, soNUMA bulk, soNUMA fine-grain).
+ */
+
+#include "app/pagerank.hh"
+
+#include <cassert>
+#include <memory>
+
+#include "api/barrier.hh"
+#include "api/session.hh"
+#include "node/cluster.hh"
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+
+namespace sonuma::app {
+
+namespace {
+
+/** Per-node view of the partitioned graph. */
+struct NodeGraph
+{
+    struct Ref
+    {
+        std::uint32_t part;
+        std::uint32_t localIdx;
+    };
+
+    std::vector<std::uint32_t> rowPtr; //!< per local vertex
+    std::vector<Ref> refs;             //!< in-neighbors of local vertices
+};
+
+NodeGraph
+buildNodeGraph(const Graph &g, const Partition &part, std::uint32_t p)
+{
+    NodeGraph ng;
+    const auto &mine = part.members[p];
+    ng.rowPtr.reserve(mine.size() + 1);
+    ng.rowPtr.push_back(0);
+    for (const std::uint32_t v : mine) {
+        for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1]; ++e) {
+            const std::uint32_t u = g.inNeighbor[e];
+            ng.refs.push_back(
+                NodeGraph::Ref{part.owner[u], part.localIndex[u]});
+        }
+        ng.rowPtr.push_back(static_cast<std::uint32_t>(ng.refs.size()));
+    }
+    return ng;
+}
+
+/** Initialize a vertex array in simulated memory. */
+void
+initVertexArray(vm::AddressSpace &as, vm::VAddr base,
+                const std::vector<std::uint32_t> &vertices, const Graph &g)
+{
+    const double init = 1.0 / g.numVertices;
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        VertexData vd{};
+        vd.rank[0] = init;
+        vd.rank[1] = 0.0;
+        vd.outDegree = g.outDegree[vertices[i]];
+        as.write(base + i * sizeof(VertexData), &vd, sizeof(vd));
+    }
+}
+
+} // namespace
+
+//
+// ------------------------- SHM (pthreads) ------------------------------
+//
+
+PageRankRun
+runPageRankShm(const Graph &g, std::uint32_t threads,
+               const PageRankConfig &cfg)
+{
+    sim::Simulation sim(cfg.seed);
+    node::ClusterParams cp;
+    cp.nodes = 1;
+    cp.node.cores = threads;
+    // Aggregate LLC equal to `threads` soNUMA nodes (paper §7.5(i)).
+    cp.node.l2.sizeBytes = cfg.l2PerUnitBytes * threads;
+    node::Cluster cluster(sim, cp);
+    auto &nd = cluster.node(0);
+    auto &proc = nd.os().createProcess(0);
+
+    const vm::VAddr varr =
+        proc.alloc(std::uint64_t(g.numVertices) * sizeof(VertexData));
+    std::vector<std::uint32_t> all(g.numVertices);
+    for (std::uint32_t v = 0; v < g.numVertices; ++v)
+        all[v] = v;
+    initVertexArray(proc.addressSpace(), varr, all, g);
+
+    sim::LocalBarrier barrier(sim.eq(), threads);
+    sim::Tick start = 0, end = 0;
+
+    auto worker = [&](std::uint32_t tid) -> sim::Task {
+        auto &core = nd.core(tid);
+        core.attachProcess(proc);
+        auto &as = proc.addressSpace();
+        const std::uint32_t lo =
+            static_cast<std::uint32_t>(std::uint64_t(g.numVertices) * tid /
+                                       threads);
+        const std::uint32_t hi = static_cast<std::uint32_t>(
+            std::uint64_t(g.numVertices) * (tid + 1) / threads);
+
+        co_await barrier.arrive();
+
+        const std::uint32_t total =
+            cfg.warmupSupersteps + cfg.supersteps;
+        for (std::uint32_t step = 0; step < total; ++step) {
+            if (tid == 0 && step == cfg.warmupSupersteps)
+                start = sim.now();
+            const int readPar = static_cast<int>(step % 2);
+            const int writePar = 1 - readPar;
+            for (std::uint32_t v = lo; v < hi; ++v) {
+                co_await core.compute(cfg.vertexComputeCycles);
+                double acc = (1.0 - cfg.damping) / g.numVertices;
+                for (std::uint32_t e = g.rowPtr[v]; e < g.rowPtr[v + 1];
+                     ++e) {
+                    const std::uint32_t u = g.inNeighbor[e];
+                    const vm::VAddr ua = varr + std::uint64_t(u) * 64;
+                    co_await core.load(ua);
+                    co_await core.compute(cfg.edgeComputeCycles);
+                    VertexData ud;
+                    as.read(ua, &ud, sizeof(ud));
+                    acc += cfg.damping * ud.rank[readPar] /
+                           static_cast<double>(ud.outDegree);
+                }
+                const vm::VAddr va = varr + std::uint64_t(v) * 64;
+                co_await core.store(va);
+                VertexData vd;
+                as.read(va, &vd, sizeof(vd));
+                vd.rank[writePar] = acc;
+                as.write(va, &vd, sizeof(vd));
+            }
+            co_await barrier.arrive();
+        }
+        if (tid == 0)
+            end = sim.now();
+    };
+
+    for (std::uint32_t t = 0; t < threads; ++t)
+        sim.spawn(worker(t));
+    sim.run();
+
+    PageRankRun run;
+    run.elapsed = end - start;
+    run.remoteOps = 0;
+    run.ranks.resize(g.numVertices);
+    const int finalPar = static_cast<int>(
+        (cfg.warmupSupersteps + cfg.supersteps) % 2);
+    for (std::uint32_t v = 0; v < g.numVertices; ++v) {
+        VertexData vd;
+        proc.addressSpace().read(varr + std::uint64_t(v) * 64, &vd,
+                                 sizeof(vd));
+        run.ranks[v] = vd.rank[finalPar];
+    }
+    return run;
+}
+
+//
+// ---------------------- shared soNUMA scaffolding ----------------------
+//
+
+namespace {
+
+/** Everything one soNUMA PageRank node needs. */
+struct PrNode
+{
+    os::Process *proc = nullptr;
+    vm::VAddr segBase = 0;
+    vm::VAddr vtxVa = 0;          //!< owned vertex array (in segment)
+    std::uint64_t vtxOff = 0;     //!< its offset within the segment
+    std::unique_ptr<api::RmcSession> session;
+    std::unique_ptr<api::RmcSession> barrierSession; //!< own QP: barrier
+    std::unique_ptr<api::Barrier> barrier;
+    NodeGraph ng;
+};
+
+/** Build cluster + per-node state shared by bulk and fine-grain. */
+struct PrSetup
+{
+    std::unique_ptr<node::Cluster> cluster;
+    std::vector<PrNode> nodes;
+    static constexpr sim::CtxId kCtx = 1;
+
+    PrSetup(sim::Simulation &sim, const Graph &g, const Partition &part,
+            const PageRankConfig &cfg, const rmc::RmcParams &rmcParams,
+            std::uint64_t extraSegBytes)
+    {
+        const std::uint32_t P = part.parts;
+        node::ClusterParams cp;
+        cp.nodes = P;
+        cp.node.cores = 1;
+        cp.node.l2.sizeBytes = cfg.l2PerUnitBytes;
+        cp.node.rmc = rmcParams;
+        cluster = std::make_unique<node::Cluster>(sim, cp);
+        cluster->createSharedContext(kCtx);
+
+        const std::uint64_t barBytes = api::Barrier::regionBytes(P);
+        std::vector<sim::NodeId> all(P);
+        for (std::uint32_t i = 0; i < P; ++i)
+            all[i] = static_cast<sim::NodeId>(i);
+
+        nodes.resize(P);
+        for (std::uint32_t p = 0; p < P; ++p) {
+            auto &nd = cluster->node(p);
+            PrNode &n = nodes[p];
+            n.proc = &nd.os().createProcess(0);
+            const std::uint64_t owned =
+                part.members[p].size() * sizeof(VertexData);
+            n.segBase =
+                n.proc->alloc(barBytes + owned + extraSegBytes);
+            nd.driver().openContext(*n.proc, kCtx);
+            nd.driver().registerSegment(*n.proc, kCtx, n.segBase,
+                                        barBytes + owned + extraSegBytes);
+            n.vtxOff = barBytes;
+            n.vtxVa = n.segBase + barBytes;
+            initVertexArray(n.proc->addressSpace(), n.vtxVa,
+                            part.members[p], g);
+            n.session = std::make_unique<api::RmcSession>(
+                nd.core(0), nd.driver(), *n.proc, kCtx);
+            // The barrier owns a separate QP: completions of its
+            // announcement writes must never surface through the
+            // application QP's callbacks.
+            n.barrierSession = std::make_unique<api::RmcSession>(
+                nd.core(0), nd.driver(), *n.proc, kCtx);
+            n.barrier = std::make_unique<api::Barrier>(
+                *n.barrierSession, all, n.segBase, 0);
+            n.ng = buildNodeGraph(g, part, p);
+        }
+    }
+
+    /** Gather final ranks out of simulated memory. */
+    std::vector<double>
+    gather(const Graph &g, const Partition &part, int finalPar) const
+    {
+        std::vector<double> ranks(g.numVertices);
+        for (std::uint32_t p = 0; p < part.parts; ++p) {
+            const PrNode &n = nodes[p];
+            for (std::size_t i = 0; i < part.members[p].size(); ++i) {
+                VertexData vd;
+                n.proc->addressSpace().read(n.vtxVa + i * 64, &vd,
+                                            sizeof(vd));
+                ranks[part.members[p][i]] = vd.rank[finalPar];
+            }
+        }
+        return ranks;
+    }
+};
+
+} // namespace
+
+//
+// --------------------------- soNUMA (bulk) -----------------------------
+//
+
+PageRankRun
+runPageRankBulk(const Graph &g, const Partition &part,
+                const PageRankConfig &cfg, const rmc::RmcParams &rmcParams)
+{
+    sim::Simulation sim(cfg.seed);
+    PrSetup setup(sim, g, part, cfg, rmcParams, 0);
+    const std::uint32_t P = part.parts;
+
+    // Local mirror of every peer's vertex array; seeded functionally
+    // (the paper's setup phase is not part of the timed supersteps).
+    std::vector<std::vector<vm::VAddr>> mirror(P,
+                                               std::vector<vm::VAddr>(P));
+    for (std::uint32_t p = 0; p < P; ++p) {
+        for (std::uint32_t q = 0; q < P; ++q) {
+            if (q == p)
+                continue;
+            const std::uint64_t bytes =
+                part.members[q].size() * sizeof(VertexData);
+            mirror[p][q] = setup.nodes[p].proc->alloc(bytes);
+            initVertexArray(setup.nodes[p].proc->addressSpace(),
+                            mirror[p][q], part.members[q], g);
+        }
+    }
+
+    sim::Tick start = 0, end = 0;
+    std::uint64_t remoteOps = 0;
+
+    auto worker = [&](std::uint32_t p) -> sim::Task {
+        PrNode &n = setup.nodes[p];
+        auto &core = setup.cluster->node(p).core(0);
+        auto &as = n.proc->addressSpace();
+
+        co_await n.barrier->arrive();
+
+        const std::uint32_t total =
+            cfg.warmupSupersteps + cfg.supersteps;
+        for (std::uint32_t step = 0; step < total; ++step) {
+            if (p == 0 && step == cfg.warmupSupersteps)
+                start = sim.now();
+            const int readPar = static_cast<int>(step % 2);
+            const int writePar = 1 - readPar;
+
+            // Compute phase: local + mirrored data only.
+            const auto &mine = part.members[p];
+            for (std::uint32_t i = 0;
+                 i < static_cast<std::uint32_t>(mine.size()); ++i) {
+                co_await core.compute(cfg.vertexComputeCycles);
+                double acc = (1.0 - cfg.damping) / g.numVertices;
+                for (std::uint32_t e = n.ng.rowPtr[i];
+                     e < n.ng.rowPtr[i + 1]; ++e) {
+                    const auto &ref = n.ng.refs[e];
+                    const vm::VAddr ua =
+                        (ref.part == p ? n.vtxVa : mirror[p][ref.part]) +
+                        std::uint64_t(ref.localIdx) * 64;
+                    co_await core.load(ua);
+                    co_await core.compute(cfg.edgeComputeCycles);
+                    VertexData ud;
+                    as.read(ua, &ud, sizeof(ud));
+                    acc += cfg.damping * ud.rank[readPar] /
+                           static_cast<double>(ud.outDegree);
+                }
+                const vm::VAddr va = n.vtxVa + std::uint64_t(i) * 64;
+                co_await core.store(va);
+                VertexData vd;
+                as.read(va, &vd, sizeof(vd));
+                vd.rank[writePar] = acc;
+                as.write(va, &vd, sizeof(vd));
+            }
+
+            co_await n.barrier->arrive();
+
+            // Shuffle phase: pull every peer's vertex array in wide
+            // multi-line reads (one WQ entry per chunk).
+            for (std::uint32_t q = 0; q < P; ++q) {
+                if (q == p)
+                    continue;
+                const std::uint64_t bytes =
+                    part.members[q].size() * sizeof(VertexData);
+                std::uint64_t off = 0;
+                while (off < bytes) {
+                    const auto chunk = static_cast<std::uint32_t>(
+                        std::min<std::uint64_t>(cfg.bulkChunkBytes,
+                                                bytes - off));
+                    std::uint32_t slot = 0;
+                    co_await n.session->waitForSlot(nullptr, &slot);
+                    co_await n.session->postRead(
+                        slot, static_cast<sim::NodeId>(q),
+                        setup.nodes[q].vtxOff + off, mirror[p][q] + off,
+                        chunk);
+                    ++remoteOps;
+                    off += chunk;
+                }
+            }
+            co_await n.session->drainCq(nullptr);
+            co_await n.barrier->arrive();
+        }
+        if (p == 0)
+            end = sim.now();
+    };
+
+    for (std::uint32_t p = 0; p < P; ++p)
+        setup.cluster->node(p).core(0).run(worker(p));
+    sim.run();
+
+    PageRankRun run;
+    run.elapsed = end - start;
+    run.remoteOps = remoteOps;
+    for (std::uint32_t p = 0; p < P; ++p) {
+        const std::string prefix = "node" + std::to_string(p) + ".rmc.";
+        if (const auto *c = sim.stats().counter(prefix + "failureAborts"))
+            run.aborts += c->value();
+        if (const auto *c =
+                sim.stats().counter(prefix + "rrpp.boundsErrors"))
+            run.errors += c->value();
+        if (const auto *c = sim.stats().counter(prefix + "rrpp.badContext"))
+            run.errors += c->value();
+    }
+    run.ranks = setup.gather(
+        g, part,
+        static_cast<int>((cfg.warmupSupersteps + cfg.supersteps) % 2));
+    return run;
+}
+
+//
+// ------------------------ soNUMA (fine-grain) --------------------------
+//
+
+PageRankRun
+runPageRankFine(const Graph &g, const Partition &part,
+                const PageRankConfig &cfg, const rmc::RmcParams &rmcParams)
+{
+    sim::Simulation sim(cfg.seed);
+    PrSetup setup(sim, g, part, cfg, rmcParams, 0);
+    const std::uint32_t P = part.parts;
+
+    sim::Tick start = 0, end = 0;
+    std::uint64_t remoteOps = 0;
+
+    auto worker = [&](std::uint32_t p) -> sim::Task {
+        PrNode &n = setup.nodes[p];
+        auto &core = setup.cluster->node(p).core(0);
+        auto &as = n.proc->addressSpace();
+        auto &session = *n.session;
+
+        // Per-WQ-slot callback context (the paper's async_dest_addr).
+        struct SlotCtx
+        {
+            std::uint32_t vLocal;
+            int readPar;
+            int writePar;
+        };
+        std::vector<SlotCtx> slotCtx(session.queueDepth());
+        const vm::VAddr lbuf =
+            n.proc->alloc(std::uint64_t(session.queueDepth()) * 64);
+
+        // The completion callback runs the paper's pagerank_async:
+        // read the fetched vertex, accumulate into the target's rank.
+        auto cb = [&as, &slotCtx, &n, &cfg, this_lbuf = lbuf](
+                      std::uint32_t slot, rmc::CqStatus st) {
+            assert(st == rmc::CqStatus::kOk);
+            (void)st;
+            const SlotCtx &ctx = slotCtx[slot];
+            VertexData nb;
+            as.read(this_lbuf + std::uint64_t(slot) * 64, &nb, sizeof(nb));
+            const double contrib = cfg.damping * nb.rank[ctx.readPar] /
+                                   static_cast<double>(nb.outDegree);
+            const vm::VAddr va = n.vtxVa + std::uint64_t(ctx.vLocal) * 64;
+            VertexData vd;
+            as.read(va, &vd, sizeof(vd));
+            vd.rank[ctx.writePar] += contrib;
+            as.write(va, &vd, sizeof(vd));
+        };
+
+        co_await n.barrier->arrive();
+
+        const auto &mine = part.members[p];
+        const std::uint32_t total =
+            cfg.warmupSupersteps + cfg.supersteps;
+        for (std::uint32_t step = 0; step < total; ++step) {
+            if (p == 0 && step == cfg.warmupSupersteps)
+                start = sim.now();
+            const int readPar = static_cast<int>(step % 2);
+            const int writePar = 1 - readPar;
+
+            for (std::uint32_t i = 0;
+                 i < static_cast<std::uint32_t>(mine.size()); ++i) {
+                co_await core.compute(cfg.vertexComputeCycles);
+                const vm::VAddr va = n.vtxVa + std::uint64_t(i) * 64;
+
+                // Seed the write-parity rank before any async completion
+                // can accumulate into it (Fig. 4's first statement).
+                co_await core.store(va);
+                {
+                    VertexData vd;
+                    as.read(va, &vd, sizeof(vd));
+                    vd.rank[writePar] =
+                        (1.0 - cfg.damping) / g.numVertices;
+                    as.write(va, &vd, sizeof(vd));
+                }
+
+                double acc = 0.0;
+                for (std::uint32_t e = n.ng.rowPtr[i];
+                     e < n.ng.rowPtr[i + 1]; ++e) {
+                    const auto &ref = n.ng.refs[e];
+                    if (ref.part == p) {
+                        // Shared-memory path within the node.
+                        const vm::VAddr ua =
+                            n.vtxVa + std::uint64_t(ref.localIdx) * 64;
+                        co_await core.load(ua);
+                        co_await core.compute(cfg.edgeComputeCycles);
+                        VertexData ud;
+                        as.read(ua, &ud, sizeof(ud));
+                        acc += cfg.damping * ud.rank[readPar] /
+                               static_cast<double>(ud.outDegree);
+                    } else {
+                        // Explicit remote memory path (Fig. 4).
+                        std::uint32_t slot = 0;
+                        co_await session.waitForSlot(cb, &slot);
+                        slotCtx[slot] =
+                            SlotCtx{i, readPar, writePar};
+                        co_await session.postRead(
+                            slot, static_cast<sim::NodeId>(ref.part),
+                            setup.nodes[ref.part].vtxOff +
+                                std::uint64_t(ref.localIdx) * 64,
+                            lbuf + std::uint64_t(slot) * 64, 64);
+                        ++remoteOps;
+                    }
+                }
+                if (acc != 0.0) {
+                    co_await core.store(va);
+                    VertexData vd;
+                    as.read(va, &vd, sizeof(vd));
+                    vd.rank[writePar] += acc;
+                    as.write(va, &vd, sizeof(vd));
+                }
+            }
+            co_await session.drainCq(cb);
+            co_await n.barrier->arrive();
+        }
+        if (p == 0)
+            end = sim.now();
+    };
+
+    for (std::uint32_t p = 0; p < P; ++p)
+        setup.cluster->node(p).core(0).run(worker(p));
+    sim.run();
+
+    PageRankRun run;
+    run.elapsed = end - start;
+    run.remoteOps = remoteOps;
+    for (std::uint32_t p = 0; p < P; ++p) {
+        const std::string prefix = "node" + std::to_string(p) + ".rmc.";
+        if (const auto *c = sim.stats().counter(prefix + "failureAborts"))
+            run.aborts += c->value();
+        if (const auto *c =
+                sim.stats().counter(prefix + "rrpp.boundsErrors"))
+            run.errors += c->value();
+        if (const auto *c = sim.stats().counter(prefix + "rrpp.badContext"))
+            run.errors += c->value();
+    }
+    run.ranks = setup.gather(
+        g, part,
+        static_cast<int>((cfg.warmupSupersteps + cfg.supersteps) % 2));
+    return run;
+}
+
+} // namespace sonuma::app

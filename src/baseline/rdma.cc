@@ -1,0 +1,119 @@
+/**
+ * @file
+ * RDMA baseline implementation.
+ */
+
+#include "baseline/rdma.hh"
+
+namespace sonuma::baseline {
+
+RdmaPair::RdmaPair(sim::EventQueue &eq, sim::StatRegistry &stats,
+                   const RdmaParams &params)
+    : eq_(eq), params_(params), sq_(eq, params.maxOutstanding),
+      ops_(stats, "rdma.ops", "completed RDMA operations")
+{
+    for (std::uint32_t i = 0; i < params.qpEngines; ++i) {
+        srcEngines_.push_back(std::make_unique<sim::ServiceResource>(
+            eq, "rdma.srcEngine" + std::to_string(i)));
+        dstEngines_.push_back(std::make_unique<sim::ServiceResource>(
+            eq, "rdma.dstEngine" + std::to_string(i)));
+    }
+    srcPcie_ = std::make_unique<sim::BandwidthPipe>(
+        eq, "rdma.srcPcie", params.pcieBandwidth, params.pcieLat);
+    dstPcie_ = std::make_unique<sim::BandwidthPipe>(
+        eq, "rdma.dstPcie", params.pcieBandwidth, params.pcieLat);
+    linkFwd_ = std::make_unique<sim::BandwidthPipe>(
+        eq, "rdma.linkFwd", params.linkBandwidth, params.linkLat);
+    linkRev_ = std::make_unique<sim::BandwidthPipe>(
+        eq, "rdma.linkRev", params.linkBandwidth, params.linkLat);
+}
+
+sim::Task
+RdmaPair::engine(std::vector<std::unique_ptr<sim::ServiceResource>> &pool)
+{
+    // Engine occupancy bounds throughput; the remaining latency of the
+    // adapter pass overlaps with other operations.
+    auto &eng = *pool[rr_++ % pool.size()];
+    co_await eng.use(params_.adapterOcc);
+    const sim::Tick extra = params_.adapterLat > params_.adapterOcc
+                                ? params_.adapterLat - params_.adapterOcc
+                                : 0;
+    if (extra > 0)
+        co_await sim::Delay(eq_, extra);
+}
+
+sim::Task
+RdmaPair::pipeSend(sim::BandwidthPipe &pipe, std::uint64_t bytes)
+{
+    sim::OneShotEvent done(eq_);
+    pipe.send(bytes, [&done] { done.set(); });
+    co_await done;
+}
+
+sim::Task
+RdmaPair::oneOp(std::uint32_t len, bool atomic)
+{
+    // Source host: doorbell with inlined WQE crosses PCIe.
+    co_await sim::Delay(eq_, params_.doorbell);
+    // Source adapter processes and transmits the request.
+    co_await engine(srcEngines_);
+    co_await pipeSend(*linkFwd_, 32);
+    // Destination adapter: DMA the payload out of host memory (request
+    // crosses PCIe, DRAM access, data streams back over PCIe).
+    co_await engine(dstEngines_);
+    if (atomic) {
+        // Adapter-resident atomic: extra adapter pass instead of bulk DMA.
+        co_await sim::Delay(eq_, params_.pcieLat);
+        co_await sim::Delay(eq_, params_.memLat);
+        co_await sim::Delay(eq_, params_.pcieLat);
+        co_await engine(dstEngines_);
+    } else {
+        co_await sim::Delay(eq_, params_.pcieLat);
+        co_await sim::Delay(eq_, params_.memLat);
+        co_await pipeSend(*dstPcie_, len);
+    }
+    // Reply travels back over the link.
+    co_await engine(dstEngines_);
+    co_await pipeSend(*linkRev_, atomic ? 40 : 16 + len);
+    // Source adapter DMA-writes payload + CQE into host memory.
+    co_await engine(srcEngines_);
+    co_await pipeSend(*srcPcie_, (atomic ? 8 : len) + 16);
+    // Host observes the CQE by polling.
+    co_await sim::Delay(eq_, params_.pollDetect);
+    ops_.inc();
+}
+
+sim::Task
+RdmaPair::read(std::uint32_t len)
+{
+    co_await oneOp(len, false);
+}
+
+sim::Task
+RdmaPair::fetchAdd()
+{
+    co_await oneOp(8, true);
+}
+
+sim::Task
+RdmaPair::stream(std::uint32_t len, std::uint64_t count)
+{
+    // Windowed issue: maxOutstanding ops in flight, like a deep SQ.
+    sim::Condition allDone(eq_);
+    std::uint64_t completed = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        co_await sq_.acquire();
+        [](RdmaPair *self, std::uint32_t len, std::uint64_t *completed,
+           std::uint64_t count, sim::Condition *allDone)
+            -> sim::FireAndForget {
+            co_await self->oneOp(len, false);
+            self->sq_.release();
+            if (++*completed == count)
+                allDone->notifyAll();
+        }(this, len, &completed, count, &allDone);
+    }
+    while (completed < count)
+        co_await allDone.wait();
+}
+
+} // namespace sonuma::baseline

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deep-network-stack baseline: the paper's Fig. 1 (netpipe between two
+ * Calxeda ECX-1000 microservers over integrated 10 GbE).
+ *
+ * The phenomenon Fig. 1 documents is that per-packet protocol processing
+ * on wimpy cores dominates: >40 us round-trip latency for small messages
+ * and <2 Gbps bandwidth for large ones, despite a 10 Gbps fabric. The
+ * model charges per-MTU-packet kernel/stack costs on sender and receiver
+ * core resources (which also caps streaming bandwidth) plus link
+ * serialization and propagation.
+ */
+
+#ifndef SONUMA_BASELINE_TCP_STACK_HH
+#define SONUMA_BASELINE_TCP_STACK_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/event_queue.hh"
+#include "sim/service.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+#include "sim/types.hh"
+
+namespace sonuma::baseline {
+
+/** TCP/IP-on-wimpy-cores cost model. */
+struct TcpParams
+{
+    std::uint32_t mtu = 1500;                     //!< bytes per packet
+    sim::Tick perPacketTx = sim::usToTicks(5.0);  //!< kernel tx path
+    sim::Tick perPacketRx = sim::usToTicks(6.0);  //!< irq + rx + copy
+    sim::Tick perMessageTx = sim::usToTicks(12.0); //!< syscall + wakeup
+    sim::Tick perMessageRx = sim::usToTicks(15.0); //!< wakeup + copyout
+    double linkBandwidth = 1.25e9;                //!< 10 Gbps
+    sim::Tick linkLat = sim::usToTicks(1.5);      //!< phy + NIC + switch
+};
+
+/**
+ * A netpipe-style pair of hosts running a TCP/IP stack.
+ */
+class TcpPair
+{
+  public:
+    TcpPair(sim::EventQueue &eq, sim::StatRegistry &stats,
+            const TcpParams &params = {});
+
+    /**
+     * Deliver a @p len byte message from host 0 to host 1; resumes when
+     * the receiver's stack hands the last byte to the application.
+     */
+    [[nodiscard]] sim::Task send(std::uint32_t len);
+
+    /** Round trip: send @p len, peer replies with @p len. */
+    [[nodiscard]] sim::Task pingPong(std::uint32_t len);
+
+    /**
+     * Stream @p count messages of @p len back to back (half duplex);
+     * used for the bandwidth curve.
+     */
+    [[nodiscard]] sim::Task stream(std::uint32_t len, std::uint64_t count);
+
+    const TcpParams &params() const { return params_; }
+
+  private:
+    sim::EventQueue &eq_;
+    TcpParams params_;
+    std::unique_ptr<sim::ServiceResource> txCore_[2];
+    std::unique_ptr<sim::ServiceResource> rxCore_[2];
+    std::unique_ptr<sim::BandwidthPipe> link_[2];
+
+    sim::Counter packets_;
+
+    /** Transfer one message in direction @p dir (0: A->B, 1: B->A). */
+    sim::Task transfer(int dir, std::uint32_t len);
+};
+
+} // namespace sonuma::baseline
+
+#endif // SONUMA_BASELINE_TCP_STACK_HH

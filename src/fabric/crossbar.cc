@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Crossbar fabric implementation.
+ */
+
+#include "fabric/crossbar.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace sonuma::fab {
+
+CrossbarFabric::CrossbarFabric(sim::EventQueue &eq,
+                               sim::StatRegistry &stats,
+                               const CrossbarParams &params)
+    : eq_(eq), params_(params),
+      delivered_(stats, "fabric.delivered", "messages delivered"),
+      dropped_(stats, "fabric.dropped", "messages dropped (failures)"),
+      parkedCount_(stats, "fabric.parked",
+                   "deliveries parked on full eject queues")
+{
+}
+
+void
+CrossbarFabric::attach(sim::NodeId id, NetworkInterface *ni)
+{
+    if (endpoints_.size() <= id)
+        endpoints_.resize(id + 1);
+    Endpoint &ep = endpoints_[id];
+    assert(!ep.ni && "node id attached twice");
+    ep.ni = ni;
+    for (std::size_t l = 0; l < kNumLanes; ++l) {
+        ep.egress[l] = std::make_unique<sim::ServiceResource>(
+            eq_, "xbar.egress" + std::to_string(id) + "." +
+                     std::to_string(l));
+        ep.credits[l] = params_.creditsPerLane;
+    }
+}
+
+bool
+CrossbarFabric::tryInject(const Message &msg)
+{
+    assert(msg.srcNid < endpoints_.size() && endpoints_[msg.srcNid].ni);
+    Endpoint &src = endpoints_[msg.srcNid];
+    const Lane lane = msg.lane();
+
+    if (src.failed || msg.dstNid >= endpoints_.size() ||
+        !endpoints_[msg.dstNid].ni) {
+        dropped_.inc();
+        return true; // swallowed: reliable delivery not possible
+    }
+    if (endpoints_[msg.dstNid].failed) {
+        dropped_.inc();
+        return true;
+    }
+    if (src.credits[li(lane)] == 0)
+        return false;
+    --src.credits[li(lane)];
+
+    // Serialize on the per-lane egress pipe, then propagate (flat).
+    const sim::Tick ser = static_cast<sim::Tick>(
+        static_cast<double>(msg.wireBytes()) / params_.linkBandwidth * 1e12);
+    src.egress[li(lane)]->submit(ser, [this, msg] {
+        eq_.scheduleAfter(params_.linkLatency,
+                          [this, msg] { arrive(msg); });
+    });
+    return true;
+}
+
+void
+CrossbarFabric::arrive(Message msg)
+{
+    Endpoint &dst = endpoints_[msg.dstNid];
+    const Lane lane = msg.lane();
+    if (dst.failed) {
+        dropped_.inc();
+        returnCredit(msg.srcNid, lane);
+        return;
+    }
+    if (dst.ni->deliver(msg)) {
+        delivered_.inc();
+        returnCredit(msg.srcNid, lane);
+    } else {
+        // Receiver eject queue full: park the packet, keep the credit.
+        parkedCount_.inc();
+        dst.parked[li(lane)].push_back(msg);
+    }
+}
+
+void
+CrossbarFabric::ejectSpaceFreed(sim::NodeId id, Lane lane)
+{
+    Endpoint &dst = endpoints_[id];
+    auto &q = dst.parked[li(lane)];
+    while (!q.empty()) {
+        if (!dst.ni->deliver(q.front()))
+            break;
+        delivered_.inc();
+        returnCredit(q.front().srcNid, lane);
+        q.pop_front();
+    }
+}
+
+void
+CrossbarFabric::returnCredit(sim::NodeId srcId, Lane lane)
+{
+    Endpoint &src = endpoints_[srcId];
+    ++src.credits[li(lane)];
+    assert(src.credits[li(lane)] <= params_.creditsPerLane);
+    if (src.ni)
+        src.ni->injectSpaceFreed(lane);
+}
+
+void
+CrossbarFabric::failNode(sim::NodeId id)
+{
+    assert(id < endpoints_.size());
+    endpoints_[id].failed = true;
+    // Notify every attached NI (the paper's driver is told of fabric
+    // failures and may reset RMC state, §5.1).
+    for (auto &ep : endpoints_) {
+        if (ep.ni)
+            ep.ni->notifyFailure();
+    }
+}
+
+} // namespace sonuma::fab

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Full-crossbar fabric: the paper's simulated-hardware configuration
+ * ("full crossbar with reliable links between RMCs and a flat latency of
+ * 50 ns", §7.1).
+ *
+ * Each node has one egress serialization pipe per virtual lane; packets
+ * then experience a flat propagation delay to any destination. Credits
+ * are per (source, lane): a packet holds a credit from injection until
+ * the destination NI accepts it, so receiver backpressure propagates to
+ * senders losslessly.
+ */
+
+#ifndef SONUMA_FABRIC_CROSSBAR_HH
+#define SONUMA_FABRIC_CROSSBAR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "fabric/fabric.hh"
+#include "sim/service.hh"
+
+namespace sonuma::fab {
+
+/** Crossbar configuration. */
+struct CrossbarParams
+{
+    sim::Tick linkLatency = sim::nsToTicks(50.0); //!< one-way, flat
+    double linkBandwidth = 12.8e9;                //!< bytes/s per node/lane (QPI-class)
+    std::uint32_t creditsPerLane = 64;            //!< in-flight packets
+};
+
+class CrossbarFabric : public Fabric
+{
+  public:
+    CrossbarFabric(sim::EventQueue &eq, sim::StatRegistry &stats,
+                   const CrossbarParams &params = {});
+
+    void attach(sim::NodeId id, NetworkInterface *ni) override;
+    bool tryInject(const Message &msg) override;
+    void ejectSpaceFreed(sim::NodeId id, Lane lane) override;
+    void failNode(sim::NodeId id) override;
+    std::size_t nodeCount() const override { return endpoints_.size(); }
+
+    const CrossbarParams &params() const { return params_; }
+
+    /** Messages dropped due to failed nodes (test observability). */
+    std::uint64_t droppedMessages() const { return dropped_.value(); }
+
+  private:
+    struct Endpoint
+    {
+        Endpoint() = default;
+        Endpoint(const Endpoint &) = delete;
+        Endpoint &operator=(const Endpoint &) = delete;
+        Endpoint(Endpoint &&) noexcept = default;
+        Endpoint &operator=(Endpoint &&) noexcept = default;
+
+        NetworkInterface *ni = nullptr;
+        bool failed = false;
+        // One serialization pipe and credit pool per lane.
+        std::unique_ptr<sim::ServiceResource> egress[kNumLanes];
+        std::uint32_t credits[kNumLanes] = {0, 0};
+        // Packets that arrived at a full eject queue, per lane.
+        std::deque<Message> parked[kNumLanes];
+    };
+
+    sim::EventQueue &eq_;
+    CrossbarParams params_;
+    std::vector<Endpoint> endpoints_;
+
+    sim::Counter delivered_;
+    sim::Counter dropped_;
+    sim::Counter parkedCount_;
+
+    void arrive(Message msg);
+    void returnCredit(sim::NodeId src, Lane lane);
+
+    std::size_t li(Lane l) const { return static_cast<std::size_t>(l); }
+};
+
+} // namespace sonuma::fab
+
+#endif // SONUMA_FABRIC_CROSSBAR_HH

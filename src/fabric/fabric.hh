@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Abstract fabric interface plus the per-node network interface (NI).
+ *
+ * The NI owns per-lane inject/eject queues connecting the RMC pipelines
+ * to the fabric (paper Fig. 3a). Link-level flow control is credit based:
+ * a packet occupies one credit from injection until the destination NI
+ * accepts it into its eject queue, so a saturated receiver backpressures
+ * the sender without dropping packets.
+ */
+
+#ifndef SONUMA_FABRIC_FABRIC_HH
+#define SONUMA_FABRIC_FABRIC_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/message.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sonuma::fab {
+
+class NetworkInterface;
+
+/** Topology-independent fabric interface. */
+class Fabric
+{
+  public:
+    virtual ~Fabric() = default;
+
+    /** Attach a node's NI. Must be called once per node id. */
+    virtual void attach(sim::NodeId id, NetworkInterface *ni) = 0;
+
+    /**
+     * Try to inject a message at its source node. Returns false when the
+     * source has no credit on the message's lane; the fabric will invoke
+     * the NI's retry hook when a credit frees.
+     */
+    virtual bool tryInject(const Message &msg) = 0;
+
+    /** Called by the destination NI when it frees eject-queue space. */
+    virtual void ejectSpaceFreed(sim::NodeId id, Lane lane) = 0;
+
+    /**
+     * Fail the node (test hook): subsequent packets to/from it are
+     * dropped and attached NIs are notified of the failure.
+     */
+    virtual void failNode(sim::NodeId id) = 0;
+
+    /** Number of attached nodes. */
+    virtual std::size_t nodeCount() const = 0;
+};
+
+/**
+ * Per-node NI: a pair of inject queues and a pair of eject queues (one
+ * per virtual lane), connected to the fabric on one side and the RMC
+ * pipelines on the other.
+ */
+/** NI queue configuration. */
+struct NiParams
+{
+    std::size_t injectQueueDepth = 16;
+    std::size_t ejectQueueDepth = 16;
+};
+
+class NetworkInterface
+{
+  public:
+    NetworkInterface(sim::EventQueue &eq, sim::StatRegistry &stats,
+                     const std::string &name, sim::NodeId id, Fabric &fabric,
+                     const NiParams &params = {});
+
+    sim::NodeId nodeId() const { return id_; }
+
+    //
+    // Egress (RMC pipelines -> fabric)
+    //
+
+    /** Queue a message for injection. @retval false if the queue is full. */
+    bool trySend(const Message &msg);
+
+    /** True if trySend would accept a message on @p lane. */
+    bool canSend(Lane lane) const;
+
+    /** Register a callback fired whenever send space frees on @p lane. */
+    void onSendSpace(Lane lane, std::function<void()> fn);
+
+    //
+    // Ingress (fabric -> RMC pipelines)
+    //
+
+    /** True if a message is waiting on @p lane. */
+    bool hasMessage(Lane lane) const;
+
+    /** Pop the oldest message on @p lane. @pre hasMessage(lane) */
+    Message pop(Lane lane);
+
+    /** Register a callback fired whenever a message arrives on @p lane. */
+    void onArrival(Lane lane, std::function<void()> fn);
+
+    /** Register a callback fired if the fabric reports a failure. */
+    void onFabricFailure(std::function<void()> fn);
+
+    //
+    // Fabric-side hooks
+    //
+
+    /** Fabric delivers a packet. @retval false if the eject queue is full
+     *  (the fabric then holds the packet and its credit). */
+    bool deliver(const Message &msg);
+
+    /** Fabric signals that credits freed on @p lane; retries injection. */
+    void injectSpaceFreed(Lane lane);
+
+    /** Fabric reports node/link failure. */
+    void notifyFailure();
+
+    std::size_t injectDepth(Lane lane) const;
+    std::size_t ejectDepth(Lane lane) const;
+
+  private:
+    sim::EventQueue &eq_;
+    sim::NodeId id_;
+    Fabric &fabric_;
+    NiParams params_;
+
+    std::deque<Message> injectQ_[kNumLanes];
+    std::deque<Message> ejectQ_[kNumLanes];
+    std::function<void()> sendSpaceCb_[kNumLanes];
+    std::function<void()> arrivalCb_[kNumLanes];
+    std::function<void()> failureCb_;
+
+    sim::Counter sent_;
+    sim::Counter received_;
+
+    void pumpInject(Lane lane);
+
+    std::size_t li(Lane l) const { return static_cast<std::size_t>(l); }
+};
+
+} // namespace sonuma::fab
+
+#endif // SONUMA_FABRIC_FABRIC_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Wire-level message format of the soNUMA protocol (paper §6).
+ *
+ * The protocol layer is a stateless request/reply exchange: exactly one
+ * reply per request. The routing header carries <dst_nid, src_nid>; the
+ * protocol header carries <ctx_id, op, offset, tid>; the payload is at
+ * most one cache line. The MTU is sized for header + 64 B payload, which
+ * keeps buffering needs minimal (§3).
+ */
+
+#ifndef SONUMA_FABRIC_MESSAGE_HH
+#define SONUMA_FABRIC_MESSAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "sim/types.hh"
+
+namespace sonuma::fab {
+
+/** Two virtual lanes give deadlock-free request/reply (paper §6). */
+enum class Lane : std::uint8_t
+{
+    kRequest = 0,
+    kReply = 1,
+};
+
+inline constexpr std::size_t kNumLanes = 2;
+
+/** Protocol operations. Requests unroll to cache-line granularity. */
+enum class Op : std::uint8_t
+{
+    kReadReq,
+    kWriteReq,
+    kCasReq,       //!< compare-and-swap, executed at the destination
+    kFetchAddReq,  //!< fetch-and-add, executed at the destination
+    kReadReply,
+    kWriteReply,
+    kAtomicReply,
+    kErrorReply,   //!< bounds/permission violation signalled to source
+};
+
+/** True for the four request opcodes. */
+constexpr bool
+isRequest(Op op)
+{
+    return op == Op::kReadReq || op == Op::kWriteReq || op == Op::kCasReq ||
+           op == Op::kFetchAddReq;
+}
+
+/** Lane a given opcode travels on. */
+constexpr Lane
+laneOf(Op op)
+{
+    return isRequest(op) ? Lane::kRequest : Lane::kReply;
+}
+
+/**
+ * One protocol message.
+ *
+ * Replies echo the request's tid (opaque to the destination) and offset;
+ * the source RCP uses them to locate the ITT entry and compute the
+ * destination buffer address for multi-line requests (§4.2).
+ */
+struct Message
+{
+    Op op = Op::kReadReq;
+    sim::NodeId srcNid = 0;
+    sim::NodeId dstNid = 0;
+    sim::CtxId ctxId = 0;
+    std::uint32_t tid = 0;
+    std::uint64_t offset = 0;      //!< context-segment offset of the line
+    std::uint64_t operand1 = 0;    //!< CAS compare / F&A addend
+    std::uint64_t operand2 = 0;    //!< CAS swap value
+    std::uint8_t payloadLen = 0;   //!< 0, 8 (atomics) or 64 bytes
+    std::array<std::uint8_t, sim::kCacheLineBytes> payload{};
+
+    /** Fixed header size on the wire (routing + protocol). */
+    static constexpr std::uint32_t kHeaderBytes = 24;
+
+    /** Total wire footprint used for serialization timing. */
+    std::uint32_t
+    wireBytes() const
+    {
+        return kHeaderBytes + payloadLen;
+    }
+
+    Lane lane() const { return laneOf(op); }
+
+    /** Build the reply skeleton for this request (src/dst swapped). */
+    Message
+    makeReply(Op replyOp) const
+    {
+        Message r;
+        r.op = replyOp;
+        r.srcNid = dstNid;
+        r.dstNid = srcNid;
+        r.ctxId = ctxId;
+        r.tid = tid;
+        r.offset = offset;
+        return r;
+    }
+
+    void
+    setPayload(const void *data, std::uint8_t len)
+    {
+        payloadLen = len;
+        std::memcpy(payload.data(), data, len);
+    }
+};
+
+} // namespace sonuma::fab
+
+#endif // SONUMA_FABRIC_MESSAGE_HH

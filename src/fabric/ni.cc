@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Network interface implementation.
+ */
+
+#include "fabric/fabric.hh"
+
+namespace sonuma::fab {
+
+NetworkInterface::NetworkInterface(sim::EventQueue &eq,
+                                   sim::StatRegistry &stats,
+                                   const std::string &name, sim::NodeId id,
+                                   Fabric &fabric, const NiParams &params)
+    : eq_(eq), id_(id), fabric_(fabric), params_(params),
+      sent_(stats, name + ".sent", "messages injected"),
+      received_(stats, name + ".received", "messages ejected")
+{
+    fabric_.attach(id_, this);
+}
+
+bool
+NetworkInterface::trySend(const Message &msg)
+{
+    const Lane lane = msg.lane();
+    if (injectQ_[li(lane)].size() >= params_.injectQueueDepth)
+        return false;
+    injectQ_[li(lane)].push_back(msg);
+    sent_.inc();
+    pumpInject(lane);
+    return true;
+}
+
+bool
+NetworkInterface::canSend(Lane lane) const
+{
+    return injectQ_[li(lane)].size() < params_.injectQueueDepth;
+}
+
+void
+NetworkInterface::onSendSpace(Lane lane, std::function<void()> fn)
+{
+    sendSpaceCb_[li(lane)] = std::move(fn);
+}
+
+void
+NetworkInterface::pumpInject(Lane lane)
+{
+    auto &q = injectQ_[li(lane)];
+    while (!q.empty() && fabric_.tryInject(q.front())) {
+        q.pop_front();
+        if (sendSpaceCb_[li(lane)])
+            sendSpaceCb_[li(lane)]();
+    }
+}
+
+void
+NetworkInterface::injectSpaceFreed(Lane lane)
+{
+    pumpInject(lane);
+}
+
+bool
+NetworkInterface::hasMessage(Lane lane) const
+{
+    return !ejectQ_[li(lane)].empty();
+}
+
+Message
+NetworkInterface::pop(Lane lane)
+{
+    Message m = ejectQ_[li(lane)].front();
+    ejectQ_[li(lane)].pop_front();
+    // Space freed: let the fabric hand over a waiting packet / credit.
+    fabric_.ejectSpaceFreed(id_, lane);
+    return m;
+}
+
+void
+NetworkInterface::onArrival(Lane lane, std::function<void()> fn)
+{
+    arrivalCb_[li(lane)] = std::move(fn);
+}
+
+void
+NetworkInterface::onFabricFailure(std::function<void()> fn)
+{
+    failureCb_ = std::move(fn);
+}
+
+bool
+NetworkInterface::deliver(const Message &msg)
+{
+    const Lane lane = msg.lane();
+    if (ejectQ_[li(lane)].size() >= params_.ejectQueueDepth)
+        return false;
+    ejectQ_[li(lane)].push_back(msg);
+    received_.inc();
+    if (arrivalCb_[li(lane)])
+        arrivalCb_[li(lane)]();
+    return true;
+}
+
+void
+NetworkInterface::notifyFailure()
+{
+    if (failureCb_)
+        failureCb_();
+}
+
+std::size_t
+NetworkInterface::injectDepth(Lane lane) const
+{
+    return injectQ_[li(lane)].size();
+}
+
+std::size_t
+NetworkInterface::ejectDepth(Lane lane) const
+{
+    return ejectQ_[li(lane)].size();
+}
+
+} // namespace sonuma::fab

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Torus routing arithmetic.
+ */
+
+#include "fabric/router.hh"
+
+#include <cassert>
+
+namespace sonuma::fab {
+
+TorusRouting::TorusRouting(std::vector<std::uint32_t> dims)
+    : dims_(std::move(dims))
+{
+    assert(!dims_.empty());
+    total_ = 1;
+    for (auto k : dims_) {
+        assert(k >= 2 && "torus radix must be >= 2");
+        total_ *= k;
+    }
+}
+
+std::vector<std::uint32_t>
+TorusRouting::coords(sim::NodeId id) const
+{
+    std::vector<std::uint32_t> c(dims_.size());
+    std::uint32_t rest = id;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        c[d] = rest % dims_[d];
+        rest /= dims_[d];
+    }
+    return c;
+}
+
+sim::NodeId
+TorusRouting::idAt(const std::vector<std::uint32_t> &coords) const
+{
+    std::uint32_t id = 0;
+    std::uint32_t stride = 1;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        id += coords[d] * stride;
+        stride *= dims_[d];
+    }
+    return static_cast<sim::NodeId>(id);
+}
+
+std::uint32_t
+TorusRouting::nextDir(sim::NodeId here, sim::NodeId dst) const
+{
+    assert(here != dst);
+    const auto a = coords(here);
+    const auto b = coords(dst);
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        if (a[d] == b[d])
+            continue;
+        const std::uint32_t k = dims_[d];
+        const std::uint32_t fwd = (b[d] + k - a[d]) % k;  // hops going +
+        const std::uint32_t bwd = (a[d] + k - b[d]) % k;  // hops going -
+        return static_cast<std::uint32_t>(
+            fwd <= bwd ? 2 * d : 2 * d + 1);
+    }
+    assert(false && "here == dst");
+    return 0;
+}
+
+sim::NodeId
+TorusRouting::neighbor(sim::NodeId id, std::uint32_t dir) const
+{
+    const std::size_t d = dir / 2;
+    const bool positive = (dir % 2) == 0;
+    auto c = coords(id);
+    const std::uint32_t k = dims_[d];
+    c[d] = positive ? (c[d] + 1) % k : (c[d] + k - 1) % k;
+    return idAt(c);
+}
+
+std::uint32_t
+TorusRouting::hopCount(sim::NodeId a, sim::NodeId b) const
+{
+    const auto ca = coords(a);
+    const auto cb = coords(b);
+    std::uint32_t hops = 0;
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        const std::uint32_t k = dims_[d];
+        const std::uint32_t fwd = (cb[d] + k - ca[d]) % k;
+        const std::uint32_t bwd = (ca[d] + k - cb[d]) % k;
+        hops += std::min(fwd, bwd);
+    }
+    return hops;
+}
+
+} // namespace sonuma::fab

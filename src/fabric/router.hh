@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dimension-order routing for k-ary n-cube (torus) topologies.
+ *
+ * Pure routing arithmetic, separated from the fabric timing model so the
+ * routing function is directly unit-testable: coordinate mapping, shortest
+ * ring direction per dimension, and hop counting.
+ */
+
+#ifndef SONUMA_FABRIC_ROUTER_HH
+#define SONUMA_FABRIC_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sonuma::fab {
+
+/**
+ * Routing helper for an n-dimensional torus with per-dimension radix.
+ *
+ * Directions are encoded as 2*dim (positive) and 2*dim+1 (negative).
+ * The forwarding decision is table-free (paper §6: "directly maps
+ * destination addresses to outgoing router ports").
+ */
+class TorusRouting
+{
+  public:
+    explicit TorusRouting(std::vector<std::uint32_t> dims);
+
+    std::size_t dimensions() const { return dims_.size(); }
+    std::uint32_t radix(std::size_t d) const { return dims_[d]; }
+
+    /** Total node count (product of radices). */
+    std::uint32_t nodeCount() const { return total_; }
+
+    /** Coordinates of @p id (mixed-radix decomposition). */
+    std::vector<std::uint32_t> coords(sim::NodeId id) const;
+
+    /** Node id at @p coords. */
+    sim::NodeId idAt(const std::vector<std::uint32_t> &coords) const;
+
+    /**
+     * Next output direction for a packet at @p here destined to @p dst.
+     * Dimension-order: resolve the lowest differing dimension first,
+     * taking the shorter way around the ring (ties go positive).
+     *
+     * @pre here != dst
+     */
+    std::uint32_t nextDir(sim::NodeId here, sim::NodeId dst) const;
+
+    /** Neighbor of @p id in direction @p dir. */
+    sim::NodeId neighbor(sim::NodeId id, std::uint32_t dir) const;
+
+    /** Minimal hop count between two nodes. */
+    std::uint32_t hopCount(sim::NodeId a, sim::NodeId b) const;
+
+    /** Number of directed ports per router (2 per dimension). */
+    std::uint32_t portCount() const
+    {
+        return static_cast<std::uint32_t>(2 * dims_.size());
+    }
+
+  private:
+    std::vector<std::uint32_t> dims_;
+    std::uint32_t total_;
+};
+
+} // namespace sonuma::fab
+
+#endif // SONUMA_FABRIC_ROUTER_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Torus fabric implementation.
+ */
+
+#include "fabric/torus.hh"
+
+#include <cassert>
+
+namespace sonuma::fab {
+
+TorusFabric::TorusFabric(sim::EventQueue &eq, sim::StatRegistry &stats,
+                         const TorusParams &params)
+    : eq_(eq), params_(params), routing_(params.dims),
+      delivered_(stats, "torus.delivered", "messages delivered"),
+      dropped_(stats, "torus.dropped", "messages dropped (failures)"),
+      totalHops_(stats, "torus.totalHops", "sum of per-message hop counts")
+{
+    endpoints_.resize(routing_.nodeCount());
+    for (auto &ep : endpoints_) {
+        ep.ports.resize(routing_.portCount() * kNumLanes);
+    }
+}
+
+sim::ServiceResource &
+TorusFabric::port(sim::NodeId node, std::uint32_t dir, Lane lane)
+{
+    auto &slot =
+        endpoints_[node].ports[dir * kNumLanes + li(lane)];
+    if (!slot) {
+        slot = std::make_unique<sim::ServiceResource>(
+            eq_, "torus.port" + std::to_string(node) + "." +
+                     std::to_string(dir) + "." + std::to_string(li(lane)));
+    }
+    return *slot;
+}
+
+void
+TorusFabric::attach(sim::NodeId id, NetworkInterface *ni)
+{
+    assert(id < endpoints_.size() && "node id exceeds torus size");
+    assert(!endpoints_[id].ni && "node id attached twice");
+    endpoints_[id].ni = ni;
+    for (std::size_t l = 0; l < kNumLanes; ++l)
+        endpoints_[id].credits[l] = params_.creditsPerLane;
+}
+
+bool
+TorusFabric::tryInject(const Message &msg)
+{
+    Endpoint &src = endpoints_[msg.srcNid];
+    const Lane lane = msg.lane();
+
+    if (src.failed || msg.dstNid >= endpoints_.size() ||
+        !endpoints_[msg.dstNid].ni || endpoints_[msg.dstNid].failed) {
+        dropped_.inc();
+        return true;
+    }
+    if (src.credits[li(lane)] == 0)
+        return false;
+    --src.credits[li(lane)];
+    forward(msg.srcNid, msg, 0);
+    return true;
+}
+
+void
+TorusFabric::forward(sim::NodeId here, Message msg, std::uint32_t hops)
+{
+    Endpoint &ep = endpoints_[here];
+    const Lane lane = msg.lane();
+
+    if (ep.failed) {
+        dropped_.inc();
+        returnCredit(msg.srcNid, lane);
+        return;
+    }
+
+    if (msg.dstNid == here) {
+        if (ep.ni->deliver(msg)) {
+            delivered_.inc();
+            totalHops_.inc(hops);
+            returnCredit(msg.srcNid, lane);
+        } else {
+            ep.parked[li(lane)].push_back(msg);
+        }
+        return;
+    }
+
+    const std::uint32_t dir = routing_.nextDir(here, msg.dstNid);
+    const sim::NodeId next = routing_.neighbor(here, dir);
+    const sim::Tick ser = static_cast<sim::Tick>(
+        static_cast<double>(msg.wireBytes()) / params_.linkBandwidth * 1e12);
+    port(here, dir, lane).submit(ser, [this, next, msg, hops] {
+        eq_.scheduleAfter(params_.hopLatency, [this, next, msg, hops] {
+            forward(next, msg, hops + 1);
+        });
+    });
+}
+
+void
+TorusFabric::ejectSpaceFreed(sim::NodeId id, Lane lane)
+{
+    Endpoint &ep = endpoints_[id];
+    auto &q = ep.parked[li(lane)];
+    while (!q.empty()) {
+        if (!ep.ni->deliver(q.front()))
+            break;
+        delivered_.inc();
+        returnCredit(q.front().srcNid, lane);
+        q.pop_front();
+    }
+}
+
+void
+TorusFabric::returnCredit(sim::NodeId srcId, Lane lane)
+{
+    Endpoint &src = endpoints_[srcId];
+    ++src.credits[li(lane)];
+    assert(src.credits[li(lane)] <= params_.creditsPerLane);
+    if (src.ni)
+        src.ni->injectSpaceFreed(lane);
+}
+
+void
+TorusFabric::failNode(sim::NodeId id)
+{
+    assert(id < endpoints_.size());
+    endpoints_[id].failed = true;
+    for (auto &ep : endpoints_) {
+        if (ep.ni)
+            ep.ni->notifyFailure();
+    }
+}
+
+} // namespace sonuma::fab

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * k-ary n-cube (torus) fabric with dimension-order routing.
+ *
+ * Per-hop cost = router pin-to-pin delay + link serialization (per-link
+ * FIFO servers, so contention queues show up in latency). Flow control is
+ * end-to-end credit based per (source, lane): hop-by-hop VC buffer
+ * occupancy is abstracted away, which preserves the latency/bandwidth
+ * behaviour at the paper's load levels while guaranteeing deadlock
+ * freedom by construction (every in-network packet drains through
+ * work-conserving servers; see DESIGN.md).
+ */
+
+#ifndef SONUMA_FABRIC_TORUS_HH
+#define SONUMA_FABRIC_TORUS_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "fabric/fabric.hh"
+#include "fabric/router.hh"
+#include "sim/service.hh"
+
+namespace sonuma::fab {
+
+/** Torus configuration. Defaults give a 4x4 2D torus of QPI-like links. */
+struct TorusParams
+{
+    std::vector<std::uint32_t> dims = {4, 4};
+    sim::Tick hopLatency = sim::nsToTicks(11.0); //!< Alpha 21364-like [39]
+    double linkBandwidth = 25.6e9;               //!< bytes/s per link
+    std::uint32_t creditsPerLane = 64;           //!< end-to-end, per source
+};
+
+class TorusFabric : public Fabric
+{
+  public:
+    TorusFabric(sim::EventQueue &eq, sim::StatRegistry &stats,
+                const TorusParams &params = {});
+
+    void attach(sim::NodeId id, NetworkInterface *ni) override;
+    bool tryInject(const Message &msg) override;
+    void ejectSpaceFreed(sim::NodeId id, Lane lane) override;
+    void failNode(sim::NodeId id) override;
+    std::size_t nodeCount() const override { return endpoints_.size(); }
+
+    const TorusRouting &routing() const { return routing_; }
+    const TorusParams &params() const { return params_; }
+    std::uint64_t droppedMessages() const { return dropped_.value(); }
+
+    /** Mean hops of delivered messages (for topology ablation). */
+    double
+    meanHops() const
+    {
+        return delivered_.value() == 0
+                   ? 0.0
+                   : static_cast<double>(totalHops_.value()) /
+                         static_cast<double>(delivered_.value());
+    }
+
+  private:
+    struct Endpoint
+    {
+        Endpoint() = default;
+        Endpoint(const Endpoint &) = delete;
+        Endpoint &operator=(const Endpoint &) = delete;
+        Endpoint(Endpoint &&) noexcept = default;
+        Endpoint &operator=(Endpoint &&) noexcept = default;
+
+        NetworkInterface *ni = nullptr;
+        bool failed = false;
+        std::uint32_t credits[kNumLanes] = {0, 0};
+        std::deque<Message> parked[kNumLanes];
+        // One serializing server per outgoing port per lane.
+        std::vector<std::unique_ptr<sim::ServiceResource>> ports;
+    };
+
+    sim::EventQueue &eq_;
+    TorusParams params_;
+    TorusRouting routing_;
+    std::vector<Endpoint> endpoints_;
+
+    sim::Counter delivered_;
+    sim::Counter dropped_;
+    sim::Counter totalHops_;
+
+    void forward(sim::NodeId here, Message msg, std::uint32_t hops);
+    void returnCredit(sim::NodeId src, Lane lane);
+    sim::ServiceResource &port(sim::NodeId node, std::uint32_t dir,
+                               Lane lane);
+
+    std::size_t li(Lane l) const { return static_cast<std::size_t>(l); }
+};
+
+} // namespace sonuma::fab
+
+#endif // SONUMA_FABRIC_TORUS_HH

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Coherent cache hierarchy implementation.
+ */
+
+#include "mem/cache.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace sonuma::mem {
+
+//
+// ------------------------------- L1 -----------------------------------
+//
+
+L1Cache::L1Cache(sim::EventQueue &eq, sim::StatRegistry &stats,
+                 std::string name, const CacheParams &params, L2Cache &l2)
+    : eq_(eq), name_(std::move(name)), params_(params), l2_(l2),
+      hits_(stats, name_ + ".hits", "L1 hits"),
+      misses_(stats, name_ + ".misses", "L1 misses"),
+      writebacks_(stats, name_ + ".writebacks", "L1 dirty evictions"),
+      probes_(stats, name_ + ".probes", "coherence probes received"),
+      upgrades_(stats, name_ + ".upgrades", "S->M upgrade requests")
+{
+    const std::uint64_t lines = params_.sizeBytes / sim::kCacheLineBytes;
+    numSets_ = static_cast<std::uint32_t>(lines / params_.assoc);
+    assert(numSets_ > 0 && "L1 too small for its associativity");
+    sets_.resize(numSets_, std::vector<LineInfo>(params_.assoc));
+    l1Id_ = l2_.registerL1(this);
+}
+
+std::uint32_t
+L1Cache::setOf(PAddr line) const
+{
+    return static_cast<std::uint32_t>((line / sim::kCacheLineBytes) %
+                                      numSets_);
+}
+
+L1Cache::LineInfo *
+L1Cache::findLine(PAddr line)
+{
+    for (auto &way : sets_[setOf(line)]) {
+        if (way.valid && way.tag == line)
+            return &way;
+    }
+    return nullptr;
+}
+
+L1Cache::LineInfo *
+L1Cache::allocLine(PAddr line)
+{
+    if (LineInfo *existing = findLine(line))
+        return existing; // upgrade fill: line already resident
+
+    auto &set = sets_[setOf(line)];
+    LineInfo *victim = nullptr;
+    for (auto &way : set) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+    }
+    if (!victim) {
+        for (auto &way : set) {
+            // Never victimize a line with an outstanding transaction.
+            if (mshrs_.count(way.tag))
+                continue;
+            if (!victim || way.lastUse < victim->lastUse)
+                victim = &way;
+        }
+    }
+    assert(victim && "no evictable way (all have pending MSHRs)");
+
+    if (victim->valid && victim->state == State::kModified) {
+        writebacks_.inc();
+        pendingPutbacks_.insert(victim->tag);
+        l2_.putback(l1Id_, victim->tag);
+    }
+    victim->valid = false;
+    victim->state = State::kInvalid;
+    victim->tag = line;
+    return victim;
+}
+
+void
+L1Cache::access(PAddr addr, bool write, std::function<void()> done)
+{
+    accessImpl(addr, write, false, std::move(done));
+}
+
+void
+L1Cache::accessFullLineWrite(PAddr addr, std::function<void()> done)
+{
+    accessImpl(addr, true, true, std::move(done));
+}
+
+void
+L1Cache::accessImpl(PAddr addr, bool write, bool fullLine,
+                    std::function<void()> done)
+{
+    const PAddr line = lineOf(addr);
+    eq_.scheduleAfter(params_.latency(), [this, line, write, fullLine,
+                                          done = std::move(done)]() mutable {
+        LineInfo *info = findLine(line);
+        const bool read_hit = info && !write;
+        const bool write_hit = info && write &&
+                               info->state == State::kModified;
+        if (read_hit || write_hit) {
+            hits_.inc();
+            info->lastUse = eq_.now();
+            done();
+            return;
+        }
+        if (info && write && info->state == State::kShared)
+            upgrades_.inc();
+        misses_.inc();
+        startMiss(line, write, fullLine, std::move(done));
+    });
+}
+
+void
+L1Cache::startMiss(PAddr line, bool write, bool fullLine,
+                   std::function<void()> done)
+{
+    auto it = mshrs_.find(line);
+    if (it != mshrs_.end()) {
+        // Merge into the outstanding transaction; incompatible waiters
+        // (writes joining a read request) are retried after the fill.
+        it->second.waiters.emplace_back(write, std::move(done));
+        return;
+    }
+    if (mshrs_.size() >= params_.mshrs) {
+        blocked_.push_back(
+            [this, line, write, fullLine, done = std::move(done)]() {
+                startMiss(line, write, fullLine, done);
+            });
+        return;
+    }
+    Mshr &mshr = mshrs_[line];
+    mshr.line = line;
+    mshr.write = write;
+    mshr.issued = true;
+    mshr.waiters.emplace_back(write, std::move(done));
+    l2_.request(l1Id_, line, write, fullLine,
+                [this, line, write] { handleFill(line, write); });
+}
+
+void
+L1Cache::handleFill(PAddr line, bool grantedWrite)
+{
+    LineInfo *info = allocLine(line);
+    info->valid = true;
+    info->state = grantedWrite ? State::kModified : State::kShared;
+    info->lastUse = eq_.now();
+
+    auto node = mshrs_.extract(line);
+    assert(!node.empty());
+    for (auto &[w, cb] : node.mapped().waiters) {
+        if (!w || grantedWrite) {
+            cb();
+        } else {
+            // A write waiter on a read fill: retry as an upgrade.
+            access(line, true, std::move(cb));
+        }
+    }
+    retryBlocked();
+}
+
+void
+L1Cache::retryBlocked()
+{
+    std::deque<std::function<void()>> pending;
+    pending.swap(blocked_);
+    for (auto &fn : pending)
+        fn();
+}
+
+bool
+L1Cache::handleProbe(PAddr line, bool invalidate)
+{
+    probes_.inc();
+    if (pendingPutbacks_.count(line)) {
+        // Our PutM is in flight; answer the probe as the dirty owner.
+        pendingPutbacks_.erase(line);
+        return true;
+    }
+    LineInfo *info = findLine(line);
+    if (!info)
+        return false;
+    const bool wasDirty = info->state == State::kModified;
+    if (invalidate) {
+        info->valid = false;
+        info->state = State::kInvalid;
+    } else if (wasDirty) {
+        info->state = State::kShared;
+    }
+    return wasDirty;
+}
+
+//
+// ------------------------------- L2 -----------------------------------
+//
+
+L2Cache::L2Cache(sim::EventQueue &eq, sim::StatRegistry &stats,
+                 std::string name, const Params &params, DramChannel &dram)
+    : eq_(eq), name_(std::move(name)), params_(params), dram_(dram),
+      hits_(stats, name_ + ".hits", "L2 hits"),
+      misses_(stats, name_ + ".misses", "L2 misses"),
+      c2c_(stats, name_ + ".c2cTransfers", "cache-to-cache transfers"),
+      evictions_(stats, name_ + ".evictions", "L2 evictions"),
+      dramRetries_(stats, name_ + ".dramRetries", "DRAM queue-full retries")
+{
+    const std::uint64_t lines = params_.sizeBytes / sim::kCacheLineBytes;
+    numSets_ = static_cast<std::uint32_t>(lines / params_.assoc);
+    assert(numSets_ > 0);
+    setFill_.resize(numSets_);
+}
+
+int
+L2Cache::registerL1(L1Cache *l1)
+{
+    l1s_.push_back(l1);
+    assert(l1s_.size() <= 32 && "directory bitmask limited to 32 L1s");
+    return static_cast<int>(l1s_.size()) - 1;
+}
+
+std::uint32_t
+L2Cache::setOf(PAddr line) const
+{
+    return static_cast<std::uint32_t>((line / sim::kCacheLineBytes) %
+                                      numSets_);
+}
+
+bool
+L2Cache::lockLine(PAddr line, PendingReq req)
+{
+    if (lockedLines_.count(line)) {
+        waitingReqs_[line].push_back(std::move(req));
+        return false;
+    }
+    lockedLines_.insert(line);
+    eq_.scheduleAfter(params_.latency(), [this, line,
+                                          req = std::move(req)]() mutable {
+        process(line, std::move(req));
+    });
+    return true;
+}
+
+void
+L2Cache::unlockLine(PAddr line)
+{
+    lockedLines_.erase(line);
+    auto it = waitingReqs_.find(line);
+    if (it == waitingReqs_.end())
+        return;
+    PendingReq next = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty())
+        waitingReqs_.erase(it);
+    lockLine(line, std::move(next));
+}
+
+void
+L2Cache::request(int requester, PAddr line, bool write, bool fullLine,
+                 std::function<void()> done)
+{
+    lockLine(line,
+             PendingReq{requester, write, fullLine, false, std::move(done)});
+}
+
+void
+L2Cache::putback(int requester, PAddr line)
+{
+    lockLine(line, PendingReq{requester, false, false, true, nullptr});
+}
+
+void
+L2Cache::process(PAddr line, PendingReq req)
+{
+    auto it = lines_.find(line);
+
+    if (req.isPutback) {
+        if (it != lines_.end() && it->second.owner == req.requester) {
+            it->second.owner = -1;
+            it->second.sharers |= 1u << req.requester;
+            it->second.dirtyInL2 = true;
+            it->second.lastUse = eq_.now();
+        }
+        // Stale putbacks (owner already changed by a probe) are dropped.
+        l1s_[static_cast<std::size_t>(req.requester)]
+            ->pendingPutbacks_.erase(line);
+        unlockLine(line);
+        return;
+    }
+
+    if (it != lines_.end()) {
+        hits_.inc();
+        finishRequest(line, req);
+        return;
+    }
+
+    misses_.inc();
+    ensureCapacity(line, [this, line, req = std::move(req)]() mutable {
+        auto install = [this, line, req = std::move(req)]() mutable {
+            DirEntry entry;
+            entry.lastUse = eq_.now();
+            entry.dirtyInL2 = req.fullLine; // write-validate allocation
+            lines_.emplace(line, entry);
+            setFill_[setOf(line)].push_back(line);
+            finishRequest(line, req);
+        };
+        if (req.fullLine && req.write) {
+            // The requester overwrites the entire line: allocate without
+            // fetching stale bytes from DRAM (RMC line-wide interface).
+            install();
+        } else {
+            fetchFromDram(line, std::move(install));
+        }
+    });
+}
+
+void
+L2Cache::finishRequest(PAddr line, const PendingReq &req)
+{
+    DirEntry &dir = lines_[line];
+    dir.lastUse = eq_.now();
+
+    bool probed = false;
+    const std::uint32_t reqBit = 1u << req.requester;
+
+    if (req.write) {
+        // GetM: invalidate every other copy.
+        for (std::size_t i = 0; i < l1s_.size(); ++i) {
+            const std::uint32_t bit = 1u << i;
+            const bool holds = (dir.sharers & bit) ||
+                               dir.owner == static_cast<int>(i);
+            if (!holds || static_cast<int>(i) == req.requester)
+                continue;
+            probed = true;
+            if (l1s_[i]->handleProbe(line, true)) {
+                dir.dirtyInL2 = true;
+                c2c_.inc();
+            }
+        }
+        dir.sharers = 0;
+        dir.owner = req.requester;
+    } else {
+        // GetS: downgrade a remote owner if present.
+        if (dir.owner != -1 && dir.owner != req.requester) {
+            probed = true;
+            if (l1s_[static_cast<std::size_t>(dir.owner)]->handleProbe(
+                    line, false)) {
+                dir.dirtyInL2 = true;
+                c2c_.inc();
+            }
+            dir.sharers |= 1u << dir.owner;
+            dir.owner = -1;
+        } else if (dir.owner == req.requester) {
+            // Read request from the current owner (e.g. after a silent
+            // state downgrade we never see). Keep ownership.
+        }
+        dir.sharers |= reqBit;
+    }
+
+    const sim::Tick extra = probed ? params_.probeLatency() : 0;
+    auto done = req.done;
+    eq_.scheduleAfter(extra, [this, line, done = std::move(done)] {
+        if (done)
+            done();
+        unlockLine(line);
+    });
+}
+
+void
+L2Cache::ensureCapacity(PAddr line, std::function<void()> then)
+{
+    auto &fill = setFill_[setOf(line)];
+    if (fill.size() < params_.assoc) {
+        then();
+        return;
+    }
+
+    // Evict the LRU line in the set that is not locked or awaited.
+    PAddr victim = 0;
+    bool found = false;
+    sim::Tick best = 0;
+    for (PAddr cand : fill) {
+        if (lockedLines_.count(cand) || waitingReqs_.count(cand))
+            continue;
+        const sim::Tick use = lines_[cand].lastUse;
+        if (!found || use < best) {
+            victim = cand;
+            best = use;
+            found = true;
+        }
+    }
+    if (!found) {
+        // Every line in the set is mid-transaction; retry shortly.
+        eq_.scheduleAfter(params_.latency(),
+                          [this, line, then = std::move(then)]() mutable {
+                              ensureCapacity(line, std::move(then));
+                          });
+        return;
+    }
+
+    evictions_.inc();
+    DirEntry &dir = lines_[victim];
+    // Inclusive hierarchy: back-invalidate all L1 copies.
+    for (std::size_t i = 0; i < l1s_.size(); ++i) {
+        const std::uint32_t bit = 1u << i;
+        const bool holds = (dir.sharers & bit) ||
+                           dir.owner == static_cast<int>(i);
+        if (holds && l1s_[i]->handleProbe(victim, true))
+            dir.dirtyInL2 = true;
+    }
+    if (dir.dirtyInL2)
+        writebackToDram(victim);
+    lines_.erase(victim);
+    fill.erase(std::find(fill.begin(), fill.end(), victim));
+    then();
+}
+
+void
+L2Cache::fetchFromDram(PAddr line, std::function<void()> then)
+{
+    if (!dram_.access(line, false, then)) {
+        dramRetries_.inc();
+        eq_.scheduleAfter(dram_.params().busTransfer,
+                          [this, line, then = std::move(then)]() mutable {
+                              fetchFromDram(line, std::move(then));
+                          });
+    }
+}
+
+void
+L2Cache::writebackToDram(PAddr line)
+{
+    if (!dram_.access(line, true, nullptr)) {
+        dramRetries_.inc();
+        eq_.scheduleAfter(dram_.params().busTransfer,
+                          [this, line] { writebackToDram(line); });
+    }
+}
+
+} // namespace sonuma::mem

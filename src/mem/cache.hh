@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Node-local coherent cache hierarchy (timing model).
+ *
+ * Per node: any number of private L1 caches (one per core, plus one for
+ * the RMC — the paper's key integration point) backed by a shared,
+ * inclusive L2 with a full-map directory. MESI-reduced MSI states per L1
+ * line; coherence transactions serialize per line at the L2, which keeps
+ * the protocol race-free while preserving the latency behaviour that
+ * matters (cache-to-cache transfers for queue-pair polling).
+ *
+ * Functional data lives in PhysMem (see DESIGN.md); these classes model
+ * timing only.
+ */
+
+#ifndef SONUMA_MEM_CACHE_HH
+#define SONUMA_MEM_CACHE_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "mem/phys_mem.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace sonuma::mem {
+
+class L2Cache;
+
+/** Cache geometry/timing configuration. */
+struct CacheParams
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t assoc = 2;
+    std::uint32_t latencyCycles = 3;  //!< tag+data access
+    std::uint32_t mshrs = 32;
+    double freqGhz = 2.0;
+
+    sim::Tick
+    latency() const
+    {
+        return sim::Clock(freqGhz).cycles(latencyCycles);
+    }
+};
+
+/**
+ * A private L1 cache (write-back, write-allocate) attached to an L2.
+ *
+ * All accesses are at cache-line granularity; callers align/split.
+ * Completion is via callback after the full coherence transaction.
+ */
+class L1Cache
+{
+  public:
+    L1Cache(sim::EventQueue &eq, sim::StatRegistry &stats, std::string name,
+            const CacheParams &params, L2Cache &l2);
+
+    L1Cache(const L1Cache &) = delete;
+    L1Cache &operator=(const L1Cache &) = delete;
+
+    /**
+     * Timed access to the line containing @p addr.
+     *
+     * @param write true to acquire write (M) permission
+     * @param done fires when the access commits
+     */
+    void access(PAddr addr, bool write, std::function<void()> done);
+
+    /**
+     * Timed full-line store (the RMC's cache-line-wide interface,
+     * paper §4.3). Like a write access, but an L2 miss allocates the
+     * line without fetching stale data from DRAM since every byte is
+     * overwritten ("write-validate").
+     */
+    void accessFullLineWrite(PAddr addr, std::function<void()> done);
+
+    /** Awaitable wrapper for coroutine users. */
+    auto
+    accessAwait(PAddr addr, bool write)
+    {
+        struct AccessAwaiter
+        {
+            L1Cache &cache;
+            PAddr addr;
+            bool write;
+
+            bool await_ready() const noexcept { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                cache.access(addr, write, [h] { h.resume(); });
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return AccessAwaiter{*this, addr, write};
+    }
+
+    /** Number of in-flight MSHRs (for tests). */
+    std::size_t inflight() const { return mshrs_.size(); }
+
+    const std::string &name() const { return name_; }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    friend class L2Cache;
+
+    enum class State : std::uint8_t { kInvalid, kShared, kModified };
+
+    struct LineInfo
+    {
+        PAddr tag = 0;
+        State state = State::kInvalid;
+        sim::Tick lastUse = 0;
+        bool valid = false;
+    };
+
+    struct Mshr
+    {
+        PAddr line;
+        bool write;                       //!< permission being requested
+        bool issued = false;
+        std::vector<std::pair<bool, std::function<void()>>> waiters;
+    };
+
+    void accessImpl(PAddr addr, bool write, bool fullLine,
+                    std::function<void()> done);
+
+    sim::EventQueue &eq_;
+    std::string name_;
+    CacheParams params_;
+    L2Cache &l2_;
+    int l1Id_ = -1;
+
+    std::uint32_t numSets_;
+    std::vector<std::vector<LineInfo>> sets_; //!< [set][way]
+    std::unordered_map<PAddr, Mshr> mshrs_;   //!< keyed by line address
+    std::deque<std::function<void()>> blocked_; //!< retry when MSHR frees
+    std::unordered_set<PAddr> pendingPutbacks_;
+
+    sim::Counter hits_;
+    sim::Counter misses_;
+    sim::Counter writebacks_;
+    sim::Counter probes_;
+    sim::Counter upgrades_;
+
+    static PAddr lineOf(PAddr addr) { return addr & ~PAddr(63); }
+    std::uint32_t setOf(PAddr line) const;
+    LineInfo *findLine(PAddr line);
+    LineInfo *allocLine(PAddr line); //!< may trigger victim writeback
+
+    void startMiss(PAddr line, bool write, bool fullLine,
+                   std::function<void()> done);
+    void handleFill(PAddr line, bool grantedWrite);
+    void retryBlocked();
+
+    /**
+     * Coherence probe from the directory. Invalidate or downgrade; returns
+     * true (via callback semantics at L2) once the probe took effect.
+     * @param invalidate true for invalidation, false for downgrade to S
+     * @retval true if this L1 had the line in M (data forwarded)
+     */
+    bool handleProbe(PAddr line, bool invalidate);
+};
+
+/**
+ * Shared, inclusive L2 with a full-map directory over the attached L1s,
+ * backed by a DRAM channel. Transactions serialize per line.
+ */
+class L2Cache
+{
+  public:
+    struct Params
+    {
+        std::uint64_t sizeBytes = 4ull * 1024 * 1024;
+        std::uint32_t assoc = 16;
+        std::uint32_t latencyCycles = 6;
+        std::uint32_t probeLatencyCycles = 4; //!< L2 <-> L1 probe hop
+        double freqGhz = 2.0;
+
+        sim::Tick
+        latency() const
+        {
+            return sim::Clock(freqGhz).cycles(latencyCycles);
+        }
+
+        sim::Tick
+        probeLatency() const
+        {
+            return sim::Clock(freqGhz).cycles(probeLatencyCycles);
+        }
+    };
+
+    L2Cache(sim::EventQueue &eq, sim::StatRegistry &stats, std::string name,
+            const Params &params, DramChannel &dram);
+
+    L2Cache(const L2Cache &) = delete;
+    L2Cache &operator=(const L2Cache &) = delete;
+
+    /** Attach an L1; returns its directory id. */
+    int registerL1(L1Cache *l1);
+
+    /**
+     * L1-initiated request for a line.
+     * @param requester directory id of the requesting L1
+     * @param write true for GetM (exclusive), false for GetS
+     * @param fullLine the requester overwrites the whole line, so an L2
+     *        miss may allocate without a DRAM fetch
+     * @param done fires when permission is granted
+     */
+    void request(int requester, PAddr line, bool write, bool fullLine,
+                 std::function<void()> done);
+
+    /** L1 write-back of a modified line (PutM). */
+    void putback(int requester, PAddr line);
+
+    /** Total directory-tracked lines (for tests). */
+    std::size_t trackedLines() const { return lines_.size(); }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t cacheToCacheTransfers() const { return c2c_.value(); }
+
+    const Params &params() const { return params_; }
+
+  private:
+    struct DirEntry
+    {
+        std::uint32_t sharers = 0; //!< bitmask over L1 ids
+        int owner = -1;            //!< L1 id holding M, or -1
+        bool dirtyInL2 = false;
+        sim::Tick lastUse = 0;
+    };
+
+    struct PendingReq
+    {
+        int requester;
+        bool write;
+        bool fullLine = false;
+        bool isPutback = false;
+        std::function<void()> done;
+    };
+
+    sim::EventQueue &eq_;
+    std::string name_;
+    Params params_;
+    DramChannel &dram_;
+    std::vector<L1Cache *> l1s_;
+
+    std::uint32_t numSets_;
+    // Inclusive tag+directory state, keyed by line address. A line present
+    // here is present in the L2; set occupancy enforced via setFill_.
+    std::unordered_map<PAddr, DirEntry> lines_;
+    std::vector<std::vector<PAddr>> setFill_; //!< lines per set (for LRU)
+
+    std::unordered_set<PAddr> lockedLines_;
+    std::unordered_map<PAddr, std::deque<PendingReq>> waitingReqs_;
+
+    sim::Counter hits_;
+    sim::Counter misses_;
+    sim::Counter c2c_;
+    sim::Counter evictions_;
+    sim::Counter dramRetries_;
+
+    std::uint32_t setOf(PAddr line) const;
+    bool lockLine(PAddr line, PendingReq req);
+    void unlockLine(PAddr line);
+    void process(PAddr line, PendingReq req);
+    void finishRequest(PAddr line, const PendingReq &req);
+    void ensureCapacity(PAddr line, std::function<void()> then);
+    void fetchFromDram(PAddr line, std::function<void()> then);
+    void writebackToDram(PAddr line);
+};
+
+} // namespace sonuma::mem
+
+#endif // SONUMA_MEM_CACHE_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Functional physical memory with sparse backing storage.
+ *
+ * The simulator follows a functional/timing split (DESIGN.md §5.2): payload
+ * bytes live here; caches and DRAM only model *when* accesses complete.
+ * Backing store is chunked so simulating nodes with multi-GB address
+ * spaces does not reserve host memory up front.
+ */
+
+#ifndef SONUMA_MEM_PHYS_MEM_HH
+#define SONUMA_MEM_PHYS_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sonuma::mem {
+
+/** Physical address within one node. */
+using PAddr = std::uint64_t;
+
+/**
+ * Sparse byte-addressable physical memory for one node.
+ *
+ * All functional reads/writes go through here; an untouched chunk reads
+ * as zero, matching zero-initialized DRAM semantics.
+ */
+class PhysMem
+{
+  public:
+    /** @param size physical memory size in bytes (bounds-checked). */
+    explicit PhysMem(std::uint64_t size);
+
+    std::uint64_t size() const { return size_; }
+
+    /** Functional read of @p len bytes at @p addr into @p dst. */
+    void read(PAddr addr, void *dst, std::uint64_t len) const;
+
+    /** Functional write of @p len bytes from @p src to @p addr. */
+    void write(PAddr addr, const void *src, std::uint64_t len);
+
+    /** Typed convenience accessors. */
+    template <typename T>
+    T
+    readT(PAddr addr) const
+    {
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeT(PAddr addr, const T &v)
+    {
+        write(addr, &v, sizeof(T));
+    }
+
+    /**
+     * Atomic (functional) fetch-and-add on a 64-bit word. Timing-level
+     * atomicity is enforced by the requester (coherence + single-threaded
+     * event loop); this performs the combined update at one event point.
+     */
+    std::uint64_t fetchAdd64(PAddr addr, std::uint64_t operand);
+
+    /** Atomic compare-and-swap on a 64-bit word. @return the old value. */
+    std::uint64_t compareSwap64(PAddr addr, std::uint64_t expected,
+                                std::uint64_t desired);
+
+    /** Fill @p len bytes with @p byte. */
+    void fill(PAddr addr, std::uint8_t byte, std::uint64_t len);
+
+  private:
+    static constexpr std::uint64_t kChunkBytes = 1ull << 20; // 1 MiB
+
+    std::uint64_t size_;
+    mutable std::unordered_map<std::uint64_t,
+                               std::unique_ptr<std::uint8_t[]>> chunks_;
+
+    std::uint8_t *chunkFor(PAddr addr) const;
+    void checkRange(PAddr addr, std::uint64_t len) const;
+};
+
+} // namespace sonuma::mem
+
+#endif // SONUMA_MEM_PHYS_MEM_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Cluster assembly.
+ */
+
+#include "node/cluster.hh"
+
+#include "sim/log.hh"
+
+namespace sonuma::node {
+
+Cluster::Cluster(sim::Simulation &sim, const ClusterParams &params)
+    : params_(params), registry_(params.node.rmc.maxContexts)
+{
+    switch (params.topology) {
+      case Topology::kCrossbar:
+        fabric_ = std::make_unique<fab::CrossbarFabric>(
+            sim.eq(), sim.stats(), params.crossbar);
+        break;
+      case Topology::kTorus: {
+        fab::TorusParams tp = params.torus;
+        std::uint32_t cap = 1;
+        for (auto d : tp.dims)
+            cap *= d;
+        if (cap != params.nodes)
+            sim::fatal("torus dims do not match node count");
+        fabric_ = std::make_unique<fab::TorusFabric>(sim.eq(), sim.stats(),
+                                                     tp);
+        break;
+      }
+    }
+
+    for (std::uint32_t i = 0; i < params.nodes; ++i) {
+        nodes_.push_back(std::make_unique<Node>(
+            sim, "node" + std::to_string(i), static_cast<sim::NodeId>(i),
+            *fabric_, registry_, params.node));
+    }
+}
+
+void
+Cluster::createSharedContext(sim::CtxId ctx, os::UserId owner)
+{
+    registry_.createContext(ctx, owner);
+    for (os::UserId uid = 0; uid < 64; ++uid)
+        registry_.grant(ctx, uid);
+}
+
+} // namespace sonuma::node

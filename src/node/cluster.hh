@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A rack-scale soNUMA cluster: N nodes on one memory fabric, sharing a
+ * context namespace (single administrative domain, paper §5.1).
+ */
+
+#ifndef SONUMA_NODE_CLUSTER_HH
+#define SONUMA_NODE_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "fabric/crossbar.hh"
+#include "fabric/torus.hh"
+#include "node/node.hh"
+#include "os/context_registry.hh"
+#include "sim/simulation.hh"
+
+namespace sonuma::node {
+
+/** Fabric topology selection. */
+enum class Topology
+{
+    kCrossbar, //!< paper's evaluated configuration (flat 50 ns)
+    kTorus,    //!< k-ary n-cube for the topology ablation
+};
+
+struct ClusterParams
+{
+    std::uint32_t nodes = 2;
+    Topology topology = Topology::kCrossbar;
+    fab::CrossbarParams crossbar;
+    fab::TorusParams torus;    //!< dims must multiply to `nodes`
+    NodeParams node;
+};
+
+class Cluster
+{
+  public:
+    Cluster(sim::Simulation &sim, const ClusterParams &params = {});
+
+    Node &node(std::size_t i) { return *nodes_.at(i); }
+    std::size_t nodeCount() const { return nodes_.size(); }
+    os::ContextRegistry &registry() { return registry_; }
+    fab::Fabric &fabric() { return *fabric_; }
+    const ClusterParams &params() const { return params_; }
+
+    /**
+     * Convenience for tests/benches: create context @p ctx owned by
+     * @p owner and grant it to everyone.
+     */
+    void createSharedContext(sim::CtxId ctx, os::UserId owner = 0);
+
+  private:
+    ClusterParams params_;
+    os::ContextRegistry registry_;
+    std::unique_ptr<fab::Fabric> fabric_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+} // namespace sonuma::node
+
+#endif // SONUMA_NODE_CLUSTER_HH

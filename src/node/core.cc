@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Core implementation.
+ */
+
+#include "node/core.hh"
+
+namespace sonuma::node {
+
+Core::Core(sim::Simulation &sim, sim::StatRegistry &stats,
+           const std::string &name, mem::L1Cache &l1, double freq_ghz)
+    : sim_(sim), l1_(l1), clock_(freq_ghz), exec_(sim.eq(), name + ".exec")
+{
+    (void)stats;
+}
+
+} // namespace sonuma::node

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Node assembly.
+ */
+
+#include "node/node.hh"
+
+namespace sonuma::node {
+
+Node::Node(sim::Simulation &sim, const std::string &name, sim::NodeId nid,
+           fab::Fabric &fabric, os::ContextRegistry &registry,
+           const NodeParams &params)
+    : nid_(nid), params_(params)
+{
+    auto &stats = sim.stats();
+
+    phys_ = std::make_unique<mem::PhysMem>(params.physMemBytes);
+    dram_ = std::make_unique<mem::DramChannel>(sim.eq(), stats,
+                                               name + ".dram", params.dram);
+    l2_ = std::make_unique<mem::L2Cache>(sim.eq(), stats, name + ".l2",
+                                         params.l2, *dram_);
+
+    for (std::uint32_t i = 0; i < params.cores; ++i) {
+        coreL1s_.push_back(std::make_unique<mem::L1Cache>(
+            sim.eq(), stats, name + ".l1.c" + std::to_string(i), params.l1,
+            *l2_));
+    }
+    // The RMC's private L1 participates in the same coherence domain.
+    rmcL1_ = std::make_unique<mem::L1Cache>(
+        sim.eq(), stats, name + ".l1.rmc", params.l1, *l2_);
+
+    ni_ = std::make_unique<fab::NetworkInterface>(
+        sim.eq(), stats, name + ".ni", nid, fabric, params.ni);
+
+    os_ = std::make_unique<os::NodeOs>(*phys_);
+
+    // Driver-managed control structures in pinned kernel memory.
+    const mem::PAddr ctBase = os_->allocKernel(
+        std::uint64_t(params.rmc.maxContexts) * rmc::kCtEntryBytes);
+    const mem::PAddr ittBase = os_->allocKernel(
+        std::uint64_t(params.rmc.maxTids) * rmc::kIttEntryBytes);
+
+    rmc_ = std::make_unique<rmc::Rmc>(sim.eq(), stats, name + ".rmc", nid,
+                                      params.rmc, *phys_, *rmcL1_, *ni_,
+                                      ctBase, ittBase);
+    driver_ = std::make_unique<os::RmcDriver>(*os_, *rmc_, registry);
+
+    for (std::uint32_t i = 0; i < params.cores; ++i) {
+        cores_.push_back(std::make_unique<Core>(
+            sim, stats, name + ".core" + std::to_string(i), *coreL1s_[i],
+            params.coreFreqGhz));
+    }
+}
+
+} // namespace sonuma::node

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * RMC driver implementation.
+ */
+
+#include "os/rmc_driver.hh"
+
+#include "sim/log.hh"
+
+namespace sonuma::os {
+
+RmcDriver::RmcDriver(NodeOs &os, rmc::Rmc &rmc, ContextRegistry &registry)
+    : os_(os), rmc_(rmc), registry_(registry)
+{
+    rmc_.setFailureHook([this] {
+        for (auto &fn : failureCbs_)
+            fn();
+    });
+}
+
+bool
+RmcDriver::hasOpened(const Process &proc, sim::CtxId ctx) const
+{
+    for (const auto &rec : opens_) {
+        if (rec.ctx == ctx && rec.pid == proc.pid())
+            return true;
+    }
+    return false;
+}
+
+void
+RmcDriver::requireOpened(const Process &proc, sim::CtxId ctx) const
+{
+    if (!hasOpened(proc, ctx))
+        throw PermissionError("pid " + std::to_string(proc.pid()) +
+                              " has not opened ctx_id " +
+                              std::to_string(ctx));
+}
+
+void
+RmcDriver::openContext(Process &proc, sim::CtxId ctx)
+{
+    registry_.checkOpen(ctx, proc.uid());
+    if (!hasOpened(proc, ctx))
+        opens_.push_back(OpenRecord{ctx, proc.pid()});
+}
+
+void
+RmcDriver::registerSegment(Process &proc, sim::CtxId ctx, vm::VAddr base,
+                           std::uint64_t bytes)
+{
+    requireOpened(proc, ctx);
+    if (bytes == 0)
+        sim::fatal("empty context segment");
+    // Pinning check: the whole range must be mapped.
+    for (vm::VAddr va = vm::pageBase(base); va < base + bytes;
+         va += vm::kPageBytes) {
+        if (!proc.addressSpace().mapped(va))
+            sim::fatal("context segment contains unmapped pages");
+    }
+
+    rmc::CtEntry entry;
+    if (const rmc::CtEntry *old = rmc_.contextTable().entry(ctx))
+        entry = *old; // preserve registered QPs on re-registration
+    entry.valid = true;
+    entry.segBase = base;
+    entry.segBytes = bytes;
+    entry.ptRoot = proc.addressSpace().pageTable().root();
+    rmc_.contextTable().install(ctx, entry);
+}
+
+QpHandle
+RmcDriver::createQueuePair(Process &proc, sim::CtxId ctx)
+{
+    requireOpened(proc, ctx);
+
+    rmc::CtEntry *entry = rmc_.contextTable().entryMutable(ctx);
+    if (!entry) {
+        // A QP without a registered segment is legal (a pure client
+        // node): create a CT entry with an empty segment.
+        rmc::CtEntry fresh;
+        fresh.valid = true;
+        fresh.segBase = 0;
+        fresh.segBytes = 0;
+        fresh.ptRoot = proc.addressSpace().pageTable().root();
+        rmc_.contextTable().install(ctx, fresh);
+        entry = rmc_.contextTable().entryMutable(ctx);
+    }
+    if (entry->qps.size() >= rmc_.params().maxQpsPerContext)
+        sim::fatal("QP limit reached for ctx " + std::to_string(ctx));
+
+    const std::uint32_t entries = rmc::kDefaultQueueEntries;
+    rmc::QpDescriptor qp;
+    qp.valid = true;
+    qp.entries = entries;
+    qp.wqBase = proc.alloc(entries * sizeof(rmc::WqEntry));
+    qp.cqBase = proc.alloc(entries * sizeof(rmc::CqEntry));
+    entry->qps.push_back(qp);
+
+    QpHandle handle;
+    handle.ctx = ctx;
+    handle.qpIndex = static_cast<std::uint32_t>(entry->qps.size()) - 1;
+    handle.wqBase = qp.wqBase;
+    handle.cqBase = qp.cqBase;
+    handle.entries = entries;
+    handle.process = &proc;
+
+    // Installing again refreshes the in-memory CT image and invalidates
+    // the CT$ (the driver wrote behind it).
+    rmc_.contextTable().install(ctx, *entry);
+    return handle;
+}
+
+void
+RmcDriver::destroyQueuePair(const QpHandle &qp)
+{
+    rmc::CtEntry *entry = rmc_.contextTable().entryMutable(qp.ctx);
+    if (!entry || qp.qpIndex >= entry->qps.size())
+        return;
+    entry->qps[qp.qpIndex].valid = false;
+    rmc_.contextTable().install(qp.ctx, *entry);
+}
+
+void
+RmcDriver::onFailure(std::function<void()> fn)
+{
+    failureCbs_.push_back(std::move(fn));
+}
+
+} // namespace sonuma::os

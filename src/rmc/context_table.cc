@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Context Table implementation.
+ */
+
+#include "rmc/context_table.hh"
+
+#include <cassert>
+
+namespace sonuma::rmc {
+
+ContextTable::ContextTable(sim::StatRegistry &stats, const std::string &name,
+                           mem::PAddr basePa, std::uint32_t maxContexts,
+                           std::uint32_t cacheEntries)
+    : basePa_(basePa), maxContexts_(maxContexts), entries_(maxContexts),
+      cache_(cacheEntries),
+      hits_(stats, name + ".ctCacheHits", "CT$ hits"),
+      misses_(stats, name + ".ctCacheMisses", "CT$ misses")
+{
+}
+
+void
+ContextTable::install(sim::CtxId ctx, const CtEntry &entry)
+{
+    assert(ctx < maxContexts_);
+    if (&entries_[ctx] != &entry)
+        entries_[ctx] = entry;
+    entries_[ctx].valid = true;
+    invalidateCache(); // driver updated memory behind the CT$
+}
+
+void
+ContextTable::remove(sim::CtxId ctx)
+{
+    assert(ctx < maxContexts_);
+    entries_[ctx] = CtEntry{};
+    invalidateCache();
+}
+
+const CtEntry *
+ContextTable::entry(sim::CtxId ctx) const
+{
+    if (ctx >= maxContexts_ || !entries_[ctx].valid)
+        return nullptr;
+    return &entries_[ctx];
+}
+
+CtEntry *
+ContextTable::entryMutable(sim::CtxId ctx)
+{
+    if (ctx >= maxContexts_ || !entries_[ctx].valid)
+        return nullptr;
+    return &entries_[ctx];
+}
+
+bool
+ContextTable::cacheLookup(sim::CtxId ctx)
+{
+    if (!cacheEnabled_) {
+        misses_.inc();
+        return false;
+    }
+    for (auto &slot : cache_) {
+        if (slot.valid && slot.ctx == ctx) {
+            slot.lastUse = ++useClock_;
+            hits_.inc();
+            return true;
+        }
+    }
+    misses_.inc();
+    return false;
+}
+
+void
+ContextTable::fill(sim::CtxId ctx)
+{
+    if (!cacheEnabled_)
+        return;
+    CacheSlot *victim = nullptr;
+    for (auto &slot : cache_) {
+        if (slot.valid && slot.ctx == ctx)
+            return; // already present (raced fill)
+        if (!slot.valid) {
+            victim = &slot;
+            break;
+        }
+        if (!victim || slot.lastUse < victim->lastUse)
+            victim = &slot;
+    }
+    victim->valid = true;
+    victim->ctx = ctx;
+    victim->lastUse = ++useClock_;
+}
+
+void
+ContextTable::invalidateCache()
+{
+    for (auto &slot : cache_)
+        slot.valid = false;
+}
+
+void
+ContextTable::setCacheEnabled(bool enabled)
+{
+    cacheEnabled_ = enabled;
+    if (!enabled)
+        invalidateCache();
+}
+
+} // namespace sonuma::rmc

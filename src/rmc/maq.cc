@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Memory Access Queue implementation.
+ */
+
+#include "rmc/maq.hh"
+
+namespace sonuma::rmc {
+
+Maq::Maq(sim::EventQueue &eq, sim::StatRegistry &stats,
+         const std::string &name, mem::L1Cache &l1, std::uint32_t entries)
+    : eq_(eq), l1_(l1), capacity_(entries),
+      reads_(stats, name + ".reads", "MAQ read accesses"),
+      writes_(stats, name + ".writes", "MAQ write accesses"),
+      forwards_(stats, name + ".forwards", "store-to-load forwards"),
+      structuralStalls_(stats, name + ".stalls", "full-queue stalls")
+{
+}
+
+void
+Maq::submit(mem::PAddr pa, bool isWrite, bool fullLine,
+            std::function<void()> done)
+{
+    // Store-to-load forwarding: a load that hits an in-flight store to
+    // the same line completes when that store commits, without a second
+    // L1 access.
+    if (!isWrite) {
+        auto it = inflightStores_.find(lineOf(pa));
+        if (it != inflightStores_.end()) {
+            forwards_.inc();
+            it->second.push_back(std::move(done));
+            return;
+        }
+    }
+
+    if (inflight_ >= capacity_) {
+        structuralStalls_.inc();
+        waiting_.push_back(Pending{pa, isWrite, fullLine, std::move(done)});
+        return;
+    }
+    issue(Pending{pa, isWrite, fullLine, std::move(done)});
+}
+
+void
+Maq::issue(Pending p)
+{
+    ++inflight_;
+    if (p.isWrite)
+        writes_.inc();
+    else
+        reads_.inc();
+
+    const mem::PAddr line = lineOf(p.pa);
+    if (p.isWrite)
+        inflightStores_[line]; // mark store in flight
+
+    auto completion = [this, line, isWrite = p.isWrite,
+                       done = std::move(p.done)]() mutable {
+        done();
+        if (isWrite) {
+            // Wake any loads forwarded from this store.
+            auto node = inflightStores_.extract(line);
+            if (!node.empty()) {
+                for (auto &fn : node.mapped())
+                    fn();
+            }
+        }
+        release();
+    };
+    if (p.fullLine)
+        l1_.accessFullLineWrite(p.pa, std::move(completion));
+    else
+        l1_.access(p.pa, p.isWrite, std::move(completion));
+}
+
+void
+Maq::release()
+{
+    --inflight_;
+    if (!waiting_.empty() && inflight_ < capacity_) {
+        Pending p = std::move(waiting_.front());
+        waiting_.pop_front();
+        issue(std::move(p));
+    }
+}
+
+} // namespace sonuma::rmc

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The RMC's Memory Access Queue (paper §4.3).
+ *
+ * All RMC memory traffic — application data, WQ/CQ interactions, page
+ * table walks, ITT and CT accesses — funnels through the MAQ into the
+ * RMC's private L1. The MAQ bounds the number of in-flight accesses
+ * (32 in Table 1, matching the L1's MSHRs), supports out-of-order
+ * completion, and provides store-to-load forwarding.
+ */
+
+#ifndef SONUMA_RMC_MAQ_HH
+#define SONUMA_RMC_MAQ_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+
+namespace sonuma::rmc {
+
+/**
+ * Bounded queue of memory accesses feeding the RMC's L1 port.
+ *
+ * Usage is awaitable: `co_await maq.read(pa)` suspends the issuing
+ * pipeline transaction until the access commits. When the queue is full
+ * the awaiter additionally waits for a free entry (structural hazard),
+ * which is how the MAQ depth bounds RMC throughput.
+ */
+class Maq
+{
+  public:
+    Maq(sim::EventQueue &eq, sim::StatRegistry &stats,
+        const std::string &name, mem::L1Cache &l1, std::uint32_t entries);
+
+    /** Timed read of the line containing @p pa. */
+    auto
+    read(mem::PAddr pa)
+    {
+        return AccessAwaiter{*this, pa, false};
+    }
+
+    /** Timed write (exclusive access) of the line containing @p pa. */
+    auto
+    write(mem::PAddr pa)
+    {
+        return AccessAwaiter{*this, pa, true};
+    }
+
+    /**
+     * Timed full-line write through the RMC's cache-line-wide interface:
+     * allocates on miss without fetching stale data.
+     */
+    auto
+    writeFullLine(mem::PAddr pa)
+    {
+        return AccessAwaiter{*this, pa, true, true};
+    }
+
+    std::uint32_t inflight() const { return inflight_; }
+    std::uint32_t capacity() const { return capacity_; }
+    std::uint64_t forwardCount() const { return forwards_.value(); }
+
+    struct AccessAwaiter
+    {
+        Maq &maq;
+        mem::PAddr pa;
+        bool isWrite;
+        bool fullLine = false;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            maq.submit(pa, isWrite, fullLine, [h] { h.resume(); });
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    /**
+     * Callback-style submission (used by the awaiter). Queues when the
+     * MAQ is full; applies store-to-load forwarding for loads that hit
+     * an in-flight store to the same line.
+     */
+    void submit(mem::PAddr pa, bool isWrite, bool fullLine,
+                std::function<void()> done);
+
+  private:
+    struct Pending
+    {
+        mem::PAddr pa;
+        bool isWrite;
+        bool fullLine;
+        std::function<void()> done;
+    };
+
+    sim::EventQueue &eq_;
+    mem::L1Cache &l1_;
+    std::uint32_t capacity_;
+    std::uint32_t inflight_ = 0;
+    std::deque<Pending> waiting_;
+
+    // In-flight stores by line address -> completion subscribers
+    // (store-to-load forwarding: a load completes with the store).
+    std::unordered_map<mem::PAddr, std::vector<std::function<void()>>>
+        inflightStores_;
+
+    sim::Counter reads_;
+    sim::Counter writes_;
+    sim::Counter forwards_;
+    sim::Counter structuralStalls_;
+
+    void issue(Pending p);
+    void release();
+
+    static mem::PAddr
+    lineOf(mem::PAddr pa)
+    {
+        return pa & ~mem::PAddr(63);
+    }
+};
+
+} // namespace sonuma::rmc
+
+#endif // SONUMA_RMC_MAQ_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware page-table walker for the RMC MMU (paper §4.3).
+ *
+ * On a TLB miss, the walker performs kLevels dependent PTE loads through
+ * the MAQ (so walks contend with all other RMC memory traffic and hit in
+ * the RMC's coherent L1 when PTEs are cached — the paper's argument for
+ * coherence-integrated control structures).
+ */
+
+#ifndef SONUMA_RMC_PAGE_WALKER_HH
+#define SONUMA_RMC_PAGE_WALKER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "mem/phys_mem.hh"
+#include "rmc/maq.hh"
+#include "rmc/tlb.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+#include "vm/page_table.hh"
+
+namespace sonuma::rmc {
+
+/**
+ * Awaitable translation engine combining the TLB and the walker.
+ */
+class PageWalker
+{
+  public:
+    PageWalker(sim::StatRegistry &stats, const std::string &name,
+               mem::PhysMem &phys, Maq &maq, Tlb &tlb);
+
+    /**
+     * Translate (ctx, va) using @p ptRoot on a TLB miss.
+     *
+     * Coroutine: suspends for the duration of TLB/walk activity.
+     * @return the physical address, or std::nullopt if unmapped.
+     */
+    [[nodiscard]] sim::Task
+    translate(sim::CtxId ctx, vm::VAddr va, mem::PAddr ptRoot,
+              std::optional<mem::PAddr> *out);
+
+    std::uint64_t walkCount() const { return walks_.value(); }
+
+  private:
+    mem::PhysMem &phys_;
+    Maq &maq_;
+    Tlb &tlb_;
+
+    sim::Counter walks_;
+    sim::Counter faults_;
+};
+
+} // namespace sonuma::rmc
+
+#endif // SONUMA_RMC_PAGE_WALKER_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * RMC configuration, with presets for the paper's two platforms.
+ *
+ * - simulatedHardware(): hardwired pipelines, per-stage cycle costs
+ *   (paper Table 1: 3 independent pipelines, 32-entry MAQ, 32-entry TLB).
+ * - emulationPlatform(): the Xen "development platform" substitute — RMC
+ *   logic runs as software on two emulated kernel threads (one for
+ *   RGP+RCP, one for RRPP, as in §7.1), with per-WQ-entry and per-line
+ *   software processing costs that reproduce its measured behaviour
+ *   (~1.5 us remote read RTT, ~1.8 Gbps bandwidth ceiling).
+ */
+
+#ifndef SONUMA_RMC_PARAMS_HH
+#define SONUMA_RMC_PARAMS_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace sonuma::rmc {
+
+/** Which platform the RMC models (paper §7.1). */
+enum class Platform
+{
+    kSimulatedHardware,
+    kEmulation,
+};
+
+struct RmcParams
+{
+    Platform platform = Platform::kSimulatedHardware;
+
+    //
+    // Structure sizes
+    //
+    std::uint32_t maxTids = 64;        //!< ITT entries / transfer ids
+    std::uint32_t tlbEntries = 32;     //!< MMU TLB (Table 1)
+    std::uint32_t maqEntries = 32;     //!< Memory Access Queue (Table 1)
+    std::uint32_t ctCacheEntries = 8;  //!< CT$ (recently used CT entries)
+    std::uint32_t maxContexts = 16;
+    std::uint32_t maxQpsPerContext = 4;
+
+    //
+    // Hardwired-pipeline stage costs, in core cycles (the 'L' states of
+    // Fig. 3b are combinational; memory states are charged by the MAQ).
+    //
+    double freqGhz = 2.0;
+    std::uint32_t rgpStageCycles = 30;  //!< per WQ entry (parse/init)
+    std::uint32_t rgpPerLineCycles = 2; //!< per unrolled line (pipelined)
+    std::uint32_t rrppStageCycles = 60; //!< per serviced request
+    std::uint32_t rcpStageCycles = 40;  //!< per processed reply
+
+    //
+    // Source-side transfer timeout: a transfer whose replies stop
+    // arriving (node/link failure swallowed the packets) is aborted
+    // with a fabric-error completion after this long. Complements the
+    // driver's failure notification (§5.1) for requests that were still
+    // queued when the failure hit.
+    //
+    sim::Tick transferTimeout = sim::usToTicks(200);
+
+    //
+    // Emulation-platform software costs (only used when platform ==
+    // kEmulation). These model RMCemu's per-item processing on its
+    // dedicated virtual CPUs.
+    //
+    sim::Tick emuPerWqEntry = sim::nsToTicks(230);  //!< parse + schedule
+    sim::Tick emuPerLine = sim::nsToTicks(150);     //!< unroll one line
+    sim::Tick emuPerReply = sim::nsToTicks(130);    //!< absorb one reply
+    sim::Tick emuRrppPerLine = sim::nsToTicks(280); //!< serve one request
+    sim::Tick emuPollDelay = sim::nsToTicks(175);   //!< queue-poll lag
+
+    /** Cycle duration shortcut. */
+    sim::Tick
+    cycles(std::uint32_t n) const
+    {
+        return sim::Clock(freqGhz).cycles(n);
+    }
+
+    bool emulation() const { return platform == Platform::kEmulation; }
+
+    static RmcParams
+    simulatedHardware()
+    {
+        return RmcParams{};
+    }
+
+    static RmcParams
+    emulationPlatform()
+    {
+        RmcParams p;
+        p.platform = Platform::kEmulation;
+        // Software per-line costs make large transfers thousands of
+        // times slower than hardware; scale the abort timeout with them.
+        p.transferTimeout = sim::usToTicks(50000);
+        return p;
+    }
+};
+
+/** Queue-pair geometry (paper: bounded buffers, written by app / RMC). */
+inline constexpr std::uint32_t kDefaultQueueEntries = 64;
+
+} // namespace sonuma::rmc
+
+#endif // SONUMA_RMC_PARAMS_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Request Completion Pipeline (paper §4.2, Fig. 3b middle).
+ *
+ * Absorb replies: decode -> ITT lookup by tid -> (for reads/atomics)
+ * translate the target buffer address and store the payload -> update
+ * ITT -> on the last line, write the CQ entry and recycle the tid.
+ * Replies may arrive and complete out of order.
+ */
+
+#include "rmc/rmc.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace sonuma::rmc {
+
+sim::FireAndForget
+Rmc::rcpLoop()
+{
+    const auto lane = static_cast<std::size_t>(fab::Lane::kReply);
+    while (true) {
+        co_await rcpSlots_.acquire();
+        while (!ni_.hasMessage(fab::Lane::kReply))
+            co_await arrival_[lane].wait();
+        processReply(ni_.pop(fab::Lane::kReply));
+    }
+}
+
+sim::FireAndForget
+Rmc::processReply(fab::Message msg)
+{
+    const std::uint16_t ep = static_cast<std::uint16_t>(msg.tid >> 16);
+    const std::uint32_t tidIndex = msg.tid & 0xffff;
+
+    if (tidIndex >= itt_.size() || !itt_[tidIndex].active ||
+        itt_[tidIndex].epoch != ep) {
+        // Stale reply from before an RMC reset: drop it.
+        rcpSlots_.release();
+        co_return;
+    }
+    IttEntry &itt = itt_[tidIndex];
+    repliesProcessed_.inc();
+
+    if (params_.emulation())
+        co_await sim::Delay(eq_, params_.emuPollDelay);
+
+    co_await chargeFrontend(params_.cycles(params_.rcpStageCycles),
+                            params_.emuPerReply);
+
+    const CtEntry *ce = ct_.entry(itt.ctx);
+
+    if (msg.op == fab::Op::kErrorReply) {
+        itt.error = true;
+    } else if (msg.op == fab::Op::kReadReply ||
+               msg.op == fab::Op::kAtomicReply) {
+        // Compute the destination buffer address from the WQ entry's
+        // buffer base plus the line offset echoed in the reply (§4.2).
+        const vm::VAddr dst = itt.bufVa + (msg.offset - itt.baseOffset);
+        std::optional<mem::PAddr> pa;
+        co_await translate(itt.ctx, dst, ce->ptRoot, &pa);
+        if (!pa) {
+            itt.error = true; // local buffer unmapped (app bug)
+        } else if (msg.op == fab::Op::kReadReply) {
+            co_await maq_.writeFullLine(*pa);
+            phys_.write(*pa, msg.payload.data(), msg.payloadLen);
+        } else {
+            co_await maq_.write(*pa);
+            phys_.write(*pa, msg.payload.data(), msg.payloadLen);
+        }
+    }
+    // Write replies need no application-memory update at the source.
+
+    // Update the ITT ("Update ITT", a memory write through the MAQ).
+    co_await maq_.write(ittAddr(tidIndex));
+    assert(itt.remaining > 0);
+    --itt.remaining;
+
+    if (itt.remaining == 0)
+        co_await postCompletion(itt, tidIndex);
+
+    rcpSlots_.release();
+}
+
+sim::Task
+Rmc::postCompletion(IttEntry &itt, std::uint32_t tidIndex)
+{
+    const CtEntry *ce = ct_.entry(itt.ctx);
+    if (!ce || itt.qpIndex >= ce->qps.size() ||
+        !ce->qps[itt.qpIndex].valid) {
+        freeTid(tidIndex);
+        co_return;
+    }
+    const QpDescriptor qp = ce->qps[itt.qpIndex];
+    RingCursor &cursor = cqCursor_[itt.ctx][itt.qpIndex];
+
+    // Claim the CQ slot *before* any suspension: concurrent completions
+    // must each land in their own ring slot. A later-claimed slot may be
+    // written earlier; the consumer polls in ring order and simply waits
+    // for the earlier slot's phase flip.
+    CqEntry cq;
+    cq.phase = cursor.expectedPhase();
+    cq.status = static_cast<std::uint8_t>(
+        itt.error ? CqStatus::kBoundsError : CqStatus::kOk);
+    cq.wqIndex = static_cast<std::uint16_t>(itt.wqIndex);
+    cq.pad = 0;
+    const vm::VAddr cqVa = qp.cqEntryVa(cursor.index());
+    cursor.advance();
+
+    std::optional<mem::PAddr> pa;
+    co_await translate(itt.ctx, cqVa, ce->ptRoot, &pa);
+    if (pa) {
+        co_await maq_.write(*pa);
+        phys_.write(*pa, &cq, sizeof(cq));
+        completionsPosted_.inc();
+    }
+
+    const sim::CtxId ctx = itt.ctx;
+    const std::uint32_t qpIndex = itt.qpIndex;
+    freeTid(tidIndex);
+    if (completionHooks_[ctx][qpIndex])
+        completionHooks_[ctx][qpIndex]();
+}
+
+} // namespace sonuma::rmc

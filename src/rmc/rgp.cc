@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Request Generation Pipeline (paper §4.2, Fig. 3b top).
+ *
+ * Poll WQ -> fetch request -> init ITT entry -> unroll -> (read payload
+ * for writes) -> generate packet(s) -> inject. Multi-line requests are
+ * unrolled at the source into line-sized transactions so the destination
+ * can stay stateless.
+ */
+
+#include "rmc/rmc.hh"
+
+#include "sim/log.hh"
+
+namespace sonuma::rmc {
+
+sim::FireAndForget
+Rmc::rgpLoop()
+{
+    while (true) {
+        while (armedQps_.empty())
+            co_await rgpWork_.wait();
+        const QpRef ref = armedQps_.front();
+        armedQps_.pop_front();
+        // Disarm before scanning: a doorbell during the scan re-arms the
+        // QP and forces another scan, so no wake-up is lost.
+        qpArmed_[ref.ctx][ref.qpIndex] = false;
+        co_await processWq(ref.ctx, ref.qpIndex);
+    }
+}
+
+sim::Task
+Rmc::processWq(sim::CtxId ctx, std::uint32_t qpIndex)
+{
+    const CtEntry *ce = ct_.entry(ctx);
+    if (!ce || qpIndex >= ce->qps.size() || !ce->qps[qpIndex].valid)
+        co_return; // QP vanished (context teardown)
+    const QpDescriptor qp = ce->qps[qpIndex];
+    RingCursor &cursor = wqCursor_[ctx][qpIndex];
+
+    while (true) {
+        // Poll: timed read of the WQ entry's cache line. After a producer
+        // store this misses in the RMC L1 and transfers cache-to-cache.
+        const vm::VAddr entryVa = qp.wqEntryVa(cursor.index());
+        std::optional<mem::PAddr> pa;
+        co_await translate(ctx, entryVa, ce->ptRoot, &pa);
+        if (!pa)
+            co_return; // unmapped WQ (teardown)
+        co_await maq_.read(*pa);
+
+        WqEntry entry;
+        phys_.read(*pa, &entry, sizeof(entry));
+        if (entry.phase != cursor.expectedPhase())
+            co_return; // no new work; RGP returns to the armed-QP queue
+
+        wqEntriesProcessed_.inc();
+        const std::uint32_t wqIndex = cursor.index();
+        cursor.advance();
+        co_await generateRequests(ctx, qpIndex, wqIndex, entry);
+    }
+}
+
+sim::Task
+Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
+                      std::uint32_t wqIndex, const WqEntry &entry)
+{
+    const CtEntry *ce = ct_.entry(ctx);
+    const WqOp op = static_cast<WqOp>(entry.op);
+    const bool isAtomic = op == WqOp::kCas || op == WqOp::kFetchAdd;
+    const std::uint32_t numLines =
+        isAtomic ? 1
+                 : std::max<std::uint32_t>(
+                       1, (entry.length + sim::kCacheLineBytes - 1) /
+                              sim::kCacheLineBytes);
+
+    // Allocate a transfer id and initialize its ITT entry (a memory
+    // write through the MAQ, Fig. 3b "Init ITT Entry").
+    std::uint32_t tidIndex = 0;
+    co_await allocTid(&tidIndex);
+    IttEntry &itt = itt_[tidIndex];
+    itt.active = true;
+    itt.ctx = ctx;
+    itt.qpIndex = qpIndex;
+    itt.wqIndex = wqIndex;
+    itt.remaining = numLines;
+    itt.total = numLines;
+    itt.op = op;
+    itt.error = false;
+    itt.bufVa = entry.bufVa;
+    itt.baseOffset = entry.offset;
+    co_await maq_.write(ittAddr(tidIndex));
+
+    // Per-WQ-entry front-end cost (parse/schedule).
+    co_await chargeFrontend(params_.cycles(params_.rgpStageCycles),
+                            params_.emuPerWqEntry);
+
+    for (std::uint32_t i = 0; i < numLines; ++i) {
+        fab::Message msg;
+        msg.srcNid = nid_;
+        msg.dstNid = entry.dstNid;
+        msg.ctxId = ctx;
+        msg.tid = tidOf(itt.epoch, tidIndex);
+        msg.offset = entry.offset + std::uint64_t(i) * sim::kCacheLineBytes;
+
+        switch (op) {
+          case WqOp::kRead:
+            msg.op = fab::Op::kReadReq;
+            break;
+          case WqOp::kWrite: {
+            msg.op = fab::Op::kWriteReq;
+            // Fetch the local payload line through the MAQ.
+            const vm::VAddr lineVa =
+                entry.bufVa + std::uint64_t(i) * sim::kCacheLineBytes;
+            std::optional<mem::PAddr> pa;
+            co_await translate(ctx, lineVa, ce->ptRoot, &pa);
+            if (!pa) {
+                // Unmapped local buffer: stop unrolling and complete the
+                // WQ entry with an error. Lines already injected will
+                // still reply, so the tid stays live until they drain
+                // (tid reuse before that would mis-route their replies).
+                // remaining currently counts numLines minus replies that
+                // already arrived; cancel the never-sent lines.
+                itt.error = true;
+                itt.remaining -= numLines - i;
+                itt.total = i;
+                if (itt.remaining == 0)
+                    co_await postCompletion(itt, tidIndex);
+                co_return;
+            }
+            co_await maq_.read(*pa);
+            std::uint8_t line[sim::kCacheLineBytes];
+            phys_.read(*pa, line, sizeof(line));
+            msg.setPayload(line, sim::kCacheLineBytes);
+            break;
+          }
+          case WqOp::kCas:
+            msg.op = fab::Op::kCasReq;
+            msg.operand1 = entry.operand1;
+            msg.operand2 = entry.operand2;
+            break;
+          case WqOp::kFetchAdd:
+            msg.op = fab::Op::kFetchAddReq;
+            msg.operand1 = entry.operand1;
+            break;
+        }
+
+        // Per-line pipeline occupancy, then inject.
+        co_await chargeFrontend(params_.cycles(params_.rgpPerLineCycles),
+                                params_.emuPerLine);
+        co_await sendMessage(msg);
+        requestPacketsSent_.inc();
+    }
+}
+
+} // namespace sonuma::rmc

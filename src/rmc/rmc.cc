@@ -1,0 +1,260 @@
+/**
+ * @file
+ * RMC top-level: construction, driver interface, shared helpers.
+ */
+
+#include "rmc/rmc.hh"
+
+#include <cassert>
+
+#include "sim/log.hh"
+
+namespace sonuma::rmc {
+
+Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
+         const std::string &name, sim::NodeId nid, const RmcParams &params,
+         mem::PhysMem &phys, mem::L1Cache &l1, fab::NetworkInterface &ni,
+         mem::PAddr ctBasePa, mem::PAddr ittBasePa)
+    : eq_(eq), name_(name), nid_(nid), params_(params), phys_(phys),
+      ni_(ni),
+      tlb_(stats, name + ".tlb", params.tlbEntries),
+      maq_(eq, stats, name + ".maq", l1, params.maqEntries),
+      walker_(stats, name + ".walker", phys, maq_, tlb_),
+      ct_(stats, name + ".ct", ctBasePa, params.maxContexts,
+          params.ctCacheEntries),
+      ittBasePa_(ittBasePa),
+      itt_(params.maxTids),
+      tidAvailable_(eq),
+      qpArmed_(params.maxContexts,
+               std::vector<bool>(params.maxQpsPerContext, false)),
+      rgpWork_(eq),
+      sendSpace_{sim::Condition(eq), sim::Condition(eq)},
+      arrival_{sim::Condition(eq), sim::Condition(eq)},
+      remoteWriteEvent_(eq),
+      rrppSlots_(eq, params.maqEntries),
+      rcpSlots_(eq, params.maqEntries),
+      wqEntriesProcessed_(stats, name + ".rgp.wqEntries",
+                          "WQ entries consumed"),
+      requestPacketsSent_(stats, name + ".rgp.requestPackets",
+                          "request packets injected"),
+      requestsServiced_(stats, name + ".rrpp.requests",
+                        "incoming requests serviced"),
+      repliesProcessed_(stats, name + ".rcp.replies", "replies absorbed"),
+      completionsPosted_(stats, name + ".rcp.completions",
+                         "CQ entries written"),
+      boundsErrors_(stats, name + ".rrpp.boundsErrors",
+                    "requests outside the context segment"),
+      badContextErrors_(stats, name + ".rrpp.badContext",
+                        "requests for unregistered contexts"),
+      atomicsExecuted_(stats, name + ".rrpp.atomics",
+                       "remote atomics executed"),
+      failureAborts_(stats, name + ".failureAborts",
+                     "transfers aborted by fabric failures")
+{
+    freeTids_.reserve(params.maxTids);
+    for (std::uint32_t i = 0; i < params.maxTids; ++i)
+        freeTids_.push_back(params.maxTids - 1 - i);
+
+    // Per-(ctx, qp) ring cursors and completion hooks.
+    for (std::uint32_t c = 0; c < params.maxContexts; ++c) {
+        wqCursor_.emplace_back();
+        cqCursor_.emplace_back();
+        completionHooks_.emplace_back(params.maxQpsPerContext);
+        for (std::uint32_t q = 0; q < params.maxQpsPerContext; ++q) {
+            wqCursor_.back().emplace_back(kDefaultQueueEntries);
+            cqCursor_.back().emplace_back(kDefaultQueueEntries);
+        }
+    }
+
+    if (params_.emulation()) {
+        emuFrontend_ = std::make_unique<sim::ServiceResource>(
+            eq_, name + ".emuFrontend");
+        emuRemote_ = std::make_unique<sim::ServiceResource>(
+            eq_, name + ".emuRemote");
+    }
+
+    // NI wiring: arrivals wake the RRPP/RCP loops, freed send space wakes
+    // blocked senders, fabric failures reset transfer state.
+    ni_.onArrival(fab::Lane::kRequest,
+                  [this] { arrival_[0].notifyAll(); });
+    ni_.onArrival(fab::Lane::kReply, [this] { arrival_[1].notifyAll(); });
+    ni_.onSendSpace(fab::Lane::kRequest,
+                    [this] { sendSpace_[0].notifyAll(); });
+    ni_.onSendSpace(fab::Lane::kReply,
+                    [this] { sendSpace_[1].notifyAll(); });
+    ni_.onFabricFailure([this] { reset(); });
+
+    // Start the three decoupled pipelines.
+    rgpLoop();
+    rrppLoop();
+    rcpLoop();
+}
+
+void
+Rmc::doorbell(sim::CtxId ctx, std::uint32_t qpIndex)
+{
+    assert(ctx < params_.maxContexts && qpIndex < params_.maxQpsPerContext);
+    if (!qpArmed_[ctx][qpIndex]) {
+        qpArmed_[ctx][qpIndex] = true;
+        armedQps_.push_back(QpRef{ctx, qpIndex});
+        rgpWork_.notifyAll();
+    }
+}
+
+void
+Rmc::setCompletionHook(sim::CtxId ctx, std::uint32_t qpIndex,
+                       std::function<void()> hook)
+{
+    completionHooks_[ctx][qpIndex] = std::move(hook);
+}
+
+void
+Rmc::setFailureHook(std::function<void()> hook)
+{
+    failureHook_ = std::move(hook);
+}
+
+void
+Rmc::abortTransfer(std::uint32_t tidIndex, CqStatus status)
+{
+    IttEntry &e = itt_[tidIndex];
+    assert(e.active);
+    failureAborts_.inc();
+    const CtEntry *ctx = ct_.entry(e.ctx);
+    if (ctx && e.qpIndex < ctx->qps.size() && ctx->qps[e.qpIndex].valid) {
+        const QpDescriptor &qp = ctx->qps[e.qpIndex];
+        RingCursor &cur = cqCursor_[e.ctx][e.qpIndex];
+        CqEntry cq;
+        cq.phase = cur.expectedPhase();
+        cq.status = static_cast<std::uint8_t>(status);
+        cq.wqIndex = static_cast<std::uint16_t>(e.wqIndex);
+        cq.pad = 0;
+        // Functional-only post: the RMC is aborting, not timing-
+        // accurately draining; applications just need to observe the
+        // abort (paper §5.1). Translate with a direct functional walk of
+        // the context's page table; CQ pages are pinned.
+        mem::PAddr table = ctx->ptRoot;
+        const vm::VAddr va = qp.cqEntryVa(cur.index());
+        bool ok = true;
+        for (std::uint32_t level = 0; level < vm::kLevels; ++level) {
+            const auto pte = phys_.readT<std::uint64_t>(
+                vm::PageTable::pteAddr(table, level, va));
+            if (!vm::PageTable::pteValid(pte)) {
+                ok = false;
+                break;
+            }
+            table = vm::PageTable::pteFrame(pte);
+        }
+        if (ok) {
+            phys_.write(table + vm::pageOffset(va), &cq, sizeof(cq));
+            cur.advance();
+            completionsPosted_.inc();
+            if (completionHooks_[e.ctx][e.qpIndex])
+                completionHooks_[e.ctx][e.qpIndex]();
+        }
+    }
+    freeTid(tidIndex);
+}
+
+void
+Rmc::reset()
+{
+    // Abort every outstanding transfer with a fabric-error completion.
+    // (Conservative: the paper notes failures "typically require a reset
+    // of the RMC's state, and may require a restart of the applications".)
+    for (std::uint32_t i = 0; i < itt_.size(); ++i) {
+        if (itt_[i].active)
+            abortTransfer(i, CqStatus::kFabricError);
+    }
+    tlb_.flushAll();
+    ct_.invalidateCache();
+    if (failureHook_)
+        failureHook_();
+}
+
+void
+Rmc::scheduleSweep()
+{
+    if (sweepScheduled_ || params_.transferTimeout == 0)
+        return;
+    sweepScheduled_ = true;
+    eq_.scheduleAfter(params_.transferTimeout / 2, [this] {
+        sweepScheduled_ = false;
+        sweepTimeouts();
+    });
+}
+
+void
+Rmc::sweepTimeouts()
+{
+    const sim::Tick now = eq_.now();
+    for (std::uint32_t i = 0; i < itt_.size(); ++i) {
+        IttEntry &e = itt_[i];
+        if (e.active && now - e.issuedAt >= params_.transferTimeout)
+            abortTransfer(i, CqStatus::kFabricError);
+    }
+    if (activeTids_ > 0)
+        scheduleSweep();
+}
+
+sim::Task
+Rmc::chargeFrontend(sim::Tick hwCost, sim::Tick emuCost)
+{
+    if (params_.emulation())
+        co_await emuFrontend_->use(emuCost);
+    else if (hwCost > 0)
+        co_await sim::Delay(eq_, hwCost);
+}
+
+sim::Task
+Rmc::chargeRemote(sim::Tick hwCost, sim::Tick emuCost)
+{
+    if (params_.emulation())
+        co_await emuRemote_->use(emuCost);
+    else if (hwCost > 0)
+        co_await sim::Delay(eq_, hwCost);
+}
+
+sim::Task
+Rmc::sendMessage(fab::Message msg)
+{
+    const auto lane = static_cast<std::size_t>(msg.lane());
+    while (!ni_.trySend(msg))
+        co_await sendSpace_[lane].wait();
+}
+
+sim::Task
+Rmc::allocTid(std::uint32_t *out)
+{
+    while (freeTids_.empty())
+        co_await tidAvailable_.wait();
+    const std::uint32_t idx = freeTids_.back();
+    freeTids_.pop_back();
+    ++activeTids_;
+    itt_[idx].issuedAt = eq_.now();
+    scheduleSweep();
+    *out = idx;
+}
+
+void
+Rmc::freeTid(std::uint32_t tidIndex)
+{
+    assert(tidIndex < itt_.size());
+    itt_[tidIndex].active = false;
+    // Bump the per-entry epoch so a late reply for the old incarnation
+    // of this tid cannot be confused with a future reuse.
+    ++itt_[tidIndex].epoch;
+    freeTids_.push_back(tidIndex);
+    assert(activeTids_ > 0);
+    --activeTids_;
+    tidAvailable_.notifyAll();
+}
+
+sim::Task
+Rmc::translate(sim::CtxId ctx, vm::VAddr va, mem::PAddr ptRoot,
+               std::optional<mem::PAddr> *out)
+{
+    co_await walker_.translate(ctx, va, ptRoot, out);
+}
+
+} // namespace sonuma::rmc

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The Remote Memory Controller (paper §4) — soNUMA's core contribution.
+ *
+ * The RMC is an on-chip, hardwired protocol controller integrated into
+ * the node's coherence hierarchy through a private L1 cache. It runs
+ * three decoupled pipelines (Fig. 3):
+ *
+ *  - RGP (Request Generation):  polls registered WQs, unrolls multi-line
+ *    requests, allocates transfer ids (ITT entries) and injects request
+ *    packets into the NI.
+ *  - RRPP (Remote Request Processing): statelessly services incoming
+ *    requests — CT lookup, bounds check, virtual address computation,
+ *    translation, line read/write/atomic, reply generation.
+ *  - RCP (Request Completion): absorbs replies, writes payloads to the
+ *    application's buffers, tracks per-request progress in the ITT, and
+ *    posts CQ entries on completion.
+ *
+ * Each in-flight transaction is a coroutine; structural hazards (MAQ
+ * depth, NI queues, ITT capacity) bound concurrency exactly as the
+ * microarchitectural resources do in the paper.
+ *
+ * Modeling note — "doorbell": in hardware the RGP discovers new WQ
+ * entries by polling a coherently-cached line (the producing store
+ * invalidates the RMC's copy; the next poll misses and fetches it
+ * cache-to-cache). A discrete-event simulation must not busy-poll, so
+ * the software side *wakes* the RGP when it writes a WQ entry; the RGP
+ * then performs the same timed WQ-line read it would have performed on
+ * its next poll iteration. Detection timing therefore matches the
+ * steady-polling hardware within one poll iteration.
+ */
+
+#ifndef SONUMA_RMC_RMC_HH
+#define SONUMA_RMC_RMC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hh"
+#include "mem/cache.hh"
+#include "mem/phys_mem.hh"
+#include "rmc/context_table.hh"
+#include "rmc/maq.hh"
+#include "rmc/page_walker.hh"
+#include "rmc/params.hh"
+#include "rmc/queue_pair.hh"
+#include "rmc/tlb.hh"
+#include "sim/event_queue.hh"
+#include "sim/service.hh"
+#include "sim/stats.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace sonuma::rmc {
+
+/** In-flight transaction table entry (source-side transfer state). */
+struct IttEntry
+{
+    bool active = false;
+    std::uint16_t epoch = 0;    //!< bumped on free; drops stale replies
+    sim::CtxId ctx = 0;
+    std::uint32_t qpIndex = 0;
+    std::uint32_t wqIndex = 0;
+    std::uint32_t remaining = 0; //!< line replies still outstanding
+    std::uint32_t total = 0;
+    WqOp op = WqOp::kRead;
+    bool error = false;
+    vm::VAddr bufVa = 0;
+    std::uint64_t baseOffset = 0;
+    sim::Tick issuedAt = 0;      //!< for the transfer timeout
+};
+
+/** In-memory footprint of one ITT entry (for MAQ timing addresses). */
+inline constexpr std::uint64_t kIttEntryBytes = 32;
+
+/**
+ * One node's Remote Memory Controller.
+ */
+class Rmc
+{
+  public:
+    Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
+        const std::string &name, sim::NodeId nid, const RmcParams &params,
+        mem::PhysMem &phys, mem::L1Cache &l1, fab::NetworkInterface &ni,
+        mem::PAddr ctBasePa, mem::PAddr ittBasePa);
+
+    Rmc(const Rmc &) = delete;
+    Rmc &operator=(const Rmc &) = delete;
+
+    //
+    // Driver-facing interface (paper §5.1)
+    //
+
+    /** The Context Table (driver installs/removes entries). */
+    ContextTable &contextTable() { return ct_; }
+
+    /**
+     * Software wake-up after a WQ entry store (see file header for why
+     * this exists in a discrete-event model).
+     */
+    void doorbell(sim::CtxId ctx, std::uint32_t qpIndex);
+
+    /** Hook invoked after each CQ entry write for (ctx, qp). */
+    void setCompletionHook(sim::CtxId ctx, std::uint32_t qpIndex,
+                           std::function<void()> hook);
+
+    /** Hook invoked when the fabric reports a failure (driver). */
+    void setFailureHook(std::function<void()> hook);
+
+    /**
+     * Condition notified after the RRPP applies a remote write or atomic
+     * to this node's memory. Software that polls local memory for
+     * unsolicited messages (paper §5.3) awaits this instead of
+     * busy-polling the event queue; each wake-up still performs the same
+     * timed loads the poll loop would have (see file-header note on the
+     * doorbell shortcut).
+     */
+    sim::Condition &remoteWriteEvent() { return remoteWriteEvent_; }
+
+    /**
+     * Reset transfer state after a fabric failure: every outstanding
+     * transaction completes with CqStatus::kFabricError, TLB and CT$
+     * are flushed, and the tid epoch advances so late replies from the
+     * pre-failure era are dropped (§5.1).
+     */
+    void reset();
+
+    //
+    // Observability
+    //
+
+    std::uint32_t activeTransfers() const { return activeTids_; }
+    Tlb &tlb() { return tlb_; }
+    Maq &maq() { return maq_; }
+    const RmcParams &params() const { return params_; }
+    sim::NodeId nodeId() const { return nid_; }
+
+  private:
+    sim::EventQueue &eq_;
+    std::string name_;
+    sim::NodeId nid_;
+    RmcParams params_;
+    mem::PhysMem &phys_;
+    fab::NetworkInterface &ni_;
+
+    Tlb tlb_;
+    Maq maq_;
+    PageWalker walker_;
+    ContextTable ct_;
+    mem::PAddr ittBasePa_;
+
+    // ITT + tid management.
+    std::vector<IttEntry> itt_;
+    std::vector<std::uint32_t> freeTids_;
+    std::uint32_t activeTids_ = 0;
+    sim::Condition tidAvailable_;
+    bool sweepScheduled_ = false;
+
+    // RGP scheduling state.
+    struct QpRef
+    {
+        sim::CtxId ctx;
+        std::uint32_t qpIndex;
+    };
+    std::deque<QpRef> armedQps_;
+    std::vector<std::vector<bool>> qpArmed_;     //!< [ctx][qp]
+    std::vector<std::vector<RingCursor>> wqCursor_;
+    std::vector<std::vector<RingCursor>> cqCursor_;
+    std::vector<std::vector<std::function<void()>>> completionHooks_;
+    sim::Condition rgpWork_;
+
+    // NI wakeups.
+    sim::Condition sendSpace_[fab::kNumLanes];
+    sim::Condition arrival_[fab::kNumLanes];
+    sim::Condition remoteWriteEvent_;
+
+    // Emulation-platform software threads (RGP+RCP share one, RRPP owns
+    // the other, as RMCemu does in §7.1).
+    std::unique_ptr<sim::ServiceResource> emuFrontend_;
+    std::unique_ptr<sim::ServiceResource> emuRemote_;
+
+    // Concurrency bounds for request/reply servicing.
+    sim::Semaphore rrppSlots_;
+    sim::Semaphore rcpSlots_;
+
+    std::function<void()> failureHook_;
+
+    // Stats.
+    sim::Counter wqEntriesProcessed_;
+    sim::Counter requestPacketsSent_;
+    sim::Counter requestsServiced_;
+    sim::Counter repliesProcessed_;
+    sim::Counter completionsPosted_;
+    sim::Counter boundsErrors_;
+    sim::Counter badContextErrors_;
+    sim::Counter atomicsExecuted_;
+    sim::Counter failureAborts_;
+
+    //
+    // Pipelines (one .cc file each).
+    //
+
+    sim::FireAndForget rgpLoop();                          // rgp.cc
+    sim::Task processWq(sim::CtxId ctx, std::uint32_t qp); // rgp.cc
+    sim::Task generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
+                               std::uint32_t wqIndex,
+                               const WqEntry &entry);      // rgp.cc
+
+    sim::FireAndForget rrppLoop();                         // rrpp.cc
+    sim::FireAndForget serviceRequest(fab::Message msg);   // rrpp.cc
+
+    sim::FireAndForget rcpLoop();                          // rcp.cc
+    sim::FireAndForget processReply(fab::Message msg);     // rcp.cc
+    sim::Task postCompletion(IttEntry &itt,
+                             std::uint32_t tidIndex);      // rcp.cc
+
+    //
+    // Shared helpers (rmc.cc)
+    //
+
+    /** Charge pipeline occupancy: hardware stage cycles or emulated
+     *  software service time, depending on the platform. */
+    sim::Task chargeFrontend(sim::Tick hwCost, sim::Tick emuCost);
+    sim::Task chargeRemote(sim::Tick hwCost, sim::Tick emuCost);
+
+    /** Inject @p msg, waiting for NI space. */
+    sim::Task sendMessage(fab::Message msg);
+
+    /** Allocate a transfer id, waiting if the ITT is full. */
+    sim::Task allocTid(std::uint32_t *out);
+    void freeTid(std::uint32_t tidIndex);
+
+    /** Abort one transfer with a (functional) error completion. */
+    void abortTransfer(std::uint32_t tidIndex, CqStatus status);
+
+    /** Timeout sweep over active ITT entries. */
+    void scheduleSweep();
+    void sweepTimeouts();
+
+    /** Translate through TLB + walker with the ctx's page-table root. */
+    sim::Task translate(sim::CtxId ctx, vm::VAddr va, mem::PAddr ptRoot,
+                        std::optional<mem::PAddr> *out);
+
+    mem::PAddr
+    ittAddr(std::uint32_t tidIndex) const
+    {
+        return ittBasePa_ + std::uint64_t(tidIndex) * kIttEntryBytes;
+    }
+
+    std::uint32_t
+    tidOf(std::uint16_t ep, std::uint32_t index) const
+    {
+        return (std::uint32_t(ep) << 16) | index;
+    }
+
+    friend class RmcTestPeer;
+};
+
+} // namespace sonuma::rmc
+
+#endif // SONUMA_RMC_RMC_HH

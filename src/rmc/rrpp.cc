@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Remote Request Processing Pipeline (paper §4.2, Fig. 3b bottom).
+ *
+ * Stateless servicing of incoming requests: decode -> CT lookup (CT$) ->
+ * bounds check -> compute VA -> translate -> perform line read / write /
+ * atomic -> generate reply. Uses only packet-header values plus local
+ * configuration state, so the destination keeps no per-transfer state.
+ */
+
+#include "rmc/rmc.hh"
+
+#include "sim/log.hh"
+
+namespace sonuma::rmc {
+
+sim::FireAndForget
+Rmc::rrppLoop()
+{
+    const auto lane = static_cast<std::size_t>(fab::Lane::kRequest);
+    while (true) {
+        // Bound in-flight request servicing by the MAQ depth; excess
+        // packets stay in the NI eject queue and backpressure the fabric.
+        co_await rrppSlots_.acquire();
+        while (!ni_.hasMessage(fab::Lane::kRequest))
+            co_await arrival_[lane].wait();
+        serviceRequest(ni_.pop(fab::Lane::kRequest));
+    }
+}
+
+sim::FireAndForget
+Rmc::serviceRequest(fab::Message msg)
+{
+    requestsServiced_.inc();
+
+    // Emulation platform: RMCemu discovers work by polling its queues;
+    // the detection lag adds latency without occupying the thread.
+    if (params_.emulation())
+        co_await sim::Delay(eq_, params_.emuPollDelay);
+
+    // Decode + per-request pipeline occupancy.
+    co_await chargeRemote(params_.cycles(params_.rrppStageCycles),
+                          params_.emuRrppPerLine);
+
+    // CT lookup through the CT$; a miss costs a memory read of the CT
+    // entry through the MAQ (paper §4.3).
+    if (!ct_.cacheLookup(msg.ctxId)) {
+        co_await maq_.read(ct_.entryAddr(msg.ctxId));
+        ct_.fill(msg.ctxId);
+    }
+    const CtEntry *ce = ct_.entry(msg.ctxId);
+    if (!ce) {
+        badContextErrors_.inc();
+        co_await sendMessage(msg.makeReply(fab::Op::kErrorReply));
+        rrppSlots_.release();
+        co_return;
+    }
+
+    // Bounds check: the whole accessed span must sit inside the segment
+    // registered for this context at this node.
+    const std::uint64_t span =
+        (msg.op == fab::Op::kCasReq || msg.op == fab::Op::kFetchAddReq)
+            ? sizeof(std::uint64_t)
+            : sim::kCacheLineBytes;
+    if (msg.offset + span > ce->segBytes) {
+        boundsErrors_.inc();
+        co_await sendMessage(msg.makeReply(fab::Op::kErrorReply));
+        rrppSlots_.release();
+        co_return;
+    }
+
+    // Compute the local VA and translate it (TLB / hardware walk).
+    const vm::VAddr va = ce->segBase + msg.offset;
+    std::optional<mem::PAddr> pa;
+    co_await translate(msg.ctxId, va, ce->ptRoot, &pa);
+    if (!pa) {
+        // Registered segments are pinned, so this indicates teardown
+        // racing with traffic; surface as a bounds error.
+        boundsErrors_.inc();
+        co_await sendMessage(msg.makeReply(fab::Op::kErrorReply));
+        rrppSlots_.release();
+        co_return;
+    }
+
+    fab::Message reply;
+    switch (msg.op) {
+      case fab::Op::kReadReq: {
+        co_await maq_.read(*pa);
+        reply = msg.makeReply(fab::Op::kReadReply);
+        std::uint8_t line[sim::kCacheLineBytes];
+        phys_.read(*pa, line, sizeof(line));
+        reply.setPayload(line, sim::kCacheLineBytes);
+        break;
+      }
+      case fab::Op::kWriteReq: {
+        // Full-line store: allocate-on-miss without a stale fetch.
+        co_await maq_.writeFullLine(*pa);
+        phys_.write(*pa, msg.payload.data(), msg.payloadLen);
+        reply = msg.makeReply(fab::Op::kWriteReply);
+        break;
+      }
+      case fab::Op::kCasReq: {
+        // Atomic executed within the destination's coherence hierarchy:
+        // the exclusive (M) acquisition serializes against all local
+        // and remote accesses to the line (paper §7.4).
+        co_await maq_.write(*pa);
+        atomicsExecuted_.inc();
+        const std::uint64_t old =
+            phys_.compareSwap64(*pa, msg.operand1, msg.operand2);
+        reply = msg.makeReply(fab::Op::kAtomicReply);
+        reply.setPayload(&old, sizeof(old));
+        break;
+      }
+      case fab::Op::kFetchAddReq: {
+        co_await maq_.write(*pa);
+        atomicsExecuted_.inc();
+        const std::uint64_t old = phys_.fetchAdd64(*pa, msg.operand1);
+        reply = msg.makeReply(fab::Op::kAtomicReply);
+        reply.setPayload(&old, sizeof(old));
+        break;
+      }
+      default:
+        sim::panic("RRPP received a non-request opcode");
+    }
+
+    if (msg.op != fab::Op::kReadReq) {
+        // Local memory changed: wake software polling for unsolicited
+        // messages (§5.3).
+        remoteWriteEvent_.notifyAll();
+    }
+    co_await sendMessage(reply);
+    rrppSlots_.release();
+}
+
+} // namespace sonuma::rmc

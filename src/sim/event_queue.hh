@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Single-threaded binary-heap event queue. Events scheduled for the same
+ * tick fire in scheduling order (a monotonic sequence number breaks ties),
+ * which makes runs bit-reproducible for a given seed and workload.
+ */
+
+#ifndef SONUMA_SIM_EVENT_QUEUE_HH
+#define SONUMA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sonuma::sim {
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * The central event queue driving a simulation.
+ *
+ * All timing models schedule closures here; coroutine awaitables resume
+ * through it as well, so there is a single global ordering of actions.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @pre when >= now()
+     * @return an id usable with cancel().
+     */
+    EventId schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventId scheduleAfter(Tick delay, std::function<void()> fn);
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an already-fired or
+     * already-cancelled event is a harmless no-op.
+     *
+     * @retval true if the event was still pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** Run until the queue drains. @return final simulated time. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or simulated time would exceed @p limit.
+     * Events scheduled at exactly @p limit still fire.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Fire exactly one event if any is pending. @retval false if empty. */
+    bool step();
+
+    /** True if no events are pending. */
+    bool empty() const { return pending_.empty(); }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return pending_.size(); }
+
+    /** Total events executed so far (for stats / debugging). */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::unordered_set<EventId> pending_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_EVENT_QUEUE_HH

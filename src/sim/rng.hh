@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * The simulator must be bit-reproducible across runs; all randomness
+ * (workload generation, randomized arbitration, graph synthesis) derives
+ * from one seeded Rng per Simulation, or from forked child streams.
+ */
+
+#ifndef SONUMA_SIM_RNG_HH
+#define SONUMA_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace sonuma::sim {
+
+/** xoshiro256** generator with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to spread the seed across state words.
+        std::uint64_t x = seed;
+        for (auto &w : s_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style rejection-free mapping is fine for simulation use.
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Fork an independent child stream (deterministic). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xdeadbeefcafef00dULL);
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_RNG_HH

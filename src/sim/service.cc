@@ -1,0 +1,10 @@
+/**
+ * @file
+ * Service-resource translation unit.
+ *
+ * ServiceResource and BandwidthPipe are header-only; this file exists so
+ * the sim library has a stable archive member for them (and anchors the
+ * vtable-free types' debug info in one place).
+ */
+
+#include "sim/service.hh"

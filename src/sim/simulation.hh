@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Top-level simulation container: event queue + root-task lifetimes +
+ * deterministic RNG + stats registry.
+ */
+
+#ifndef SONUMA_SIM_SIMULATION_HH
+#define SONUMA_SIM_SIMULATION_HH
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace sonuma::sim {
+
+/**
+ * Owns everything that makes one simulation run: the event queue, the set
+ * of spawned root tasks, a seeded RNG, and the statistics registry.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1)
+        : rng_(seed)
+    {}
+
+    EventQueue &eq() { return eq_; }
+    Tick now() const { return eq_.now(); }
+    Rng &rng() { return rng_; }
+    StatRegistry &stats() { return stats_; }
+
+    /**
+     * Adopt a root task and schedule its first resumption at the current
+     * tick. The frame is kept alive until the Simulation is destroyed.
+     */
+    void
+    spawn(Task t)
+    {
+        auto h = t.release();
+        if (!h)
+            throw std::invalid_argument("spawn of empty task");
+        roots_.push_back(h);
+        eq_.scheduleAfter(0, [h] { h.resume(); });
+    }
+
+    /** Run to quiescence, then surface any root-task exception. */
+    Tick
+    run()
+    {
+        Tick t = eq_.run();
+        rethrowRootFailures();
+        return t;
+    }
+
+    /** Run with a simulated-time limit. */
+    Tick
+    runUntil(Tick limit)
+    {
+        Tick t = eq_.runUntil(limit);
+        rethrowRootFailures();
+        return t;
+    }
+
+    /** True when every spawned root task ran to completion. */
+    bool
+    allRootsDone() const
+    {
+        for (auto h : roots_)
+            if (!h.done())
+                return false;
+        return true;
+    }
+
+    ~Simulation()
+    {
+        for (auto h : roots_)
+            h.destroy();
+    }
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+  private:
+    EventQueue eq_;
+    Rng rng_;
+    StatRegistry stats_;
+    std::vector<Task::Handle> roots_;
+
+    void
+    rethrowRootFailures()
+    {
+        for (auto h : roots_) {
+            if (h.done() && h.promise().exception)
+                std::rethrow_exception(h.promise().exception);
+        }
+    }
+};
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_SIMULATION_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Statistics framework implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace sonuma::sim {
+
+Counter::Counter(StatRegistry &reg, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    reg.add(this);
+}
+
+Histogram::Histogram(StatRegistry &reg, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    reg.add(this);
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+
+    std::size_t bucket = 0;
+    if (v >= 1.0)
+        bucket = static_cast<std::size_t>(std::log2(v)) + 1;
+    if (buckets_.size() <= bucket)
+        buckets_.resize(bucket + 1, 0);
+    ++buckets_[bucket];
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(std::ceil(p / 100.0 *
+                                             static_cast<double>(count_)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target) {
+            // Midpoint of the log2 bucket as the estimate.
+            if (i == 0)
+                return 0.5;
+            return 0.75 * std::pow(2.0, static_cast<double>(i));
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    buckets_.clear();
+}
+
+void
+StatRegistry::add(Counter *c)
+{
+    counters_[c->name()] = c;
+}
+
+void
+StatRegistry::add(Histogram *h)
+{
+    histograms_[h->name()] = h;
+}
+
+const Counter *
+StatRegistry::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second;
+}
+
+const Histogram *
+StatRegistry::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second;
+}
+
+std::uint64_t
+StatRegistry::sumByPrefix(const std::string &prefix) const
+{
+    std::uint64_t total = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second->value();
+    }
+    return total;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    os << "---------- stats ----------\n";
+    for (const auto &[name, c] : counters_) {
+        os << std::left << std::setw(48) << name << ' ' << c->value();
+        if (!c->desc().empty())
+            os << "   # " << c->desc();
+        os << '\n';
+    }
+    for (const auto &[name, h] : histograms_) {
+        os << std::left << std::setw(48) << name << " n=" << h->count()
+           << " mean=" << h->mean() << " min=" << h->min()
+           << " max=" << h->max();
+        if (!h->desc().empty())
+            os << "   # " << h->desc();
+        os << '\n';
+    }
+    os << "---------------------------\n";
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
+}
+
+} // namespace sonuma::sim

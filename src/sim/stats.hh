@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Lightweight statistics framework (gem5-inspired).
+ *
+ * Stats register themselves with a StatRegistry under hierarchical dotted
+ * names ("node0.rmc.rgp.reqSent"). Benchmarks and tests read them back
+ * programmatically; dump() renders a human-readable report.
+ */
+
+#ifndef SONUMA_SIM_STATS_HH
+#define SONUMA_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sonuma::sim {
+
+class StatRegistry;
+
+/** Monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(StatRegistry &reg, std::string name, std::string desc);
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Sampled distribution with mean/min/max and logarithmic buckets.
+ * Used for latency distributions (e.g., remote read RTTs).
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    Histogram(StatRegistry &reg, std::string name, std::string desc);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Approximate p-th percentile (0 < p < 100) from log2 buckets. */
+    double percentile(double p) const;
+
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<std::uint64_t> buckets_; // bucket i: [2^i, 2^(i+1))
+};
+
+/**
+ * Registry of all stats in one Simulation. Owns nothing: stats live in
+ * their owning model objects and register pointers here.
+ */
+class StatRegistry
+{
+  public:
+    void add(Counter *c);
+    void add(Histogram *h);
+
+    /** Find a counter by exact name; nullptr if absent. */
+    const Counter *counter(const std::string &name) const;
+
+    /** Find a histogram by exact name; nullptr if absent. */
+    const Histogram *histogram(const std::string &name) const;
+
+    /** Sum of all counters whose names match a prefix. */
+    std::uint64_t sumByPrefix(const std::string &prefix) const;
+
+    /** Render a report of all registered stats. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat to zero. */
+    void resetAll();
+
+  private:
+    std::map<std::string, Counter *> counters_;
+    std::map<std::string, Histogram *> histograms_;
+};
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_STATS_HH

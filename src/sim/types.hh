@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, time conversions, cycles.
+ *
+ * The simulator counts time in integer picoseconds. One 2 GHz core cycle is
+ * 500 ticks, so all of the paper's latency parameters (Table 1) are exactly
+ * representable.
+ */
+
+#ifndef SONUMA_SIM_TYPES_HH
+#define SONUMA_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace sonuma::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** One nanosecond worth of ticks. */
+inline constexpr Tick kTicksPerNs = 1000;
+
+/** One microsecond worth of ticks. */
+inline constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
+
+/** One millisecond worth of ticks. */
+inline constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs));
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTicksPerUs));
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Convert ticks to (fractional) microseconds. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerUs);
+}
+
+/**
+ * A fixed clock domain that converts between cycles and ticks.
+ *
+ * All hardware blocks in a node run off a node clock (2 GHz by default per
+ * the paper's Table 1).
+ */
+class Clock
+{
+  public:
+    explicit constexpr Clock(double freq_ghz = 2.0)
+        : period_(static_cast<Tick>(1000.0 / freq_ghz))
+    {}
+
+    /** Tick duration of @p cycles clock cycles. */
+    constexpr Tick cycles(std::uint64_t n) const { return n * period_; }
+
+    /** Tick duration of one cycle. */
+    constexpr Tick period() const { return period_; }
+
+  private:
+    Tick period_;
+};
+
+/** Node identifier within the fabric. */
+using NodeId = std::uint16_t;
+
+/** Global address-space (security context) identifier. */
+using CtxId = std::uint16_t;
+
+/** Cache-line size used throughout (fabric payload granularity). */
+inline constexpr std::uint32_t kCacheLineBytes = 64;
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_TYPES_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Address space implementation.
+ */
+
+#include "vm/address_space.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace sonuma::vm {
+
+AddressSpace::AddressSpace(mem::PhysMem &mem, FrameAllocator &frames)
+    : mem_(mem), frames_(frames), pt_(mem, frames)
+{
+}
+
+VAddr
+AddressSpace::alloc(std::uint64_t bytes)
+{
+    const std::uint64_t pages =
+        std::max<std::uint64_t>(1, (bytes + kPageBytes - 1) / kPageBytes);
+    const VAddr base = nextVa_;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        const mem::PAddr frame = frames_.alloc();
+        mem_.fill(frame, 0, kPageBytes);
+        pt_.map(base + i * kPageBytes, frame);
+    }
+    nextVa_ += pages * kPageBytes;
+    return base;
+}
+
+mem::PAddr
+AddressSpace::translate(VAddr va) const
+{
+    auto pa = pt_.translate(va);
+    if (!pa)
+        sim::fatal("access to unmapped VA 0x" /* user bug */ +
+                   std::to_string(va));
+    return *pa;
+}
+
+bool
+AddressSpace::mapped(VAddr va) const
+{
+    return pt_.translate(va).has_value();
+}
+
+void
+AddressSpace::read(VAddr va, void *dst, std::uint64_t len) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(len, kPageBytes - pageOffset(va));
+        mem_.read(translate(va), out, chunk);
+        va += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+AddressSpace::write(VAddr va, const void *src, std::uint64_t len)
+{
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(len, kPageBytes - pageOffset(va));
+        mem_.write(translate(va), in, chunk);
+        va += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace sonuma::vm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the two baseline models against their published behaviour:
+ * RDMA/InfiniBand (Table 2 column 3) and the TCP deep stack (Fig. 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/rdma.hh"
+#include "baseline/tcp_stack.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace sonuma;
+using baseline::RdmaPair;
+using baseline::TcpPair;
+
+TEST(RdmaBaseline, SmallReadLatencyNearPublished)
+{
+    sim::Simulation sim;
+    RdmaPair rdma(sim.eq(), sim.stats(), {});
+    sim::Tick t = 0;
+    sim.spawn([](sim::Simulation *s, RdmaPair *r, sim::Tick *t) -> sim::Task {
+        co_await r->read(64);
+        *t = s->now();
+    }(&sim, &rdma, &t));
+    sim.run();
+    const double us = sim::ticksToUs(t);
+    // Mellanox ConnectX-3 published: 1.19 us.
+    EXPECT_GT(us, 1.0);
+    EXPECT_LT(us, 1.4);
+}
+
+TEST(RdmaBaseline, FetchAddLatencyNearPublished)
+{
+    sim::Simulation sim;
+    RdmaPair rdma(sim.eq(), sim.stats(), {});
+    sim::Tick t = 0;
+    sim.spawn([](sim::Simulation *s, RdmaPair *r, sim::Tick *t) -> sim::Task {
+        co_await r->fetchAdd();
+        *t = s->now();
+    }(&sim, &rdma, &t));
+    sim.run();
+    const double us = sim::ticksToUs(t);
+    // Published: 1.15 us — close to the read RTT.
+    EXPECT_GT(us, 0.9);
+    EXPECT_LT(us, 1.4);
+}
+
+TEST(RdmaBaseline, LargeReadBandwidthIsPcieLimited)
+{
+    sim::Simulation sim;
+    RdmaPair rdma(sim.eq(), sim.stats(), {});
+    const std::uint32_t kLen = 64 * 1024;
+    const std::uint64_t kCount = 64;
+    sim.spawn([](RdmaPair *r) -> sim::Task {
+        co_await r->stream(kLen, kCount);
+    }(&rdma));
+    sim.run();
+    const double secs = sim::ticksToNs(sim.now()) * 1e-9;
+    const double gbps = kLen * kCount * 8.0 / secs / 1e9;
+    // PCIe Gen3 payload ceiling ~50 Gbps despite the 56 Gbps link.
+    EXPECT_GT(gbps, 40.0);
+    EXPECT_LT(gbps, 52.0);
+}
+
+TEST(RdmaBaseline, IopsPerQpNearPublished)
+{
+    sim::Simulation sim;
+    RdmaPair rdma(sim.eq(), sim.stats(), {});
+    const std::uint64_t kCount = 20000;
+    sim.spawn([](RdmaPair *r) -> sim::Task {
+        co_await r->stream(8, kCount);
+    }(&rdma));
+    sim.run();
+    const double secs = sim::ticksToNs(sim.now()) * 1e-9;
+    const double mops = static_cast<double>(kCount) / secs / 1e6;
+    // Published: 35 M IOPS with 4 QPs/4 cores => ~8.75 M per QP engine.
+    EXPECT_GT(mops, 6.0);
+    EXPECT_LT(mops, 12.0);
+}
+
+TEST(TcpBaseline, SmallMessageLatencyExceeds40us)
+{
+    sim::Simulation sim;
+    TcpPair tcp(sim.eq(), sim.stats(), {});
+    sim::Tick t = 0;
+    sim.spawn([](sim::Simulation *s, TcpPair *p, sim::Tick *t) -> sim::Task {
+        co_await p->send(64);
+        *t = s->now();
+    }(&sim, &tcp, &t));
+    sim.run();
+    // Paper Fig. 1: >40 us one-way for small messages.
+    EXPECT_GT(sim::ticksToUs(t), 35.0);
+    EXPECT_LT(sim::ticksToUs(t), 80.0);
+}
+
+TEST(TcpBaseline, LargeMessageBandwidthUnder2Gbps)
+{
+    sim::Simulation sim;
+    TcpPair tcp(sim.eq(), sim.stats(), {});
+    const std::uint32_t kLen = 256 * 1024;
+    sim.spawn([](TcpPair *p) -> sim::Task {
+        co_await p->stream(kLen, 16);
+    }(&tcp));
+    sim.run();
+    const double secs = sim::ticksToNs(sim.now()) * 1e-9;
+    const double gbps = kLen * 16 * 8.0 / secs / 1e9;
+    // Paper Fig. 1: under 2 Gbps despite the 10 Gbps fabric.
+    EXPECT_GT(gbps, 1.0);
+    EXPECT_LT(gbps, 2.0);
+}
+
+TEST(TcpBaseline, LatencyGrowsWithMessageSize)
+{
+    sim::Simulation sim;
+    TcpPair tcp(sim.eq(), sim.stats(), {});
+    sim::Tick small = 0, large = 0;
+    sim.spawn([](sim::Simulation *s, TcpPair *p, sim::Tick *a,
+                 sim::Tick *b) -> sim::Task {
+        const sim::Tick t0 = s->now();
+        co_await p->send(64);
+        *a = s->now() - t0;
+        const sim::Tick t1 = s->now();
+        co_await p->send(64 * 1024);
+        *b = s->now() - t1;
+    }(&sim, &tcp, &small, &large));
+    sim.run();
+    EXPECT_GT(large, 2 * small);
+}
+
+TEST(TcpBaseline, PingPongIsTwiceOneWay)
+{
+    sim::Simulation sim;
+    TcpPair tcp(sim.eq(), sim.stats(), {});
+    sim::Tick rtt = 0;
+    sim.spawn([](sim::Simulation *s, TcpPair *p, sim::Tick *t) -> sim::Task {
+        co_await p->pingPong(64);
+        *t = s->now();
+    }(&sim, &tcp, &rtt));
+    sim.run();
+    EXPECT_GT(sim::ticksToUs(rtt), 70.0);
+    EXPECT_LT(sim::ticksToUs(rtt), 160.0);
+}
+
+} // namespace

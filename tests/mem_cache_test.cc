@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the coherent cache hierarchy: hit/miss timing, MSHR merging
+ * and limits, upgrades, cache-to-cache transfers (the mechanism behind
+ * the paper's low-latency queue-pair polling), writebacks, inclusion,
+ * and probe/writeback races.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace {
+
+using namespace sonuma;
+using mem::CacheParams;
+using mem::DramChannel;
+using mem::DramParams;
+using mem::L1Cache;
+using mem::L2Cache;
+using sim::EventQueue;
+using sim::StatRegistry;
+using sim::Tick;
+
+struct CacheFixture : public ::testing::Test
+{
+    EventQueue eq;
+    StatRegistry stats;
+    DramChannel dram{eq, stats, "dram", DramParams{}};
+    L2Cache l2{eq, stats, "l2", L2Cache::Params{}, dram};
+    L1Cache core{eq, stats, "core.l1", CacheParams{}, l2};
+    L1Cache rmc{eq, stats, "rmc.l1", CacheParams{}, l2};
+
+    /** Run one access to completion and return its latency in ns. */
+    double
+    timedAccess(L1Cache &l1, std::uint64_t addr, bool write)
+    {
+        const Tick start = eq.now();
+        Tick end = 0;
+        l1.access(addr, write, [&] { end = eq.now(); });
+        eq.run();
+        return sim::ticksToNs(end - start);
+    }
+};
+
+TEST_F(CacheFixture, ColdMissGoesToDram)
+{
+    const double ns = timedAccess(core, 0x1000, false);
+    // L1 (1.5) + L2 (3) + DRAM (~45-60) and fill path.
+    EXPECT_GE(ns, 40.0);
+    EXPECT_LE(ns, 90.0);
+    EXPECT_EQ(core.misses(), 1u);
+    EXPECT_EQ(l2.misses(), 1u);
+    EXPECT_EQ(stats.counter("dram.reads")->value(), 1u);
+}
+
+TEST_F(CacheFixture, L1HitIsFast)
+{
+    timedAccess(core, 0x1000, false);
+    const double ns = timedAccess(core, 0x1000, false);
+    EXPECT_DOUBLE_EQ(ns, 1.5); // 3 cycles @ 2 GHz
+    EXPECT_EQ(core.hits(), 1u);
+}
+
+TEST_F(CacheFixture, L2HitAvoidsDram)
+{
+    timedAccess(core, 0x2000, false);
+    // A second L1 misses in its own L1 but hits the now-filled L2.
+    const double ns = timedAccess(rmc, 0x2000, false);
+    EXPECT_LT(ns, 10.0);
+    EXPECT_EQ(stats.counter("dram.reads")->value(), 1u);
+    EXPECT_EQ(l2.hits(), 1u);
+}
+
+TEST_F(CacheFixture, WriteThenRemoteReadIsCacheToCache)
+{
+    timedAccess(core, 0x3000, true); // core holds M
+    const double ns = timedAccess(rmc, 0x3000, false);
+    // Probe downgrade, not DRAM: this is the queue-pair polling path.
+    EXPECT_LT(ns, 15.0);
+    EXPECT_EQ(l2.cacheToCacheTransfers(), 1u);
+    EXPECT_EQ(stats.counter("dram.reads")->value(), 1u); // only cold fill
+}
+
+TEST_F(CacheFixture, WriteInvalidatesOtherSharers)
+{
+    timedAccess(core, 0x4000, false);
+    timedAccess(rmc, 0x4000, false); // both S
+    timedAccess(core, 0x4000, true); // invalidates rmc
+    // rmc read must now miss in its L1 (re-fetch via L2 + probe).
+    const std::uint64_t missesBefore = rmc.misses();
+    timedAccess(rmc, 0x4000, false);
+    EXPECT_EQ(rmc.misses(), missesBefore + 1);
+}
+
+TEST_F(CacheFixture, UpgradeFromSharedToModified)
+{
+    timedAccess(core, 0x5000, false); // S
+    const double ns = timedAccess(core, 0x5000, true);
+    // Upgrade: L1 re-request to L2, but no DRAM traffic.
+    EXPECT_LT(ns, 15.0);
+    EXPECT_EQ(stats.counter("core.l1.upgrades")->value(), 1u);
+    EXPECT_EQ(stats.counter("dram.reads")->value(), 1u);
+}
+
+TEST_F(CacheFixture, MshrMergesSameLineRequests)
+{
+    int done = 0;
+    core.access(0x6000, false, [&] { ++done; });
+    core.access(0x6000, false, [&] { ++done; });
+    core.access(0x6020, false, [&] { ++done; }); // same 64 B line
+    eq.run();
+    EXPECT_EQ(done, 3);
+    // One transaction serves all three.
+    EXPECT_EQ(stats.counter("dram.reads")->value(), 1u);
+}
+
+TEST_F(CacheFixture, WriteWaiterOnReadFillRetriesAsUpgrade)
+{
+    int done = 0;
+    core.access(0x7000, false, [&] { ++done; });
+    // A write to the same line while the read is outstanding.
+    core.access(0x7000, true, [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 2);
+    // The line must end up writable: a further write hits.
+    const double ns = timedAccess(core, 0x7000, true);
+    EXPECT_DOUBLE_EQ(ns, 1.5);
+}
+
+TEST_F(CacheFixture, MshrLimitBlocksExcessMisses)
+{
+    CacheParams small;
+    small.mshrs = 2;
+    L1Cache tiny(eq, stats, "tiny.l1", small, l2);
+    int done = 0;
+    for (int i = 0; i < 8; ++i)
+        tiny.access(0x10000 + static_cast<std::uint64_t>(i) * 4096, false,
+                    [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 8); // all eventually complete
+}
+
+TEST_F(CacheFixture, DirtyEvictionWritesBack)
+{
+    // Fill one L1 set beyond associativity with dirty lines.
+    // 32 KB / 64 B / 2-way = 256 sets; same set every 256 lines.
+    const std::uint64_t setStride = 256 * 64;
+    for (int i = 0; i < 3; ++i)
+        timedAccess(core, static_cast<std::uint64_t>(i) * setStride, true);
+    EXPECT_EQ(stats.counter("core.l1.writebacks")->value(), 1u);
+    // The evicted line's data must still be readable (from L2, clean).
+    const double ns = timedAccess(core, 0, false);
+    EXPECT_LT(ns, 15.0); // L2 hit: no DRAM re-fetch
+}
+
+TEST_F(CacheFixture, ProbeDuringPendingWritebackResolves)
+{
+    // core dirties line A, evicts it (PutM in flight), rmc reads A.
+    const std::uint64_t setStride = 256 * 64;
+    const std::uint64_t lineA = 0x8000;
+    timedAccess(core, lineA, true);
+    // Evict A by touching two more lines in its set (no run to completion:
+    // keep the PutM and the rmc read racing).
+    core.access(lineA + setStride, true, [] {});
+    core.access(lineA + 2 * setStride, true, [] {});
+    int rmcDone = 0;
+    rmc.access(lineA, false, [&] { ++rmcDone; });
+    eq.run();
+    EXPECT_EQ(rmcDone, 1);
+}
+
+TEST_F(CacheFixture, L2EvictionBackInvalidatesL1)
+{
+    // Use a tiny L2 to force eviction.
+    EventQueue eq2;
+    StatRegistry st2;
+    DramChannel dram2(eq2, st2, "dram", DramParams{});
+    L2Cache::Params tiny;
+    tiny.sizeBytes = 8 * 1024; // 128 lines, 16-way -> 8 sets
+    L2Cache l2b(eq2, st2, "l2", tiny, dram2);
+    L1Cache l1b(eq2, st2, "l1", CacheParams{}, l2b);
+
+    auto touch = [&](std::uint64_t addr) {
+        l1b.access(addr, false, [] {});
+        eq2.run();
+    };
+    // 8 sets * 64 B = 512 B stride hits the same L2 set.
+    for (int i = 0; i < 20; ++i)
+        touch(static_cast<std::uint64_t>(i) * 512);
+    EXPECT_GT(st2.counter("l2.evictions")->value(), 0u);
+    // Inclusion: evicted lines were invalidated in the L1 too, so the L1
+    // must re-miss on the earliest line.
+    const std::uint64_t missesBefore = l1b.misses();
+    touch(0);
+    EXPECT_EQ(l1b.misses(), missesBefore + 1);
+}
+
+TEST_F(CacheFixture, ConcurrentMixedTrafficCompletes)
+{
+    // Property-style smoke: many interleaved reads/writes from two L1s to
+    // overlapping lines all complete, and no DRAM read is issued twice for
+    // a line both L1s share via L2.
+    int done = 0;
+    const int kOps = 400;
+    for (int i = 0; i < kOps; ++i) {
+        L1Cache &l1 = (i % 3 == 0) ? rmc : core;
+        const std::uint64_t addr = (static_cast<std::uint64_t>(i) % 32) * 64;
+        const bool write = (i % 7 == 0);
+        eq.schedule(static_cast<Tick>(i) * 100,
+                    [&, addr, write, i]() mutable {
+                        L1Cache &target = (i % 3 == 0) ? rmc : core;
+                        (void)l1;
+                        target.access(addr, write, [&] { ++done; });
+                    });
+    }
+    eq.run();
+    EXPECT_EQ(done, kOps);
+    // 32 distinct lines -> at most 32 cold DRAM reads.
+    EXPECT_LE(stats.counter("dram.reads")->value(), 32u);
+}
+
+} // namespace

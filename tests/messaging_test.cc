@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Tests for the software messaging and synchronization library (§5.3):
+ * push and pull paths, threshold selection, ordering, credit flow
+ * control under ring pressure, and the multi-node barrier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "api/barrier.hh"
+#include "api/messaging.hh"
+#include "api/session.hh"
+#include "node/cluster.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace sonuma;
+using api::Barrier;
+using api::MsgEndpoint;
+using api::MsgParams;
+using api::RmcSession;
+
+/** Two nodes, each with a segment sized for one messaging endpoint. */
+struct MsgFixture : public ::testing::Test
+{
+    sim::Simulation sim{7};
+    std::unique_ptr<node::Cluster> cluster;
+    std::unique_ptr<RmcSession> s0, s1;
+    std::unique_ptr<MsgEndpoint> e0, e1;
+    static constexpr sim::CtxId kCtx = 1;
+
+    void
+    buildEndpoints(const MsgParams &params)
+    {
+        node::ClusterParams cp;
+        cp.nodes = 2;
+        cluster = std::make_unique<node::Cluster>(sim, cp);
+        cluster->createSharedContext(kCtx);
+
+        const std::uint64_t segBytes = MsgEndpoint::regionBytes(params);
+        std::vector<vm::VAddr> segBase(2);
+        std::vector<os::Process *> procs(2);
+        for (int n = 0; n < 2; ++n) {
+            auto &node = cluster->node(static_cast<std::size_t>(n));
+            procs[n] = &node.os().createProcess(0);
+            segBase[n] = procs[n]->alloc(segBytes);
+            node.driver().openContext(*procs[n], kCtx);
+            node.driver().registerSegment(*procs[n], kCtx, segBase[n],
+                                          segBytes);
+        }
+        s0 = std::make_unique<RmcSession>(cluster->node(0).core(0),
+                                          cluster->node(0).driver(),
+                                          *procs[0], kCtx);
+        s1 = std::make_unique<RmcSession>(cluster->node(1).core(0),
+                                          cluster->node(1).driver(),
+                                          *procs[1], kCtx);
+        e0 = std::make_unique<MsgEndpoint>(*s0, 1, segBase[0], 0, 0,
+                                           params);
+        e1 = std::make_unique<MsgEndpoint>(*s1, 0, segBase[1], 0, 0,
+                                           params);
+    }
+
+    static std::vector<std::uint8_t>
+    pattern(std::uint32_t len, std::uint8_t seed)
+    {
+        std::vector<std::uint8_t> v(len);
+        for (std::uint32_t i = 0; i < len; ++i)
+            v[i] = static_cast<std::uint8_t>(seed + i * 3);
+        return v;
+    }
+};
+
+TEST_F(MsgFixture, SmallMessageViaPush)
+{
+    buildEndpoints(MsgParams{});
+    const auto msg = pattern(32, 5);
+    std::vector<std::uint8_t> got;
+    sim.spawn([](MsgEndpoint *e, const std::vector<std::uint8_t> *m)
+                  -> sim::Task { co_await e->send(m->data(), 32); }(
+        e0.get(), &msg));
+    sim.spawn([](MsgEndpoint *e, std::vector<std::uint8_t> *out)
+                  -> sim::Task { co_await e->receive(out); }(e1.get(),
+                                                             &got));
+    sim.run();
+    EXPECT_EQ(got, msg);
+}
+
+TEST_F(MsgFixture, LargeMessageViaPull)
+{
+    buildEndpoints(MsgParams{});
+    const std::uint32_t kLen = 16 * 1024; // above the 256 B threshold
+    const auto msg = pattern(kLen, 9);
+    std::vector<std::uint8_t> got;
+    sim.spawn([](MsgEndpoint *e, const std::vector<std::uint8_t> *m,
+                 std::uint32_t len) -> sim::Task {
+        co_await e->send(m->data(), len);
+    }(e0.get(), &msg, kLen));
+    sim.spawn([](MsgEndpoint *e, std::vector<std::uint8_t> *out)
+                  -> sim::Task { co_await e->receive(out); }(e1.get(),
+                                                             &got));
+    sim.run();
+    EXPECT_EQ(got, msg);
+}
+
+TEST_F(MsgFixture, MultiChunkPushReassembles)
+{
+    MsgParams p;
+    p.pushThreshold = 1 << 20; // force push even for large messages
+    buildEndpoints(p);
+    const std::uint32_t kLen = 1000; // ~21 chunks of 48 B
+    const auto msg = pattern(kLen, 13);
+    std::vector<std::uint8_t> got;
+    sim.spawn([](MsgEndpoint *e, const std::vector<std::uint8_t> *m,
+                 std::uint32_t len) -> sim::Task {
+        co_await e->send(m->data(), len);
+    }(e0.get(), &msg, kLen));
+    sim.spawn([](MsgEndpoint *e, std::vector<std::uint8_t> *out)
+                  -> sim::Task { co_await e->receive(out); }(e1.get(),
+                                                             &got));
+    sim.run();
+    EXPECT_EQ(got, msg);
+}
+
+TEST_F(MsgFixture, ThresholdZeroForcesPullEvenForTinyMessages)
+{
+    MsgParams p;
+    p.pushThreshold = 0;
+    buildEndpoints(p);
+    const auto msg = pattern(16, 21);
+    std::vector<std::uint8_t> got;
+    sim.spawn([](MsgEndpoint *e, const std::vector<std::uint8_t> *m)
+                  -> sim::Task { co_await e->send(m->data(), 16); }(
+        e0.get(), &msg));
+    sim.spawn([](MsgEndpoint *e, std::vector<std::uint8_t> *out)
+                  -> sim::Task { co_await e->receive(out); }(e1.get(),
+                                                             &got));
+    sim.run();
+    EXPECT_EQ(got, msg);
+}
+
+TEST_F(MsgFixture, ManyMessagesArriveInOrder)
+{
+    buildEndpoints(MsgParams{});
+    const int kMsgs = 300; // several ring laps; exercises credit return
+    std::vector<int> receivedOrder;
+    sim.spawn([](MsgEndpoint *e) -> sim::Task {
+        for (int i = 0; i < kMsgs; ++i) {
+            std::uint32_t v = static_cast<std::uint32_t>(i);
+            co_await e->send(&v, sizeof(v));
+        }
+    }(e0.get()));
+    sim.spawn([](MsgEndpoint *e, std::vector<int> *order) -> sim::Task {
+        for (int i = 0; i < kMsgs; ++i) {
+            std::vector<std::uint8_t> buf;
+            co_await e->receive(&buf);
+            std::uint32_t v;
+            std::memcpy(&v, buf.data(), sizeof(v));
+            order->push_back(static_cast<int>(v));
+        }
+    }(e1.get(), &receivedOrder));
+    sim.run();
+    ASSERT_EQ(receivedOrder.size(), static_cast<std::size_t>(kMsgs));
+    for (int i = 0; i < kMsgs; ++i)
+        EXPECT_EQ(receivedOrder[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(MsgFixture, MixedSizesCrossThreshold)
+{
+    buildEndpoints(MsgParams{});
+    const std::vector<std::uint32_t> sizes = {8,    64,   256,  257,
+                                              4096, 48,   8192, 100};
+    std::vector<std::vector<std::uint8_t>> got(sizes.size());
+    sim.spawn([](MsgFixture *f, const std::vector<std::uint32_t> *sizes)
+                  -> sim::Task {
+        for (std::size_t i = 0; i < sizes->size(); ++i) {
+            auto msg = pattern((*sizes)[i],
+                               static_cast<std::uint8_t>(i * 11 + 1));
+            co_await f->e0->send(msg.data(), (*sizes)[i]);
+        }
+    }(this, &sizes));
+    sim.spawn([](MsgFixture *f,
+                 std::vector<std::vector<std::uint8_t>> *got) -> sim::Task {
+        for (auto &slot : *got)
+            co_await f->e1->receive(&slot);
+    }(this, &got));
+    sim.run();
+    for (std::size_t i = 0; i < sizes.size(); ++i)
+        EXPECT_EQ(got[i],
+                  pattern(sizes[i], static_cast<std::uint8_t>(i * 11 + 1)))
+            << "message " << i;
+}
+
+TEST_F(MsgFixture, PingPongLatencyIsSubMicrosecond)
+{
+    buildEndpoints(MsgParams{});
+    sim::Tick oneWay = 0;
+    sim.spawn([](MsgFixture *f, sim::Tick *oneWay) -> sim::Task {
+        // Warmup exchange, then 10 timed round trips.
+        std::uint64_t v = 1;
+        std::vector<std::uint8_t> buf;
+        co_await f->e0->send(&v, 8);
+        co_await f->e0->receive(&buf);
+        const sim::Tick start = f->sim.now();
+        for (int i = 0; i < 10; ++i) {
+            co_await f->e0->send(&v, 8);
+            co_await f->e0->receive(&buf);
+        }
+        *oneWay = (f->sim.now() - start) / 20;
+    }(this, &oneWay));
+    sim.spawn([](MsgFixture *f) -> sim::Task {
+        std::uint64_t v = 2;
+        std::vector<std::uint8_t> buf;
+        co_await f->e1->receive(&buf);
+        co_await f->e1->send(&v, 8);
+        for (int i = 0; i < 10; ++i) {
+            co_await f->e1->receive(&buf);
+            co_await f->e1->send(&v, 8);
+        }
+    }(this));
+    sim.run();
+    // Paper: minimal half-duplex latency 340 ns on simulated hardware.
+    EXPECT_GT(sim::ticksToNs(oneWay), 100.0);
+    EXPECT_LT(sim::ticksToNs(oneWay), 700.0);
+}
+
+struct BarrierFixture : public ::testing::Test
+{
+    sim::Simulation sim{11};
+    std::unique_ptr<node::Cluster> cluster;
+    std::vector<std::unique_ptr<RmcSession>> sessions;
+    std::vector<std::unique_ptr<Barrier>> barriers;
+    static constexpr sim::CtxId kCtx = 1;
+
+    void
+    build(std::uint32_t n)
+    {
+        node::ClusterParams cp;
+        cp.nodes = n;
+        cluster = std::make_unique<node::Cluster>(sim, cp);
+        cluster->createSharedContext(kCtx);
+        const auto segBytes = Barrier::regionBytes(n);
+        std::vector<sim::NodeId> all(n);
+        std::iota(all.begin(), all.end(), 0);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            auto &node = cluster->node(i);
+            auto &proc = node.os().createProcess(0);
+            const auto seg = proc.alloc(segBytes);
+            node.driver().openContext(proc, kCtx);
+            node.driver().registerSegment(proc, kCtx, seg, segBytes);
+            sessions.push_back(std::make_unique<RmcSession>(
+                node.core(0), node.driver(), proc, kCtx));
+            barriers.push_back(std::make_unique<Barrier>(
+                *sessions.back(), all, seg, 0));
+        }
+    }
+};
+
+TEST_F(BarrierFixture, NoNodeEscapesEarly)
+{
+    build(4);
+    std::vector<sim::Tick> exitTimes(4, 0);
+    sim::Tick lastArrival = 0;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        sim.spawn([](BarrierFixture *f, std::uint32_t i,
+                     sim::Tick *lastArrival,
+                     std::vector<sim::Tick> *exits) -> sim::Task {
+            // Stagger arrivals: node i arrives at i * 10 us.
+            co_await sim::Delay(f->sim.eq(),
+                                sim::usToTicks(10) * i);
+            *lastArrival = std::max(*lastArrival, f->sim.now());
+            co_await f->barriers[i]->arrive();
+            (*exits)[i] = f->sim.now();
+        }(this, i, &lastArrival, &exitTimes));
+    }
+    sim.run();
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_GE(exitTimes[i], lastArrival) << "node " << i;
+}
+
+TEST_F(BarrierFixture, ReusableAcrossGenerations)
+{
+    build(3);
+    std::vector<int> rounds(3, 0);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        sim.spawn([](BarrierFixture *f, std::uint32_t i,
+                     std::vector<int> *rounds) -> sim::Task {
+            for (int r = 0; r < 5; ++r) {
+                co_await f->barriers[i]->arrive();
+                // All nodes must be in the same round after each barrier.
+                for (int n = 0; n < 3; ++n)
+                    EXPECT_GE((*rounds)[static_cast<std::size_t>(n)] + 1,
+                              r);
+                ++(*rounds)[i];
+            }
+        }(this, i, &rounds));
+    }
+    sim.run();
+    EXPECT_EQ(rounds, (std::vector<int>{5, 5, 5}));
+}
+
+TEST_F(BarrierFixture, TwoNodeBarrierFast)
+{
+    build(2);
+    sim::Tick done = 0;
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        sim.spawn([](BarrierFixture *f, std::uint32_t i,
+                     sim::Tick *done) -> sim::Task {
+            co_await f->barriers[i]->arrive();
+            *done = std::max(*done, f->sim.now());
+        }(this, i, &done));
+    }
+    sim.run();
+    // One remote write each way + local polling: ~hundreds of ns.
+    EXPECT_LT(sim::ticksToNs(done), 2000.0);
+}
+
+} // namespace

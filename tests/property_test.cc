@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Property-based and parameterized tests.
+ *
+ *  - Golden-model fuzz: random sequences of remote reads/writes/atomics
+ *    against a host-side reference memory; simulated memory must agree
+ *    byte-for-byte at quiescence, for any seed.
+ *  - Determinism: identical seeds produce identical simulated end times
+ *    and identical memory images.
+ *  - Parameterized sweeps: remote reads across request sizes and MAQ
+ *    depths always complete, preserve data, and respect monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "api/session.hh"
+#include "node/cluster.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace sonuma;
+using api::RmcSession;
+
+constexpr sim::CtxId kCtx = 1;
+constexpr std::uint64_t kSegBytes = 1 << 20;
+
+struct World
+{
+    sim::Simulation sim;
+    std::unique_ptr<node::Cluster> cluster;
+    os::Process *server = nullptr;
+    os::Process *client = nullptr;
+    vm::VAddr seg = 0;
+
+    explicit World(std::uint64_t seed,
+                   const rmc::RmcParams &rp =
+                       rmc::RmcParams::simulatedHardware())
+        : sim(seed)
+    {
+        node::ClusterParams params;
+        params.nodes = 2;
+        params.node.rmc = rp;
+        cluster = std::make_unique<node::Cluster>(sim, params);
+        cluster->createSharedContext(kCtx);
+        server = &cluster->node(0).os().createProcess(0);
+        seg = server->alloc(kSegBytes);
+        cluster->node(0).driver().openContext(*server, kCtx);
+        cluster->node(0).driver().registerSegment(*server, kCtx, seg,
+                                                  kSegBytes);
+        client = &cluster->node(1).os().createProcess(0);
+    }
+};
+
+/** Host-side reference of the server segment. */
+class GoldenMemory
+{
+  public:
+    GoldenMemory() : bytes_(kSegBytes, 0) {}
+
+    void
+    write(std::uint64_t off, const void *src, std::uint64_t len)
+    {
+        std::memcpy(bytes_.data() + off, src, len);
+    }
+
+    void
+    read(std::uint64_t off, void *dst, std::uint64_t len) const
+    {
+        std::memcpy(dst, bytes_.data() + off, len);
+    }
+
+    std::uint64_t
+    fetchAdd(std::uint64_t off, std::uint64_t v)
+    {
+        std::uint64_t old;
+        std::memcpy(&old, bytes_.data() + off, 8);
+        const std::uint64_t next = old + v;
+        std::memcpy(bytes_.data() + off, &next, 8);
+        return old;
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Random op mix against the golden model; checked at quiescence. */
+void
+runFuzz(std::uint64_t seed, int ops)
+{
+    World w(seed);
+    GoldenMemory golden;
+    RmcSession session(w.cluster->node(1).core(0),
+                       w.cluster->node(1).driver(), *w.client, kCtx);
+    const vm::VAddr buf = session.allocBuffer(8192);
+
+    bool mismatch = false;
+    w.sim.spawn([](World *w, GoldenMemory *golden, RmcSession *s,
+                   vm::VAddr buf, std::uint64_t seed, int ops,
+                   bool *mismatch) -> sim::Task {
+        sim::Rng rng(seed * 77 + 1);
+        rmc::CqStatus st;
+        for (int i = 0; i < ops; ++i) {
+            // Line-aligned offset and size (the RMC's granularity).
+            const std::uint32_t lines =
+                static_cast<std::uint32_t>(rng.range(1, 32));
+            const std::uint32_t len = lines * 64;
+            const std::uint64_t off =
+                rng.below((kSegBytes - len) / 64) * 64;
+            const int kind = static_cast<int>(rng.below(4));
+            if (kind == 0) { // remote write of fresh random data
+                std::vector<std::uint8_t> data(len);
+                for (auto &b : data)
+                    b = static_cast<std::uint8_t>(rng.next());
+                w->client->addressSpace().write(buf, data.data(), len);
+                co_await s->writeSync(0, off, buf, len, &st);
+                EXPECT_EQ(st, rmc::CqStatus::kOk);
+                golden->write(off, data.data(), len);
+            } else if (kind == 1) { // remote read, compare to golden
+                co_await s->readSync(0, off, buf, len, &st);
+                EXPECT_EQ(st, rmc::CqStatus::kOk);
+                std::vector<std::uint8_t> got(len), want(len);
+                w->client->addressSpace().read(buf, got.data(), len);
+                golden->read(off, want.data(), len);
+                if (got != want)
+                    *mismatch = true;
+            } else if (kind == 2) { // fetch-add on an aligned word
+                const std::uint64_t woff = off & ~std::uint64_t(7);
+                std::uint64_t old = 0;
+                co_await s->fetchAddSync(0, woff, i + 1, &old, &st);
+                EXPECT_EQ(st, rmc::CqStatus::kOk);
+                const std::uint64_t wantOld =
+                    golden->fetchAdd(woff, static_cast<std::uint64_t>(
+                                               i + 1));
+                if (old != wantOld)
+                    *mismatch = true;
+            } else { // local (server-side) functional write
+                std::uint64_t v = rng.next();
+                w->server->addressSpace().writeT(w->seg + off, v);
+                golden->write(off, &v, sizeof(v));
+            }
+        }
+    }(&w, &golden, &session, buf, seed, ops, &mismatch));
+    w.sim.run();
+
+    EXPECT_FALSE(mismatch);
+    // Full segment comparison at quiescence.
+    std::vector<std::uint8_t> image(kSegBytes);
+    w.server->addressSpace().read(w.seg, image.data(), kSegBytes);
+    EXPECT_EQ(image, golden.bytes());
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzSeeds, RandomOpsMatchGoldenModel)
+{
+    runFuzz(GetParam(), 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, FuzzSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Determinism, SameSeedSameTimeline)
+{
+    auto run = [](std::uint64_t seed) {
+        World w(seed);
+        RmcSession s(w.cluster->node(1).core(0),
+                     w.cluster->node(1).driver(), *w.client, kCtx);
+        const vm::VAddr buf = s.allocBuffer(4096);
+        w.sim.spawn([](RmcSession *s, vm::VAddr buf) -> sim::Task {
+            rmc::CqStatus st;
+            for (int i = 0; i < 100; ++i)
+                co_await s->readSync(0, (std::uint64_t(i) * 640) % 65536,
+                                     buf, 64 * (1 + i % 4), &st);
+        }(&s, buf));
+        return w.sim.run();
+    };
+    EXPECT_EQ(run(42), run(42));
+    EXPECT_NE(run(42), 0u);
+}
+
+/** Parameterized read-size sweep: integrity + latency monotonicity. */
+class ReadSizes : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ReadSizes, DataIntactAndLatencyOrdered)
+{
+    const std::uint32_t size = GetParam();
+    World w(7);
+    // Pattern the server segment.
+    std::vector<std::uint8_t> pattern(size);
+    for (std::uint32_t i = 0; i < size; ++i)
+        pattern[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    w.server->addressSpace().write(w.seg + 4096, pattern.data(), size);
+
+    RmcSession s(w.cluster->node(1).core(0), w.cluster->node(1).driver(),
+                 *w.client, kCtx);
+    const vm::VAddr buf = s.allocBuffer(size);
+    sim::Tick small = 0, measured = 0;
+    w.sim.spawn([](sim::Simulation *sim, RmcSession *s, vm::VAddr buf,
+                   std::uint32_t size, sim::Tick *small,
+                   sim::Tick *measured) -> sim::Task {
+        rmc::CqStatus st;
+        co_await s->readSync(0, 4096, buf, 64, &st); // warm
+        sim::Tick t0 = sim->now();
+        co_await s->readSync(0, 4096, buf, 64, &st);
+        *small = sim->now() - t0;
+        t0 = sim->now();
+        co_await s->readSync(0, 4096, buf, size, &st);
+        *measured = sim->now() - t0;
+        EXPECT_EQ(st, rmc::CqStatus::kOk);
+    }(&w.sim, &s, buf, size, &small, &measured));
+    w.sim.run();
+
+    std::vector<std::uint8_t> got(size);
+    w.client->addressSpace().read(buf, got.data(), size);
+    EXPECT_EQ(got, pattern);
+    EXPECT_GE(measured, small); // bigger requests are never faster
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReadSizes,
+                         ::testing::Values(64, 128, 256, 512, 1024, 2048,
+                                           4096, 8192));
+
+/** Parameterized MAQ-depth sweep: completion under tiny structures. */
+class MaqDepths : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(MaqDepths, PipelinedReadsCompleteAtAnyDepth)
+{
+    auto rp = rmc::RmcParams::simulatedHardware();
+    rp.maqEntries = GetParam();
+    World w(9, rp);
+    RmcSession s(w.cluster->node(1).core(0), w.cluster->node(1).driver(),
+                 *w.client, kCtx);
+    const vm::VAddr buf = s.allocBuffer(64ull * 64);
+    int done = 0;
+    w.sim.spawn([](RmcSession *s, vm::VAddr buf, int *done) -> sim::Task {
+        auto cb = [done](std::uint32_t, rmc::CqStatus st) {
+            EXPECT_EQ(st, rmc::CqStatus::kOk);
+            ++*done;
+        };
+        for (int i = 0; i < 300; ++i) {
+            std::uint32_t slot = 0;
+            co_await s->waitForSlot(cb, &slot);
+            co_await s->postRead(slot, 0, (std::uint64_t(i) % 512) * 64,
+                                 buf + (std::uint64_t(i) % 64) * 64, 64);
+        }
+        co_await s->drainCq(cb);
+    }(&s, buf, &done));
+    w.sim.run();
+    EXPECT_EQ(done, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaqDepths,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+/** The emulation platform preserves semantics, only timing changes. */
+TEST(EmulationPlatform, SameSemanticsSlowerClock)
+{
+    World hw(11, rmc::RmcParams::simulatedHardware());
+    World emu(11, rmc::RmcParams::emulationPlatform());
+
+    auto measure = [](World &w) {
+        RmcSession s(w.cluster->node(1).core(0),
+                     w.cluster->node(1).driver(), *w.client, kCtx);
+        const vm::VAddr buf = s.allocBuffer(64);
+        w.server->addressSpace().writeT<std::uint64_t>(w.seg, 0xfeed);
+        sim::Tick rtt = 0;
+        w.sim.spawn([](sim::Simulation *sim, RmcSession *s, vm::VAddr buf,
+                       sim::Tick *rtt) -> sim::Task {
+            rmc::CqStatus st;
+            co_await s->readSync(0, 0, buf, 64, &st); // warm
+            const sim::Tick t0 = sim->now();
+            co_await s->readSync(0, 0, buf, 64, &st);
+            *rtt = sim->now() - t0;
+            EXPECT_EQ(st, rmc::CqStatus::kOk);
+        }(&w.sim, &s, buf, &rtt));
+        w.sim.run();
+        std::uint64_t got = 0;
+        w.client->addressSpace().read(buf, &got, sizeof(got));
+        EXPECT_EQ(got, 0xfeedu);
+        return rtt;
+    };
+
+    const sim::Tick hwRtt = measure(hw);
+    const sim::Tick emuRtt = measure(emu);
+    // Paper: dev platform ~5x the simulated hardware's latency.
+    EXPECT_GT(static_cast<double>(emuRtt) / static_cast<double>(hwRtt),
+              3.0);
+    EXPECT_LT(static_cast<double>(emuRtt) / static_cast<double>(hwRtt),
+              8.0);
+}
+
+/** Torus-fabric cluster: full stack over a routed topology. */
+TEST(TorusCluster, RemoteReadsAcrossHops)
+{
+    sim::Simulation sim(13);
+    node::ClusterParams params;
+    params.nodes = 4;
+    params.topology = node::Topology::kTorus;
+    params.torus.dims = {2, 2};
+    node::Cluster cluster(sim, params);
+    cluster.createSharedContext(kCtx);
+
+    auto &server = cluster.node(3).os().createProcess(0);
+    const vm::VAddr seg = server.alloc(1 << 16);
+    cluster.node(3).driver().openContext(server, kCtx);
+    cluster.node(3).driver().registerSegment(server, kCtx, seg, 1 << 16);
+    server.addressSpace().writeT<std::uint64_t>(seg + 128, 0x70517051ULL);
+
+    auto &client = cluster.node(0).os().createProcess(0);
+    RmcSession s(cluster.node(0).core(0), cluster.node(0).driver(),
+                 client, kCtx);
+    const vm::VAddr buf = s.allocBuffer(64);
+    rmc::CqStatus st = rmc::CqStatus::kFabricError;
+    sim.spawn([](RmcSession *s, vm::VAddr buf,
+                 rmc::CqStatus *st) -> sim::Task {
+        co_await s->readSync(3, 128, buf, 64, st);
+    }(&s, buf, &st));
+    sim.run();
+    EXPECT_EQ(st, rmc::CqStatus::kOk);
+    EXPECT_EQ(client.addressSpace().readT<std::uint64_t>(buf), 0x70517051ULL);
+}
+
+} // namespace

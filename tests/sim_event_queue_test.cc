@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, determinism,
+ * cancellation, time-limited runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using sonuma::sim::EventQueue;
+using sonuma::sim::Tick;
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTickFifoBySchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(42, [&, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.scheduleAfter(5, [&] {
+            ++fired;
+            eq.scheduleAfter(5, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto id = eq.schedule(50, [&] { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+}
+
+TEST(EventQueue, CancelFiredEventIsNoop)
+{
+    EventQueue eq;
+    auto id = eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, DoubleCancelIsNoop)
+{
+    EventQueue eq;
+    auto id = eq.schedule(1, [] {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+    eq.run();
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t : {10u, 20u, 30u, 40u})
+        eq.schedule(t, [&, t] { fired.push_back(t); });
+    eq.runUntil(25);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(eq.now(), 25u);
+    eq.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(1000);
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, EventsAtLimitStillFire)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(100, [&] { ran = true; });
+    eq.runUntil(100);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, ExecutedCountTracksFiredOnly)
+{
+    EventQueue eq;
+    eq.schedule(1, [] {});
+    auto id = eq.schedule(2, [] {});
+    eq.cancel(id);
+    eq.schedule(3, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executedEvents(), 2u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick when = static_cast<Tick>((i * 7919) % 4096);
+        eq.schedule(when, [&, when] {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for coroutine tasks and synchronization primitives: joins,
+ * delays, exceptions, semaphores (credit flow control), conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "sim/sync.hh"
+#include "sim/task.hh"
+
+namespace {
+
+using namespace sonuma::sim;
+
+Task
+delayTask(Simulation &sim, Tick d, int *out, int val)
+{
+    co_await Delay(sim.eq(), d);
+    *out = val;
+}
+
+TEST(Task, DelayAdvancesSimulatedTime)
+{
+    Simulation sim;
+    int result = 0;
+    sim.spawn(delayTask(sim, 1000, &result, 42));
+    sim.run();
+    EXPECT_EQ(result, 42);
+    EXPECT_EQ(sim.now(), 1000u);
+    EXPECT_TRUE(sim.allRootsDone());
+}
+
+Task
+childTask(Simulation &sim, std::vector<int> *trace)
+{
+    trace->push_back(1);
+    co_await Delay(sim.eq(), 100);
+    trace->push_back(2);
+}
+
+Task
+parentTask(Simulation &sim, std::vector<int> *trace)
+{
+    trace->push_back(0);
+    co_await childTask(sim, trace);
+    trace->push_back(3);
+}
+
+TEST(Task, NestedTasksJoinInOrder)
+{
+    Simulation sim;
+    std::vector<int> trace;
+    sim.spawn(parentTask(sim, &trace));
+    sim.run();
+    EXPECT_EQ(trace, (std::vector<int>{0, 1, 2, 3}));
+}
+
+Task
+throwingTask(Simulation &sim)
+{
+    co_await Delay(sim.eq(), 10);
+    throw std::runtime_error("boom");
+}
+
+TEST(Task, RootExceptionSurfacesFromRun)
+{
+    Simulation sim;
+    sim.spawn(throwingTask(sim));
+    EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task
+catchingParent(Simulation &sim, bool *caught)
+{
+    try {
+        co_await throwingTask(sim);
+    } catch (const std::runtime_error &) {
+        *caught = true;
+    }
+}
+
+TEST(Task, ChildExceptionPropagatesToAwaiter)
+{
+    Simulation sim;
+    bool caught = false;
+    sim.spawn(catchingParent(sim, &caught));
+    sim.run();
+    EXPECT_TRUE(caught);
+}
+
+TEST(Task, MultipleRootsInterleaveDeterministically)
+{
+    Simulation sim;
+    std::vector<int> order;
+    auto mk = [&](Tick d, int id) -> Task {
+        co_await Delay(sim.eq(), d);
+        order.push_back(id);
+    };
+    sim.spawn(mk(300, 3));
+    sim.spawn(mk(100, 1));
+    sim.spawn(mk(200, 2));
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(OneShotEvent, WakesAllWaiters)
+{
+    Simulation sim;
+    OneShotEvent ev(sim.eq());
+    int woken = 0;
+    auto waiter = [&]() -> Task {
+        co_await ev;
+        ++woken;
+    };
+    sim.spawn(waiter());
+    sim.spawn(waiter());
+    sim.spawn([&]() -> Task {
+        co_await Delay(sim.eq(), 500);
+        ev.set();
+    }());
+    sim.run();
+    EXPECT_EQ(woken, 2);
+    EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(OneShotEvent, AwaitAfterSetDoesNotBlock)
+{
+    Simulation sim;
+    OneShotEvent ev(sim.eq());
+    ev.set();
+    bool done = false;
+    sim.spawn([&]() -> Task {
+        co_await ev;
+        done = true;
+    }());
+    sim.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Semaphore, LimitsConcurrency)
+{
+    Simulation sim;
+    Semaphore sem(sim.eq(), 2);
+    int active = 0;
+    int peak = 0;
+    auto worker = [&]() -> Task {
+        co_await sem.acquire();
+        ++active;
+        peak = std::max(peak, active);
+        co_await Delay(sim.eq(), 100);
+        --active;
+        sem.release();
+    };
+    for (int i = 0; i < 6; ++i)
+        sim.spawn(worker());
+    sim.run();
+    EXPECT_EQ(peak, 2);
+    EXPECT_EQ(active, 0);
+    EXPECT_EQ(sem.count(), 2u);
+    // 6 workers, 2 at a time, 100 ticks each -> 300 ticks.
+    EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(Semaphore, TryAcquireNonBlocking)
+{
+    Simulation sim;
+    Semaphore sem(sim.eq(), 1);
+    EXPECT_TRUE(sem.tryAcquire());
+    EXPECT_FALSE(sem.tryAcquire());
+    sem.release();
+    EXPECT_TRUE(sem.tryAcquire());
+}
+
+TEST(Semaphore, FifoFairness)
+{
+    Simulation sim;
+    Semaphore sem(sim.eq(), 0);
+    std::vector<int> order;
+    auto waiter = [&](int id) -> Task {
+        co_await sem.acquire();
+        order.push_back(id);
+    };
+    sim.spawn(waiter(1));
+    sim.spawn(waiter(2));
+    sim.spawn(waiter(3));
+    sim.spawn([&]() -> Task {
+        co_await Delay(sim.eq(), 10);
+        sem.release(3);
+    }());
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Condition, NotifyAllWakesEveryWaiter)
+{
+    Simulation sim;
+    Condition cond(sim.eq());
+    int ready = 0;
+    int woken = 0;
+    auto waiter = [&]() -> Task {
+        ++ready;
+        co_await cond.wait();
+        ++woken;
+    };
+    sim.spawn(waiter());
+    sim.spawn(waiter());
+    sim.spawn([&]() -> Task {
+        co_await Delay(sim.eq(), 50);
+        EXPECT_EQ(ready, 2);
+        cond.notifyAll();
+    }());
+    sim.run();
+    EXPECT_EQ(woken, 2);
+}
+
+} // namespace
