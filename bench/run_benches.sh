@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Build Release and run the tracked benchmarks, writing BENCH_*.json
+# artifacts with a stable schema so future PRs can compare runs.
+#
+#   BENCH_sim_core.json           - written by bench_sim_core itself
+#                                   (events/sec, ns/event, legacy A/B
+#                                   speedup, allocs/event, peak RSS)
+#   BENCH_fig7_remote_read.json   - written here (wall seconds, peak RSS)
+#
+# Usage: bench/run_benches.sh [build-dir]   (default: build-release)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build-release}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
+      -DSONUMA_BUILD_TESTS=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+      --target bench_sim_core bench_fig7_remote_read >/dev/null
+
+cd "$REPO_ROOT"
+
+echo "== sim_core =="
+"$BUILD_DIR/bench_sim_core" --out="$REPO_ROOT/BENCH_sim_core.json"
+
+echo "== fig7_remote_read =="
+# Wrap the paper benchmark: wall-clock seconds and peak RSS, schema v1.
+FIG7_JSON="$REPO_ROOT/BENCH_fig7_remote_read.json"
+read -r WALL PEAK_RSS <<<"$(python3 - "$BUILD_DIR/bench_fig7_remote_read" <<'PY'
+import resource
+import subprocess
+import sys
+import time
+
+t0 = time.time()
+with open("BENCH_fig7_remote_read.txt", "w") as out:
+    subprocess.run([sys.argv[1]], stdout=out, check=True)
+wall = time.time() - t0
+rss_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"{wall:.3f} {rss_kb * 1024}")
+PY
+)"
+
+cat > "$FIG7_JSON" <<EOF
+{
+  "bench": "fig7_remote_read",
+  "schema": 1,
+  "wall_seconds": $WALL,
+  "peak_rss_bytes": $PEAK_RSS,
+  "output": "BENCH_fig7_remote_read.txt"
+}
+EOF
+echo "wrote $FIG7_JSON (wall ${WALL}s)"

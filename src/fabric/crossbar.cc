@@ -5,6 +5,7 @@
 
 #include "fabric/crossbar.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/log.hh"
@@ -30,12 +31,8 @@ CrossbarFabric::attach(sim::NodeId id, NetworkInterface *ni)
     Endpoint &ep = endpoints_[id];
     assert(!ep.ni && "node id attached twice");
     ep.ni = ni;
-    for (std::size_t l = 0; l < kNumLanes; ++l) {
-        ep.egress[l] = std::make_unique<sim::ServiceResource>(
-            eq_, "xbar.egress" + std::to_string(id) + "." +
-                     std::to_string(l));
+    for (std::size_t l = 0; l < kNumLanes; ++l)
         ep.credits[l] = params_.creditsPerLane;
-    }
 }
 
 bool
@@ -61,15 +58,23 @@ CrossbarFabric::tryInject(const Message &msg)
     // Serialize on the per-lane egress pipe, then propagate (flat).
     const sim::Tick ser = static_cast<sim::Tick>(
         static_cast<double>(msg.wireBytes()) / params_.linkBandwidth * 1e12);
-    src.egress[li(lane)]->submit(ser, [this, msg] {
-        eq_.scheduleAfter(params_.linkLatency,
-                          [this, msg] { arrive(msg); });
-    });
+    const sim::NodeId srcId = msg.srcNid;
+    auto &link = src.egress[li(lane)];
+    link.push(eq_.now(), ser, params_.linkLatency, msg);
+    link.arm(eq_, [this, srcId, lane] { drain(srcId, lane); });
     return true;
 }
 
 void
-CrossbarFabric::arrive(Message msg)
+CrossbarFabric::drain(sim::NodeId srcId, Lane lane)
+{
+    endpoints_[srcId].egress[li(lane)].drain(
+        eq_, [this](const Message &m) { arrive(m); },
+        [this, srcId, lane] { drain(srcId, lane); });
+}
+
+void
+CrossbarFabric::arrive(const Message &msg)
 {
     Endpoint &dst = endpoints_[msg.dstNid];
     const Lane lane = msg.lane();
@@ -84,7 +89,7 @@ CrossbarFabric::arrive(Message msg)
     } else {
         // Receiver eject queue full: park the packet, keep the credit.
         parkedCount_.inc();
-        dst.parked[li(lane)].push_back(msg);
+        dst.parked[li(lane)].push(msg);
     }
 }
 
@@ -98,7 +103,7 @@ CrossbarFabric::ejectSpaceFreed(sim::NodeId id, Lane lane)
             break;
         delivered_.inc();
         returnCredit(q.front().srcNid, lane);
-        q.pop_front();
+        q.pop();
     }
 }
 

@@ -9,17 +9,22 @@
  * are per (source, lane): a packet holds a credit from injection until
  * the destination NI accepts it, so receiver backpressure propagates to
  * senders losslessly.
+ *
+ * Zero-allocation data path: in-flight packets sit in per-(source, lane)
+ * ring buffers with precomputed arrival ticks (FIFO serialization makes
+ * arrivals monotone per ring), and a single drain event per ring hands
+ * them to the destination — no per-packet closures copying ~136 B
+ * Messages through the event queue.
  */
 
 #ifndef SONUMA_FABRIC_CROSSBAR_HH
 #define SONUMA_FABRIC_CROSSBAR_HH
 
-#include <deque>
-#include <memory>
 #include <vector>
 
 #include "fabric/fabric.hh"
-#include "sim/service.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/serialized_link.hh"
 
 namespace sonuma::fab {
 
@@ -59,11 +64,11 @@ class CrossbarFabric : public Fabric
 
         NetworkInterface *ni = nullptr;
         bool failed = false;
-        // One serialization pipe and credit pool per lane.
-        std::unique_ptr<sim::ServiceResource> egress[kNumLanes];
+        // Per-lane egress serialization pipe (one drain event per pipe).
+        sim::SerializedLink<Message> egress[kNumLanes];
         std::uint32_t credits[kNumLanes] = {0, 0};
         // Packets that arrived at a full eject queue, per lane.
-        std::deque<Message> parked[kNumLanes];
+        sim::RingBuffer<Message> parked[kNumLanes];
     };
 
     sim::EventQueue &eq_;
@@ -74,7 +79,8 @@ class CrossbarFabric : public Fabric
     sim::Counter dropped_;
     sim::Counter parkedCount_;
 
-    void arrive(Message msg);
+    void drain(sim::NodeId src, Lane lane);
+    void arrive(const Message &msg);
     void returnCredit(sim::NodeId src, Lane lane);
 
     std::size_t li(Lane l) const { return static_cast<std::size_t>(l); }

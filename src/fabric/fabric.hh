@@ -12,13 +12,13 @@
 #ifndef SONUMA_FABRIC_FABRIC_HH
 #define SONUMA_FABRIC_FABRIC_HH
 
-#include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "fabric/message.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -87,7 +87,7 @@ class NetworkInterface
     bool canSend(Lane lane) const;
 
     /** Register a callback fired whenever send space frees on @p lane. */
-    void onSendSpace(Lane lane, std::function<void()> fn);
+    void onSendSpace(Lane lane, sim::Callback fn);
 
     //
     // Ingress (fabric -> RMC pipelines)
@@ -100,10 +100,10 @@ class NetworkInterface
     Message pop(Lane lane);
 
     /** Register a callback fired whenever a message arrives on @p lane. */
-    void onArrival(Lane lane, std::function<void()> fn);
+    void onArrival(Lane lane, sim::Callback fn);
 
     /** Register a callback fired if the fabric reports a failure. */
-    void onFabricFailure(std::function<void()> fn);
+    void onFabricFailure(sim::Callback fn);
 
     //
     // Fabric-side hooks
@@ -128,11 +128,11 @@ class NetworkInterface
     Fabric &fabric_;
     NiParams params_;
 
-    std::deque<Message> injectQ_[kNumLanes];
-    std::deque<Message> ejectQ_[kNumLanes];
-    std::function<void()> sendSpaceCb_[kNumLanes];
-    std::function<void()> arrivalCb_[kNumLanes];
-    std::function<void()> failureCb_;
+    sim::RingBuffer<Message> injectQ_[kNumLanes];
+    sim::RingBuffer<Message> ejectQ_[kNumLanes];
+    sim::Callback sendSpaceCb_[kNumLanes];
+    sim::Callback arrivalCb_[kNumLanes];
+    sim::Callback failureCb_;
 
     sim::Counter sent_;
     sim::Counter received_;

@@ -13,6 +13,7 @@
 #define SONUMA_FABRIC_MESSAGE_HH
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 
@@ -55,6 +56,25 @@ constexpr Lane
 laneOf(Op op)
 {
     return isRequest(op) ? Lane::kRequest : Lane::kReply;
+}
+
+/**
+ * Payload length each opcode carries on the wire: full-line for write
+ * requests and read replies, 8 bytes for atomic replies (the old value),
+ * none otherwise (reads/atomics put operands in the header).
+ */
+constexpr std::uint8_t
+expectedPayloadLen(Op op)
+{
+    switch (op) {
+      case Op::kWriteReq:
+      case Op::kReadReply:
+        return static_cast<std::uint8_t>(sim::kCacheLineBytes);
+      case Op::kAtomicReply:
+        return sizeof(std::uint64_t);
+      default:
+        return 0;
+    }
 }
 
 /**
@@ -106,8 +126,25 @@ struct Message
     void
     setPayload(const void *data, std::uint8_t len)
     {
+        assert(len <= sim::kCacheLineBytes &&
+               "payload exceeds one cache line");
+        // The clamp must survive NDEBUG builds: a wire- or
+        // computation-derived length must never overrun the array.
+        if (len > sim::kCacheLineBytes)
+            len = static_cast<std::uint8_t>(sim::kCacheLineBytes);
         payloadLen = len;
         std::memcpy(payload.data(), data, len);
+    }
+
+    /**
+     * True if payloadLen is exactly what this message's opcode puts on
+     * the wire. Receivers validate this instead of trusting the wire
+     * value before using payloadLen as a copy length.
+     */
+    bool
+    payloadLenValid() const
+    {
+        return payloadLen == expectedPayloadLen(op);
     }
 };
 

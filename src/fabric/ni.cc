@@ -15,6 +15,10 @@ NetworkInterface::NetworkInterface(sim::EventQueue &eq,
       sent_(stats, name + ".sent", "messages injected"),
       received_(stats, name + ".received", "messages ejected")
 {
+    for (std::size_t l = 0; l < kNumLanes; ++l) {
+        injectQ_[l] = sim::RingBuffer<Message>(params_.injectQueueDepth);
+        ejectQ_[l] = sim::RingBuffer<Message>(params_.ejectQueueDepth);
+    }
     fabric_.attach(id_, this);
 }
 
@@ -24,7 +28,7 @@ NetworkInterface::trySend(const Message &msg)
     const Lane lane = msg.lane();
     if (injectQ_[li(lane)].size() >= params_.injectQueueDepth)
         return false;
-    injectQ_[li(lane)].push_back(msg);
+    injectQ_[li(lane)].push(msg);
     sent_.inc();
     pumpInject(lane);
     return true;
@@ -37,7 +41,7 @@ NetworkInterface::canSend(Lane lane) const
 }
 
 void
-NetworkInterface::onSendSpace(Lane lane, std::function<void()> fn)
+NetworkInterface::onSendSpace(Lane lane, sim::Callback fn)
 {
     sendSpaceCb_[li(lane)] = std::move(fn);
 }
@@ -47,7 +51,7 @@ NetworkInterface::pumpInject(Lane lane)
 {
     auto &q = injectQ_[li(lane)];
     while (!q.empty() && fabric_.tryInject(q.front())) {
-        q.pop_front();
+        q.pop();
         if (sendSpaceCb_[li(lane)])
             sendSpaceCb_[li(lane)]();
     }
@@ -68,21 +72,20 @@ NetworkInterface::hasMessage(Lane lane) const
 Message
 NetworkInterface::pop(Lane lane)
 {
-    Message m = ejectQ_[li(lane)].front();
-    ejectQ_[li(lane)].pop_front();
+    Message m = ejectQ_[li(lane)].popFront();
     // Space freed: let the fabric hand over a waiting packet / credit.
     fabric_.ejectSpaceFreed(id_, lane);
     return m;
 }
 
 void
-NetworkInterface::onArrival(Lane lane, std::function<void()> fn)
+NetworkInterface::onArrival(Lane lane, sim::Callback fn)
 {
     arrivalCb_[li(lane)] = std::move(fn);
 }
 
 void
-NetworkInterface::onFabricFailure(std::function<void()> fn)
+NetworkInterface::onFabricFailure(sim::Callback fn)
 {
     failureCb_ = std::move(fn);
 }
@@ -93,7 +96,7 @@ NetworkInterface::deliver(const Message &msg)
     const Lane lane = msg.lane();
     if (ejectQ_[li(lane)].size() >= params_.ejectQueueDepth)
         return false;
-    ejectQ_[li(lane)].push_back(msg);
+    ejectQ_[li(lane)].push(msg);
     received_.inc();
     if (arrivalCb_[li(lane)])
         arrivalCb_[li(lane)]();

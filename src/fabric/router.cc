@@ -14,8 +14,10 @@ TorusRouting::TorusRouting(std::vector<std::uint32_t> dims)
 {
     assert(!dims_.empty());
     total_ = 1;
+    strides_.reserve(dims_.size());
     for (auto k : dims_) {
         assert(k >= 2 && "torus radix must be >= 2");
+        strides_.push_back(total_);
         total_ *= k;
     }
 }
@@ -48,14 +50,16 @@ std::uint32_t
 TorusRouting::nextDir(sim::NodeId here, sim::NodeId dst) const
 {
     assert(here != dst);
-    const auto a = coords(here);
-    const auto b = coords(dst);
+    // Digit-at-a-time comparison: this runs once per hop per packet, so
+    // it must not materialize coordinate vectors.
     for (std::size_t d = 0; d < dims_.size(); ++d) {
-        if (a[d] == b[d])
+        const std::uint32_t a = digit(here, d);
+        const std::uint32_t b = digit(dst, d);
+        if (a == b)
             continue;
         const std::uint32_t k = dims_[d];
-        const std::uint32_t fwd = (b[d] + k - a[d]) % k;  // hops going +
-        const std::uint32_t bwd = (a[d] + k - b[d]) % k;  // hops going -
+        const std::uint32_t fwd = (b + k - a) % k;  // hops going +
+        const std::uint32_t bwd = (a + k - b) % k;  // hops going -
         return static_cast<std::uint32_t>(
             fwd <= bwd ? 2 * d : 2 * d + 1);
     }
@@ -68,22 +72,22 @@ TorusRouting::neighbor(sim::NodeId id, std::uint32_t dir) const
 {
     const std::size_t d = dir / 2;
     const bool positive = (dir % 2) == 0;
-    auto c = coords(id);
     const std::uint32_t k = dims_[d];
-    c[d] = positive ? (c[d] + 1) % k : (c[d] + k - 1) % k;
-    return idAt(c);
+    const std::uint32_t c = digit(id, d);
+    const std::uint32_t next = positive ? (c + 1) % k : (c + k - 1) % k;
+    return static_cast<sim::NodeId>(id + (next - c) * strides_[d]);
 }
 
 std::uint32_t
 TorusRouting::hopCount(sim::NodeId a, sim::NodeId b) const
 {
-    const auto ca = coords(a);
-    const auto cb = coords(b);
     std::uint32_t hops = 0;
     for (std::size_t d = 0; d < dims_.size(); ++d) {
         const std::uint32_t k = dims_[d];
-        const std::uint32_t fwd = (cb[d] + k - ca[d]) % k;
-        const std::uint32_t bwd = (ca[d] + k - cb[d]) % k;
+        const std::uint32_t ca = digit(a, d);
+        const std::uint32_t cb = digit(b, d);
+        const std::uint32_t fwd = (cb + k - ca) % k;
+        const std::uint32_t bwd = (ca + k - cb) % k;
         hops += std::min(fwd, bwd);
     }
     return hops;

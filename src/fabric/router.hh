@@ -64,7 +64,15 @@ class TorusRouting
 
   private:
     std::vector<std::uint32_t> dims_;
+    std::vector<std::uint32_t> strides_; //!< mixed-radix place values
     std::uint32_t total_;
+
+    /** Digit of @p id in dimension @p d, without materializing coords. */
+    std::uint32_t
+    digit(sim::NodeId id, std::size_t d) const
+    {
+        return (id / strides_[d]) % dims_[d];
+    }
 };
 
 } // namespace sonuma::fab

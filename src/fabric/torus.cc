@@ -5,6 +5,7 @@
 
 #include "fabric/torus.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sonuma::fab {
@@ -17,22 +18,8 @@ TorusFabric::TorusFabric(sim::EventQueue &eq, sim::StatRegistry &stats,
       totalHops_(stats, "torus.totalHops", "sum of per-message hop counts")
 {
     endpoints_.resize(routing_.nodeCount());
-    for (auto &ep : endpoints_) {
+    for (auto &ep : endpoints_)
         ep.ports.resize(routing_.portCount() * kNumLanes);
-    }
-}
-
-sim::ServiceResource &
-TorusFabric::port(sim::NodeId node, std::uint32_t dir, Lane lane)
-{
-    auto &slot =
-        endpoints_[node].ports[dir * kNumLanes + li(lane)];
-    if (!slot) {
-        slot = std::make_unique<sim::ServiceResource>(
-            eq_, "torus.port" + std::to_string(node) + "." +
-                     std::to_string(dir) + "." + std::to_string(li(lane)));
-    }
-    return *slot;
 }
 
 void
@@ -64,7 +51,8 @@ TorusFabric::tryInject(const Message &msg)
 }
 
 void
-TorusFabric::forward(sim::NodeId here, Message msg, std::uint32_t hops)
+TorusFabric::forward(sim::NodeId here, const Message &msg,
+                     std::uint32_t hops)
 {
     Endpoint &ep = endpoints_[here];
     const Lane lane = msg.lane();
@@ -81,7 +69,7 @@ TorusFabric::forward(sim::NodeId here, Message msg, std::uint32_t hops)
             totalHops_.inc(hops);
             returnCredit(msg.srcNid, lane);
         } else {
-            ep.parked[li(lane)].push_back(msg);
+            ep.parked[li(lane)].push(msg);
         }
         return;
     }
@@ -90,11 +78,22 @@ TorusFabric::forward(sim::NodeId here, Message msg, std::uint32_t hops)
     const sim::NodeId next = routing_.neighbor(here, dir);
     const sim::Tick ser = static_cast<sim::Tick>(
         static_cast<double>(msg.wireBytes()) / params_.linkBandwidth * 1e12);
-    port(here, dir, lane).submit(ser, [this, next, msg, hops] {
-        eq_.scheduleAfter(params_.hopLatency, [this, next, msg, hops] {
-            forward(next, msg, hops + 1);
-        });
-    });
+    const std::uint32_t portIdx =
+        dir * static_cast<std::uint32_t>(kNumLanes) +
+        static_cast<std::uint32_t>(li(lane));
+    auto &link = ep.ports[portIdx];
+    link.push(eq_.now(), ser, params_.hopLatency,
+              InFlight{next, hops + 1, msg});
+    link.arm(eq_, [this, here, portIdx] { drain(here, portIdx); });
+}
+
+void
+TorusFabric::drain(sim::NodeId node, std::uint32_t portIdx)
+{
+    endpoints_[node].ports[portIdx].drain(
+        eq_,
+        [this](const InFlight &f) { forward(f.next, f.msg, f.hops); },
+        [this, node, portIdx] { drain(node, portIdx); });
 }
 
 void
@@ -107,7 +106,7 @@ TorusFabric::ejectSpaceFreed(sim::NodeId id, Lane lane)
             break;
         delivered_.inc();
         returnCredit(q.front().srcNid, lane);
-        q.pop_front();
+        q.pop();
     }
 }
 

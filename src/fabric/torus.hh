@@ -9,18 +9,21 @@
  * behaviour at the paper's load levels while guaranteeing deadlock
  * freedom by construction (every in-network packet drains through
  * work-conserving servers; see DESIGN.md).
+ *
+ * Zero-allocation data path: each output port is a ring of in-flight
+ * packets with precomputed hop-completion ticks and one drain event, the
+ * same structure the crossbar uses for its egress pipes.
  */
 
 #ifndef SONUMA_FABRIC_TORUS_HH
 #define SONUMA_FABRIC_TORUS_HH
 
-#include <deque>
-#include <memory>
 #include <vector>
 
 #include "fabric/fabric.hh"
 #include "fabric/router.hh"
-#include "sim/service.hh"
+#include "sim/ring_buffer.hh"
+#include "sim/serialized_link.hh"
 
 namespace sonuma::fab {
 
@@ -60,6 +63,14 @@ class TorusFabric : public Fabric
     }
 
   private:
+    /** One packet traversing a link toward its next router. */
+    struct InFlight
+    {
+        sim::NodeId next = 0;
+        std::uint32_t hops = 0;
+        Message msg;
+    };
+
     struct Endpoint
     {
         Endpoint() = default;
@@ -71,9 +82,9 @@ class TorusFabric : public Fabric
         NetworkInterface *ni = nullptr;
         bool failed = false;
         std::uint32_t credits[kNumLanes] = {0, 0};
-        std::deque<Message> parked[kNumLanes];
-        // One serializing server per outgoing port per lane.
-        std::vector<std::unique_ptr<sim::ServiceResource>> ports;
+        sim::RingBuffer<Message> parked[kNumLanes];
+        // One serializing link per outgoing port per lane.
+        std::vector<sim::SerializedLink<InFlight>> ports;
     };
 
     sim::EventQueue &eq_;
@@ -85,10 +96,9 @@ class TorusFabric : public Fabric
     sim::Counter dropped_;
     sim::Counter totalHops_;
 
-    void forward(sim::NodeId here, Message msg, std::uint32_t hops);
+    void forward(sim::NodeId here, const Message &msg, std::uint32_t hops);
+    void drain(sim::NodeId node, std::uint32_t portIdx);
     void returnCredit(sim::NodeId src, Lane lane);
-    sim::ServiceResource &port(sim::NodeId node, std::uint32_t dir,
-                               Lane lane);
 
     std::size_t li(Lane l) const { return static_cast<std::size_t>(l); }
 };

@@ -86,44 +86,50 @@ L1Cache::allocLine(PAddr line)
 }
 
 void
-L1Cache::access(PAddr addr, bool write, std::function<void()> done)
+L1Cache::access(PAddr addr, bool write, sim::Callback done)
 {
     accessImpl(addr, write, false, std::move(done));
 }
 
 void
-L1Cache::accessFullLineWrite(PAddr addr, std::function<void()> done)
+L1Cache::accessFullLineWrite(PAddr addr, sim::Callback done)
 {
     accessImpl(addr, true, true, std::move(done));
 }
 
 void
 L1Cache::accessImpl(PAddr addr, bool write, bool fullLine,
-                    std::function<void()> done)
+                    sim::Callback done)
 {
-    const PAddr line = lineOf(addr);
-    eq_.scheduleAfter(params_.latency(), [this, line, write, fullLine,
-                                          done = std::move(done)]() mutable {
-        LineInfo *info = findLine(line);
-        const bool read_hit = info && !write;
-        const bool write_hit = info && write &&
-                               info->state == State::kModified;
-        if (read_hit || write_hit) {
-            hits_.inc();
-            info->lastUse = eq_.now();
-            done();
-            return;
-        }
-        if (info && write && info->state == State::kShared)
-            upgrades_.inc();
-        misses_.inc();
-        startMiss(line, write, fullLine, std::move(done));
-    });
+    const std::uint32_t slot = accessSlots_.put(
+        PendingAccess{lineOf(addr), write, fullLine, std::move(done)});
+    eq_.scheduleAfter(params_.latency(), [this, slot] { fireAccess(slot); });
+}
+
+void
+L1Cache::fireAccess(std::uint32_t slot)
+{
+    PendingAccess p = accessSlots_.take(slot);
+    const PAddr line = p.addr;
+    LineInfo *info = findLine(line);
+    const bool read_hit = info && !p.write;
+    const bool write_hit = info && p.write &&
+                           info->state == State::kModified;
+    if (read_hit || write_hit) {
+        hits_.inc();
+        info->lastUse = eq_.now();
+        p.done();
+        return;
+    }
+    if (info && p.write && info->state == State::kShared)
+        upgrades_.inc();
+    misses_.inc();
+    startMiss(line, p.write, p.fullLine, std::move(p.done));
 }
 
 void
 L1Cache::startMiss(PAddr line, bool write, bool fullLine,
-                   std::function<void()> done)
+                   sim::Callback done)
 {
     auto it = mshrs_.find(line);
     if (it != mshrs_.end()) {
@@ -134,9 +140,7 @@ L1Cache::startMiss(PAddr line, bool write, bool fullLine,
     }
     if (mshrs_.size() >= params_.mshrs) {
         blocked_.push_back(
-            [this, line, write, fullLine, done = std::move(done)]() {
-                startMiss(line, write, fullLine, done);
-            });
+            PendingAccess{line, write, fullLine, std::move(done)});
         return;
     }
     Mshr &mshr = mshrs_[line];
@@ -172,10 +176,10 @@ L1Cache::handleFill(PAddr line, bool grantedWrite)
 void
 L1Cache::retryBlocked()
 {
-    std::deque<std::function<void()>> pending;
+    std::deque<PendingAccess> pending;
     pending.swap(blocked_);
-    for (auto &fn : pending)
-        fn();
+    for (auto &p : pending)
+        startMiss(p.addr, p.write, p.fullLine, std::move(p.done));
 }
 
 bool
@@ -242,11 +246,18 @@ L2Cache::lockLine(PAddr line, PendingReq req)
         return false;
     }
     lockedLines_.insert(line);
-    eq_.scheduleAfter(params_.latency(), [this, line,
-                                          req = std::move(req)]() mutable {
-        process(line, std::move(req));
-    });
+    const std::uint32_t slot =
+        reqSlots_.put(ParkedReq{line, std::move(req)});
+    eq_.scheduleAfter(params_.latency(),
+                      [this, slot] { fireProcess(slot); });
     return true;
+}
+
+void
+L2Cache::fireProcess(std::uint32_t slot)
+{
+    ParkedReq parked = reqSlots_.take(slot);
+    process(parked.line, std::move(parked.req));
 }
 
 void
@@ -265,7 +276,7 @@ L2Cache::unlockLine(PAddr line)
 
 void
 L2Cache::request(int requester, PAddr line, bool write, bool fullLine,
-                 std::function<void()> done)
+                 sim::Callback done)
 {
     lockLine(line,
              PendingReq{requester, write, fullLine, false, std::move(done)});
@@ -323,7 +334,7 @@ L2Cache::process(PAddr line, PendingReq req)
 }
 
 void
-L2Cache::finishRequest(PAddr line, const PendingReq &req)
+L2Cache::finishRequest(PAddr line, PendingReq &req)
 {
     DirEntry &dir = lines_[line];
     dir.lastUse = eq_.now();
@@ -366,16 +377,22 @@ L2Cache::finishRequest(PAddr line, const PendingReq &req)
     }
 
     const sim::Tick extra = probed ? params_.probeLatency() : 0;
-    auto done = req.done;
-    eq_.scheduleAfter(extra, [this, line, done = std::move(done)] {
-        if (done)
-            done();
-        unlockLine(line);
-    });
+    const std::uint32_t slot =
+        reqSlots_.put(ParkedReq{line, std::move(req)});
+    eq_.scheduleAfter(extra, [this, slot] { fireCompletion(slot); });
 }
 
 void
-L2Cache::ensureCapacity(PAddr line, std::function<void()> then)
+L2Cache::fireCompletion(std::uint32_t slot)
+{
+    ParkedReq parked = reqSlots_.take(slot);
+    if (parked.req.done)
+        parked.req.done();
+    unlockLine(parked.line);
+}
+
+void
+L2Cache::ensureCapacity(PAddr line, sim::Callback then)
 {
     auto &fill = setFill_[setOf(line)];
     if (fill.size() < params_.assoc) {
@@ -424,15 +441,17 @@ L2Cache::ensureCapacity(PAddr line, std::function<void()> then)
 }
 
 void
-L2Cache::fetchFromDram(PAddr line, std::function<void()> then)
+L2Cache::fetchFromDram(PAddr line, sim::Callback then)
 {
-    if (!dram_.access(line, false, then)) {
+    if (dram_.full()) {
         dramRetries_.inc();
         eq_.scheduleAfter(dram_.params().busTransfer,
                           [this, line, then = std::move(then)]() mutable {
                               fetchFromDram(line, std::move(then));
                           });
+        return;
     }
+    dram_.access(line, false, std::move(then));
 }
 
 void

@@ -19,13 +19,14 @@
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "mem/dram.hh"
+#include "sim/callback.hh"
+#include "sim/slot_pool.hh"
 #include "mem/phys_mem.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -72,7 +73,7 @@ class L1Cache
      * @param write true to acquire write (M) permission
      * @param done fires when the access commits
      */
-    void access(PAddr addr, bool write, std::function<void()> done);
+    void access(PAddr addr, bool write, sim::Callback done);
 
     /**
      * Timed full-line store (the RMC's cache-line-wide interface,
@@ -80,7 +81,7 @@ class L1Cache
      * line without fetching stale data from DRAM since every byte is
      * overwritten ("write-validate").
      */
-    void accessFullLineWrite(PAddr addr, std::function<void()> done);
+    void accessFullLineWrite(PAddr addr, sim::Callback done);
 
     /** Awaitable wrapper for coroutine users. */
     auto
@@ -130,11 +131,26 @@ class L1Cache
         PAddr line;
         bool write;                       //!< permission being requested
         bool issued = false;
-        std::vector<std::pair<bool, std::function<void()>>> waiters;
+        std::vector<std::pair<bool, sim::Callback>> waiters;
     };
 
     void accessImpl(PAddr addr, bool write, bool fullLine,
-                    std::function<void()> done);
+                    sim::Callback done);
+
+    /**
+     * A timed access parked while its L1 latency elapses (or while all
+     * MSHRs are busy). Slot-table storage keeps the scheduled event's
+     * capture at {this, slot} so it stays inline in sim::Callback.
+     */
+    struct PendingAccess
+    {
+        PAddr addr = 0;
+        bool write = false;
+        bool fullLine = false;
+        sim::Callback done;
+    };
+
+    void fireAccess(std::uint32_t slot);
 
     sim::EventQueue &eq_;
     std::string name_;
@@ -145,7 +161,8 @@ class L1Cache
     std::uint32_t numSets_;
     std::vector<std::vector<LineInfo>> sets_; //!< [set][way]
     std::unordered_map<PAddr, Mshr> mshrs_;   //!< keyed by line address
-    std::deque<std::function<void()>> blocked_; //!< retry when MSHR frees
+    sim::SlotPool<PendingAccess> accessSlots_;
+    std::deque<PendingAccess> blocked_; //!< retry when an MSHR frees
     std::unordered_set<PAddr> pendingPutbacks_;
 
     sim::Counter hits_;
@@ -160,7 +177,7 @@ class L1Cache
     LineInfo *allocLine(PAddr line); //!< may trigger victim writeback
 
     void startMiss(PAddr line, bool write, bool fullLine,
-                   std::function<void()> done);
+                   sim::Callback done);
     void handleFill(PAddr line, bool grantedWrite);
     void retryBlocked();
 
@@ -219,7 +236,7 @@ class L2Cache
      * @param done fires when permission is granted
      */
     void request(int requester, PAddr line, bool write, bool fullLine,
-                 std::function<void()> done);
+                 sim::Callback done);
 
     /** L1 write-back of a modified line (PutM). */
     void putback(int requester, PAddr line);
@@ -248,7 +265,7 @@ class L2Cache
         bool write;
         bool fullLine = false;
         bool isPutback = false;
-        std::function<void()> done;
+        sim::Callback done;
     };
 
     sim::EventQueue &eq_;
@@ -272,13 +289,28 @@ class L2Cache
     sim::Counter evictions_;
     sim::Counter dramRetries_;
 
+    /**
+     * Requests parked on a scheduled event (the L2 tag latency before
+     * process(), or the probe latency before completion). As in the L1,
+     * slot storage keeps event captures at {this, slot}.
+     */
+    struct ParkedReq
+    {
+        PAddr line = 0;
+        PendingReq req;
+    };
+
+    sim::SlotPool<ParkedReq> reqSlots_;
+
     std::uint32_t setOf(PAddr line) const;
     bool lockLine(PAddr line, PendingReq req);
     void unlockLine(PAddr line);
     void process(PAddr line, PendingReq req);
-    void finishRequest(PAddr line, const PendingReq &req);
-    void ensureCapacity(PAddr line, std::function<void()> then);
-    void fetchFromDram(PAddr line, std::function<void()> then);
+    void fireProcess(std::uint32_t slot);
+    void fireCompletion(std::uint32_t slot);
+    void finishRequest(PAddr line, PendingReq &req);
+    void ensureCapacity(PAddr line, sim::Callback then);
+    void fetchFromDram(PAddr line, sim::Callback then);
     void writebackToDram(PAddr line);
 };
 

@@ -38,7 +38,7 @@ DramChannel::rowOf(PAddr addr) const
 }
 
 bool
-DramChannel::access(PAddr addr, bool write, std::function<void()> done)
+DramChannel::access(PAddr addr, bool write, sim::Callback done)
 {
     if (full())
         return false;

@@ -13,12 +13,12 @@
 #define SONUMA_MEM_DRAM_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "mem/phys_mem.hh"
+#include "sim/callback.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -57,7 +57,7 @@ class DramChannel
      * @param done completion callback (may be null for posted writes)
      * @retval false if the controller queue is full (caller must retry).
      */
-    bool access(PAddr addr, bool write, std::function<void()> done);
+    bool access(PAddr addr, bool write, sim::Callback done);
 
     /** True if a new request would be rejected. */
     bool full() const { return queue_.size() >= params_.queueDepth; }
@@ -72,10 +72,10 @@ class DramChannel
   private:
     struct Request
     {
-        PAddr addr;
-        bool write;
-        std::function<void()> done;
-        sim::Tick arrival;
+        PAddr addr = 0;
+        bool write = false;
+        sim::Callback done;
+        sim::Tick arrival = 0;
     };
 
     struct Bank
@@ -88,7 +88,7 @@ class DramChannel
     sim::EventQueue &eq_;
     DramParams params_;
     std::vector<Bank> banks_;
-    std::deque<Request> queue_;
+    std::vector<Request> queue_;
     sim::Tick busBusyUntil_ = 0;
     sim::Tick busBusyTotal_ = 0;
     bool drainScheduled_ = false;

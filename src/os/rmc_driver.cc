@@ -122,7 +122,7 @@ RmcDriver::destroyQueuePair(const QpHandle &qp)
 }
 
 void
-RmcDriver::onFailure(std::function<void()> fn)
+RmcDriver::onFailure(sim::Callback fn)
 {
     failureCbs_.push_back(std::move(fn));
 }

@@ -17,12 +17,12 @@
 #define SONUMA_OS_RMC_DRIVER_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "os/context_registry.hh"
 #include "os/node_os.hh"
 #include "rmc/rmc.hh"
+#include "sim/callback.hh"
 
 namespace sonuma::os {
 
@@ -81,7 +81,7 @@ class RmcDriver
     void destroyQueuePair(const QpHandle &qp);
 
     /** Register a callback for fabric-failure notifications (§5.1). */
-    void onFailure(std::function<void()> fn);
+    void onFailure(sim::Callback fn);
 
     rmc::Rmc &rmc() { return rmc_; }
     NodeOs &os() { return os_; }
@@ -91,7 +91,7 @@ class RmcDriver
     NodeOs &os_;
     rmc::Rmc &rmc_;
     ContextRegistry &registry_;
-    std::vector<std::function<void()>> failureCbs_;
+    std::vector<sim::Callback> failureCbs_;
 
     struct OpenRecord
     {

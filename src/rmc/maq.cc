@@ -5,72 +5,106 @@
 
 #include "rmc/maq.hh"
 
+#include <cassert>
+
 namespace sonuma::rmc {
 
 Maq::Maq(sim::EventQueue &eq, sim::StatRegistry &stats,
          const std::string &name, mem::L1Cache &l1, std::uint32_t entries)
-    : eq_(eq), l1_(l1), capacity_(entries),
+    : eq_(eq), l1_(l1), capacity_(entries), waiting_(entries),
       reads_(stats, name + ".reads", "MAQ read accesses"),
       writes_(stats, name + ".writes", "MAQ write accesses"),
       forwards_(stats, name + ".forwards", "store-to-load forwards"),
       structuralStalls_(stats, name + ".stalls", "full-queue stalls")
 {
+    slots_.resize(capacity_);
+    freeSlots_.reserve(capacity_);
+    for (std::uint32_t i = capacity_; i > 0; --i)
+        freeSlots_.push_back(i - 1);
+}
+
+Maq::Slot *
+Maq::findInflightStore(mem::PAddr line)
+{
+    for (auto &slot : slots_) {
+        if (slot.active && slot.isWrite && slot.line == line)
+            return &slot;
+    }
+    return nullptr;
 }
 
 void
-Maq::submit(mem::PAddr pa, bool isWrite, bool fullLine,
-            std::function<void()> done)
+Maq::submit(mem::PAddr pa, bool isWrite, bool fullLine, sim::Callback done)
 {
     // Store-to-load forwarding: a load that hits an in-flight store to
     // the same line completes when that store commits, without a second
-    // L1 access.
+    // L1 access (and without occupying a MAQ slot).
     if (!isWrite) {
-        auto it = inflightStores_.find(lineOf(pa));
-        if (it != inflightStores_.end()) {
+        if (Slot *store = findInflightStore(lineOf(pa))) {
             forwards_.inc();
-            it->second.push_back(std::move(done));
+            store->forwardedLoads.push_back(std::move(done));
             return;
         }
     }
 
     if (inflight_ >= capacity_) {
         structuralStalls_.inc();
-        waiting_.push_back(Pending{pa, isWrite, fullLine, std::move(done)});
+        waiting_.push(Pending{pa, isWrite, fullLine, std::move(done)});
         return;
     }
-    issue(Pending{pa, isWrite, fullLine, std::move(done)});
+    issue(pa, isWrite, fullLine, std::move(done));
 }
 
 void
-Maq::issue(Pending p)
+Maq::issue(mem::PAddr pa, bool isWrite, bool fullLine, sim::Callback done)
 {
     ++inflight_;
-    if (p.isWrite)
+    if (isWrite)
         writes_.inc();
     else
         reads_.inc();
 
-    const mem::PAddr line = lineOf(p.pa);
-    if (p.isWrite)
-        inflightStores_[line]; // mark store in flight
+    assert(!freeSlots_.empty());
+    const std::uint32_t idx = freeSlots_.back();
+    freeSlots_.pop_back();
+    Slot &slot = slots_[idx];
+    slot.line = lineOf(pa);
+    slot.isWrite = isWrite;
+    slot.active = true;
+    slot.done = std::move(done);
 
-    auto completion = [this, line, isWrite = p.isWrite,
-                       done = std::move(p.done)]() mutable {
-        done();
-        if (isWrite) {
-            // Wake any loads forwarded from this store.
-            auto node = inflightStores_.extract(line);
-            if (!node.empty()) {
-                for (auto &fn : node.mapped())
-                    fn();
-            }
-        }
-        release();
-    };
-    if (p.fullLine)
-        l1_.accessFullLineWrite(p.pa, std::move(completion));
+    // The completion handed to the cache captures 12 bytes: it always
+    // stays inline in sim::Callback no matter how large the original
+    // continuation's captures are.
+    if (fullLine)
+        l1_.accessFullLineWrite(pa, [this, idx] { complete(idx); });
     else
-        l1_.access(p.pa, p.isWrite, std::move(completion));
+        l1_.access(pa, isWrite, [this, idx] { complete(idx); });
+}
+
+void
+Maq::complete(std::uint32_t slotIdx)
+{
+    Slot &slot = slots_[slotIdx];
+    assert(slot.active);
+
+    // Detach completion state before invoking anything: callbacks may
+    // re-enter submit() and the freed slot must be reusable immediately.
+    sim::Callback done = std::move(slot.done);
+    const bool wasWrite = slot.isWrite;
+    slot.active = false;
+
+    done();
+    if (wasWrite && !slot.forwardedLoads.empty()) {
+        // Wake loads forwarded from this store. New forwards cannot
+        // subscribe mid-loop (the slot is already inactive), so plain
+        // index iteration is safe even if a callback grows other slots.
+        for (auto &fn : slot.forwardedLoads)
+            fn();
+        slot.forwardedLoads.clear();
+    }
+    freeSlots_.push_back(slotIdx);
+    release();
 }
 
 void
@@ -78,9 +112,8 @@ Maq::release()
 {
     --inflight_;
     if (!waiting_.empty() && inflight_ < capacity_) {
-        Pending p = std::move(waiting_.front());
-        waiting_.pop_front();
-        issue(std::move(p));
+        Pending p = waiting_.popFront();
+        issue(p.pa, p.isWrite, p.fullLine, std::move(p.done));
     }
 }
 

@@ -7,6 +7,12 @@
  * RMC's private L1. The MAQ bounds the number of in-flight accesses
  * (32 in Table 1, matching the L1's MSHRs), supports out-of-order
  * completion, and provides store-to-load forwarding.
+ *
+ * Zero-allocation design: in-flight accesses live in a fixed table of
+ * MAQ slots (the completion passed down to the cache captures only
+ * {maq, slot} and stays inline in sim::Callback), the overflow queue is
+ * a ring buffer, and store-to-load forwarding subscribes waiters on the
+ * in-flight store's slot instead of a per-line hash map.
  */
 
 #ifndef SONUMA_RMC_MAQ_HH
@@ -14,14 +20,13 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
 
@@ -93,35 +98,53 @@ class Maq
      * an in-flight store to the same line.
      */
     void submit(mem::PAddr pa, bool isWrite, bool fullLine,
-                std::function<void()> done);
+                sim::Callback done);
 
   private:
     struct Pending
     {
-        mem::PAddr pa;
-        bool isWrite;
-        bool fullLine;
-        std::function<void()> done;
+        mem::PAddr pa = 0;
+        bool isWrite = false;
+        bool fullLine = false;
+        sim::Callback done;
+    };
+
+    /** One occupied MAQ slot (an access issued to the L1). */
+    struct Slot
+    {
+        mem::PAddr line = 0;
+        bool isWrite = false;
+        bool active = false;
+        sim::Callback done;
+        // Loads forwarded from this in-flight store. The vector keeps
+        // its capacity across slot reuse, so it stops allocating once
+        // the workload's forwarding fan-out has been seen.
+        std::vector<sim::Callback> forwardedLoads;
     };
 
     sim::EventQueue &eq_;
     mem::L1Cache &l1_;
     std::uint32_t capacity_;
     std::uint32_t inflight_ = 0;
-    std::deque<Pending> waiting_;
-
-    // In-flight stores by line address -> completion subscribers
-    // (store-to-load forwarding: a load completes with the store).
-    std::unordered_map<mem::PAddr, std::vector<std::function<void()>>>
-        inflightStores_;
+    std::vector<Slot> slots_;              //!< capacity_ entries
+    std::vector<std::uint32_t> freeSlots_;
+    sim::RingBuffer<Pending> waiting_;
 
     sim::Counter reads_;
     sim::Counter writes_;
     sim::Counter forwards_;
     sim::Counter structuralStalls_;
 
-    void issue(Pending p);
+    void issue(mem::PAddr pa, bool isWrite, bool fullLine,
+               sim::Callback done);
+    void complete(std::uint32_t slotIdx);
     void release();
+
+    /**
+     * Any in-flight store to @p line (lowest slot index, which under
+     * freelist reuse is unrelated to issue age), or nullptr.
+     */
+    Slot *findInflightStore(mem::PAddr line);
 
     static mem::PAddr
     lineOf(mem::PAddr pa)

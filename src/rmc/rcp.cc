@@ -51,7 +51,9 @@ Rmc::processReply(fab::Message msg)
 
     const CtEntry *ce = ct_.entry(itt.ctx);
 
-    if (msg.op == fab::Op::kErrorReply) {
+    if (msg.op == fab::Op::kErrorReply || !msg.payloadLenValid()) {
+        // Error replies and replies carrying an impossible payload
+        // length (never trust the wire value as a copy size).
         itt.error = true;
     } else if (msg.op == fab::Op::kReadReply ||
                msg.op == fab::Op::kAtomicReply) {

@@ -103,13 +103,13 @@ Rmc::doorbell(sim::CtxId ctx, std::uint32_t qpIndex)
 
 void
 Rmc::setCompletionHook(sim::CtxId ctx, std::uint32_t qpIndex,
-                       std::function<void()> hook)
+                       sim::Callback hook)
 {
     completionHooks_[ctx][qpIndex] = std::move(hook);
 }
 
 void
-Rmc::setFailureHook(std::function<void()> hook)
+Rmc::setFailureHook(sim::Callback hook)
 {
     failureHook_ = std::move(hook);
 }

@@ -35,7 +35,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -50,6 +49,7 @@
 #include "rmc/params.hh"
 #include "rmc/queue_pair.hh"
 #include "rmc/tlb.hh"
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
 #include "sim/service.hh"
 #include "sim/stats.hh"
@@ -107,10 +107,10 @@ class Rmc
 
     /** Hook invoked after each CQ entry write for (ctx, qp). */
     void setCompletionHook(sim::CtxId ctx, std::uint32_t qpIndex,
-                           std::function<void()> hook);
+                           sim::Callback hook);
 
     /** Hook invoked when the fabric reports a failure (driver). */
-    void setFailureHook(std::function<void()> hook);
+    void setFailureHook(sim::Callback hook);
 
     /**
      * Condition notified after the RRPP applies a remote write or atomic
@@ -171,7 +171,7 @@ class Rmc
     std::vector<std::vector<bool>> qpArmed_;     //!< [ctx][qp]
     std::vector<std::vector<RingCursor>> wqCursor_;
     std::vector<std::vector<RingCursor>> cqCursor_;
-    std::vector<std::vector<std::function<void()>>> completionHooks_;
+    std::vector<std::vector<sim::Callback>> completionHooks_;
     sim::Condition rgpWork_;
 
     // NI wakeups.
@@ -188,7 +188,7 @@ class Rmc
     sim::Semaphore rrppSlots_;
     sim::Semaphore rcpSlots_;
 
-    std::function<void()> failureHook_;
+    sim::Callback failureHook_;
 
     // Stats.
     sim::Counter wqEntriesProcessed_;

@@ -33,6 +33,15 @@ Rmc::serviceRequest(fab::Message msg)
 {
     requestsServiced_.inc();
 
+    // Validate the wire-supplied payload length before it is ever used
+    // as a copy size; a corrupt packet must not become a buffer overrun.
+    if (!msg.payloadLenValid()) {
+        boundsErrors_.inc();
+        co_await sendMessage(msg.makeReply(fab::Op::kErrorReply));
+        rrppSlots_.release();
+        co_return;
+    }
+
     // Emulation platform: RMCemu discovers work by polling its queues;
     // the detection lag adds latency without occupying the thread.
     if (params_.emulation())

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Small-buffer-optimized callback type for the simulation hot path.
+ *
+ * `sim::Callback` replaces `std::function<void()>` everywhere events are
+ * scheduled. libstdc++'s std::function only stores trivially-copyable
+ * captures up to 16 bytes inline; every fabric closure that captured a
+ * Message (~136 B) or a coroutine handle plus context took a heap
+ * allocation per event. Callback provides 48 bytes of inline storage and
+ * accepts move-only captures, so the steady-state simulation loop touches
+ * the allocator only for captures that genuinely exceed the buffer.
+ *
+ * Trivially-copyable captures (the overwhelming majority: lambdas over
+ * pointers, handles, ids, PODs) take a fast path: moves are a fixed-size
+ * memcpy and destruction is a no-op, with no indirect calls.
+ *
+ * Semantics: move-only, nullable, repeatedly invocable. Invoking an empty
+ * Callback is undefined (asserts in debug builds).
+ */
+
+#ifndef SONUMA_SIM_CALLBACK_HH
+#define SONUMA_SIM_CALLBACK_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sonuma::sim {
+
+class Callback
+{
+  public:
+    /** Bytes of inline storage: captures up to this size never allocate. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    Callback() noexcept = default;
+    Callback(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Callback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    Callback(F &&f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    Callback(Callback &&o) noexcept { moveFrom(o); }
+
+    Callback &
+    operator=(Callback &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    Callback &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, Callback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    Callback &
+    operator=(F &&f)
+    {
+        reset();
+        emplace(std::forward<F>(f));
+        return *this;
+    }
+
+    Callback(const Callback &) = delete;
+    Callback &operator=(const Callback &) = delete;
+
+    ~Callback() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    void
+    operator()()
+    {
+        assert(ops_ && "invoking an empty Callback");
+        ops_->invoke(target());
+    }
+
+    /** True if the callable lives in the inline buffer (test hook). */
+    bool
+    isInline() const noexcept
+    {
+        return ops_ && ops_->inlineStored;
+    }
+
+    /** Drop the held callable (releases its captures immediately). */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            if (!ops_->trivial)
+                ops_->destroy(target());
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*destroy)(void *);
+        // Moves the callable from src storage into dst storage. For heap
+        // targets this just moves the pointer.
+        void (*relocate)(void *src, void *dst);
+        bool inlineStored;
+        // Trivially copyable and destructible: moves are a plain memcpy
+        // of the inline buffer and destruction is a no-op.
+        bool trivial;
+    };
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+
+    void *
+    target() noexcept
+    {
+        if (ops_->inlineStored)
+            return storage_;
+        return *reinterpret_cast<void **>(storage_);
+    }
+
+    void
+    moveFrom(Callback &o) noexcept
+    {
+        ops_ = o.ops_;
+        if (ops_) {
+            if (ops_->trivial)
+                std::memcpy(storage_, o.storage_, kInlineBytes);
+            else
+                ops_->relocate(o.storage_, storage_);
+        }
+        o.ops_ = nullptr;
+    }
+
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        constexpr bool fits = sizeof(Fn) <= kInlineBytes &&
+                              alignof(Fn) <= alignof(std::max_align_t) &&
+                              std::is_nothrow_move_constructible_v<Fn>;
+        if constexpr (fits) {
+            static const Ops ops = {
+                [](void *p) { (*static_cast<Fn *>(p))(); },
+                [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+                [](void *src, void *dst) {
+                    ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+                    static_cast<Fn *>(src)->~Fn();
+                },
+                true,
+                std::is_trivially_copyable_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>,
+            };
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(f));
+            ops_ = &ops;
+        } else {
+            static const Ops ops = {
+                [](void *p) { (*static_cast<Fn *>(p))(); },
+                [](void *p) { delete static_cast<Fn *>(p); },
+                [](void *src, void *dst) {
+                    *reinterpret_cast<void **>(dst) =
+                        *reinterpret_cast<void **>(src);
+                },
+                false,
+                false,
+            };
+            *reinterpret_cast<void **>(storage_) =
+                new Fn(std::forward<F>(f));
+            ops_ = &ops;
+        }
+    }
+};
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_CALLBACK_HH

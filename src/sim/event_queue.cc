@@ -1,82 +1,40 @@
 /**
  * @file
- * Event queue implementation.
+ * Event queue implementation (cold paths; the hot path is inline in the
+ * header).
  */
 
 #include "sim/event_queue.hh"
 
-#include <cassert>
-#include <utility>
-
 namespace sonuma::sim {
-
-EventId
-EventQueue::schedule(Tick when, std::function<void()> fn)
-{
-    assert(when >= now_ && "cannot schedule into the past");
-    assert(fn && "cannot schedule an empty closure");
-    EventId id = nextSeq_++;
-    heap_.push(Event{when, id, std::move(fn)});
-    pending_.insert(id);
-    return id;
-}
-
-EventId
-EventQueue::scheduleAfter(Tick delay, std::function<void()> fn)
-{
-    return schedule(now_ + delay, std::move(fn));
-}
-
-bool
-EventQueue::cancel(EventId id)
-{
-    // Ids of fired or already-cancelled events are absent from pending_, so
-    // cancelling them is a no-op. The heap entry is tombstoned: it is
-    // skipped when it surfaces.
-    return pending_.erase(id) > 0;
-}
-
-bool
-EventQueue::step()
-{
-    while (!heap_.empty()) {
-        Event ev = std::move(const_cast<Event &>(heap_.top()));
-        heap_.pop();
-        if (pending_.erase(ev.seq) == 0)
-            continue; // tombstoned by cancel()
-        assert(ev.when >= now_);
-        now_ = ev.when;
-        ++executed_;
-        ev.fn();
-        return true;
-    }
-    return false;
-}
-
-Tick
-EventQueue::run()
-{
-    while (step()) {
-    }
-    return now_;
-}
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty()) {
-        const Event &top = heap_.top();
-        if (pending_.find(top.seq) == pending_.end()) {
-            heap_.pop(); // drop tombstone
-            continue;
-        }
-        if (top.when > limit)
+    while (const HeapEntry *top = liveTop()) {
+        if (tickOf(top->key) > limit)
             break;
         step();
     }
     if (now_ < limit)
         now_ = limit;
     return now_;
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    heap_.reserve(events);
+    freeSlots_.reserve(events);
+    if (slots_.size() < events) {
+        const auto first = static_cast<std::uint32_t>(slots_.size());
+        slots_.resize(events);
+        // Hand the new slots out freelist-LIFO starting from the lowest
+        // index so warm runs and cold runs allocate slots identically.
+        for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size());
+             i > first; --i)
+            freeSlots_.push_back(i - 1);
+    }
 }
 
 } // namespace sonuma::sim

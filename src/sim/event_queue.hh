@@ -5,17 +5,31 @@
  * Single-threaded binary-heap event queue. Events scheduled for the same
  * tick fire in scheduling order (a monotonic sequence number breaks ties),
  * which makes runs bit-reproducible for a given seed and workload.
+ *
+ * Zero-allocation design: callbacks are sim::Callback (48 B inline
+ * storage, no heap for captures that fit); pending callbacks live in a
+ * generation-tagged slot table recycled through a freelist, and the heap
+ * holds plain {key, slot, gen} records ordered by a single 128-bit
+ * (tick, seq) key. cancel() is an O(1) slot lookup that releases the
+ * callback (and its captured resources) eagerly; the heap record is
+ * tombstoned by its stale generation and dropped lazily when it
+ * surfaces. After warm-up the steady-state schedule / fire / cancel
+ * cycle performs no heap allocation at all.
+ *
+ * The hot methods (schedule, step, cancel) are defined inline in this
+ * header: they sit in the innermost loop of every simulation, and the
+ * call out of a separate translation unit costs more than the work.
  */
 
 #ifndef SONUMA_SIM_EVENT_QUEUE_HH
 #define SONUMA_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/types.hh"
 
 namespace sonuma::sim {
@@ -45,21 +59,86 @@ class EventQueue
      * @pre when >= now()
      * @return an id usable with cancel().
      */
-    EventId schedule(Tick when, std::function<void()> fn);
+    EventId
+    schedule(Tick when, Callback fn)
+    {
+        assert(when >= now_ && "cannot schedule into the past");
+        assert(fn && "cannot schedule an empty closure");
+        const std::uint32_t index = allocSlot(std::move(fn));
+        const std::uint32_t gen = slots_[index].gen;
+        heap_.push_back(HeapEntry{makeKey(when, nextSeq_++), index, gen});
+        std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+        ++live_;
+        return (static_cast<EventId>(gen) << 32) | index;
+    }
 
     /** Schedule @p fn to run @p delay ticks from now. */
-    EventId scheduleAfter(Tick delay, std::function<void()> fn);
+    EventId
+    scheduleAfter(Tick delay, Callback fn)
+    {
+        return schedule(now_ + delay, std::move(fn));
+    }
 
     /**
      * Cancel a previously scheduled event. Cancelling an already-fired or
-     * already-cancelled event is a harmless no-op.
+     * already-cancelled event is a harmless no-op. The callback and its
+     * captured state are released immediately; only a tombstoned heap
+     * record lingers until it surfaces.
      *
      * @retval true if the event was still pending and is now cancelled.
      */
-    bool cancel(EventId id);
+    bool
+    cancel(EventId id)
+    {
+        const auto index = static_cast<std::uint32_t>(id & 0xffffffffu);
+        const auto gen = static_cast<std::uint32_t>(id >> 32);
+        if (index >= slots_.size())
+            return false;
+        Slot &s = slots_[index];
+        if (!s.live || s.gen != gen)
+            return false; // already fired or cancelled
+        // Release the callback (and its captures) right now; the heap
+        // record becomes a tombstone identified by its stale generation.
+        s.fn.reset();
+        s.live = false;
+        ++s.gen;
+        freeSlots_.push_back(index);
+        --live_;
+        return true;
+    }
+
+    /** Fire exactly one event if any is pending. @retval false if empty. */
+    bool
+    step()
+    {
+        if (!liveTop())
+            return false;
+        const HeapEntry top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+        heap_.pop_back();
+        Slot &s = slots_[top.slot];
+        assert(tickOf(top.key) >= now_);
+        now_ = tickOf(top.key);
+        ++executed_;
+        // Move the callback out before invoking: the callback may
+        // schedule new events that reuse this very slot.
+        Callback fn = std::move(s.fn);
+        s.live = false;
+        ++s.gen;
+        freeSlots_.push_back(top.slot);
+        --live_;
+        fn();
+        return true;
+    }
 
     /** Run until the queue drains. @return final simulated time. */
-    Tick run();
+    Tick
+    run()
+    {
+        while (step()) {
+        }
+        return now_;
+    }
 
     /**
      * Run until the queue drains or simulated time would exceed @p limit.
@@ -67,37 +146,102 @@ class EventQueue
      */
     Tick runUntil(Tick limit);
 
-    /** Fire exactly one event if any is pending. @retval false if empty. */
-    bool step();
-
     /** True if no events are pending. */
-    bool empty() const { return pending_.empty(); }
+    bool empty() const { return live_ == 0; }
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t pendingEvents() const { return pending_.size(); }
+    std::size_t pendingEvents() const { return live_; }
 
     /** Total events executed so far (for stats / debugging). */
     std::uint64_t executedEvents() const { return executed_; }
 
-  private:
-    struct Event
-    {
-        Tick when;
-        std::uint64_t seq;
-        std::function<void()> fn;
+    /**
+     * Pre-size internal storage for @p events concurrently pending events
+     * so the steady state never reallocates (benchmark warm-up hook).
+     */
+    void reserve(std::size_t events);
 
+    /** Heap records currently tombstoned by cancel() (observability). */
+    std::size_t tombstones() const { return heap_.size() - live_; }
+
+  private:
+    /** (tick, seq) packed so heap ordering is one 128-bit compare. */
+    using Key = unsigned __int128;
+
+    static Key
+    makeKey(Tick when, std::uint64_t seq)
+    {
+        return (static_cast<Key>(when) << 64) | seq;
+    }
+
+    static Tick tickOf(Key k) { return static_cast<Tick>(k >> 64); }
+
+    struct HeapEntry
+    {
+        Key key;
+        std::uint32_t slot;
+        std::uint32_t gen;
+    };
+
+    struct HeapLater
+    {
         bool
-        operator>(const Event &o) const
+        operator()(const HeapEntry &a, const HeapEntry &b) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return a.key > b.key;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
-    std::unordered_set<EventId> pending_;
+    struct Slot
+    {
+        Callback fn;
+        std::uint32_t gen = 0;
+        bool live = false;
+    };
+
+    std::vector<HeapEntry> heap_; //!< min-heap via std::push/pop_heap
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::size_t live_ = 0;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+
+    /**
+     * Drop cancel() tombstones off the heap top; returns the live head
+     * entry or nullptr if the queue is empty. The single home of the
+     * stale-generation test, shared by step() and runUntil().
+     */
+    const HeapEntry *
+    liveTop()
+    {
+        while (!heap_.empty()) {
+            const HeapEntry &top = heap_.front();
+            const Slot &s = slots_[top.slot];
+            if (s.live && s.gen == top.gen)
+                return &top;
+            std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+            heap_.pop_back();
+        }
+        return nullptr;
+    }
+
+    std::uint32_t
+    allocSlot(Callback &&fn)
+    {
+        std::uint32_t index;
+        if (!freeSlots_.empty()) {
+            index = freeSlots_.back();
+            freeSlots_.pop_back();
+        } else {
+            index = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        }
+        Slot &s = slots_[index];
+        s.fn = std::move(fn);
+        s.live = true;
+        return index;
+    }
 };
 
 } // namespace sonuma::sim

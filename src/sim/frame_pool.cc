@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Frame pool thread-local instance.
+ */
+
+#include "sim/frame_pool.hh"
+
+namespace sonuma::sim {
+
+FramePool &
+FramePool::instance()
+{
+    thread_local FramePool pool;
+    return pool;
+}
+
+} // namespace sonuma::sim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Freelist pool for coroutine frames.
+ *
+ * Every simulated transaction is a coroutine; at scale the simulator
+ * creates and destroys millions of frames whose sizes cluster on a
+ * handful of values (one per coroutine function). Task and FireAndForget
+ * promise types route frame allocation here: frames are bucketed by size
+ * class (64-byte granularity) and recycled through per-bucket freelists,
+ * so steady-state spawn/complete cycles never touch the global allocator.
+ *
+ * The pool is thread-local — the simulator is single-threaded, and this
+ * keeps independent Simulations in different threads (e.g. parallel test
+ * shards) from racing.
+ */
+
+#ifndef SONUMA_SIM_FRAME_POOL_HH
+#define SONUMA_SIM_FRAME_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace sonuma::sim {
+
+class FramePool
+{
+  public:
+    /** Size-class granularity; also the block header size. */
+    static constexpr std::size_t kGranuleBytes = 64;
+
+    /** Largest pooled frame; bigger frames fall through to new/delete. */
+    static constexpr std::size_t kMaxPooledBytes = 4096;
+
+    struct Stats
+    {
+        std::uint64_t allocs = 0;      //!< total allocate() calls
+        std::uint64_t reuses = 0;      //!< served from a freelist
+        std::uint64_t fresh = 0;       //!< served by the heap
+        std::uint64_t oversize = 0;    //!< larger than kMaxPooledBytes
+        std::uint64_t outstanding = 0; //!< live frames
+    };
+
+    /** The calling thread's pool. */
+    static FramePool &instance();
+
+    void *
+    allocate(std::size_t bytes)
+    {
+        ++stats_.allocs;
+        ++stats_.outstanding;
+        const std::size_t total = bytes + sizeof(Header);
+        if (total > kMaxPooledBytes) {
+            ++stats_.oversize;
+            auto *block = static_cast<Header *>(::operator new(total));
+            block->bucket = kOversize;
+            return block + 1;
+        }
+        const std::size_t bucket = bucketOf(total);
+        if (Header *block = freelists_[bucket]) {
+            freelists_[bucket] = block->next;
+            ++stats_.reuses;
+            block->bucket = static_cast<std::uint32_t>(bucket);
+            return block + 1;
+        }
+        ++stats_.fresh;
+        auto *block = static_cast<Header *>(
+            ::operator new((bucket + 1) * kGranuleBytes));
+        block->bucket = static_cast<std::uint32_t>(bucket);
+        return block + 1;
+    }
+
+    void
+    deallocate(void *p)
+    {
+        if (!p)
+            return;
+        --stats_.outstanding;
+        Header *block = static_cast<Header *>(p) - 1;
+        // Copy the bucket out before linking: next aliases bucket in the
+        // header union.
+        const std::uint32_t bucket = block->bucket;
+        if (bucket == kOversize) {
+            ::operator delete(block);
+            return;
+        }
+        block->next = freelists_[bucket];
+        freelists_[bucket] = block;
+    }
+
+    const Stats &stats() const { return stats_; }
+    void resetStats() { stats_ = Stats{.outstanding = stats_.outstanding}; }
+
+    /** Return all pooled blocks to the heap (e.g. between benchmarks). */
+    void
+    releaseAll()
+    {
+        for (auto &head : freelists_) {
+            while (head) {
+                Header *next = head->next;
+                ::operator delete(head);
+                head = next;
+            }
+        }
+    }
+
+    ~FramePool() { releaseAll(); }
+
+  private:
+    // Header keeps the frame payload max_align_t-aligned (64 >= 16) and
+    // doubles as the freelist link when the block is free.
+    struct alignas(std::max_align_t) Header
+    {
+        union
+        {
+            std::uint32_t bucket;
+            Header *next;
+        };
+    };
+    static_assert(sizeof(Header) <= kGranuleBytes);
+
+    static constexpr std::uint32_t kOversize = 0xffffffffu;
+    static constexpr std::size_t kNumBuckets =
+        kMaxPooledBytes / kGranuleBytes;
+
+    static std::size_t
+    bucketOf(std::size_t totalBytes)
+    {
+        // Round up to the granule, then 0-index: 1..64 -> 0, 65..128 -> 1.
+        return (totalBytes + kGranuleBytes - 1) / kGranuleBytes - 1;
+    }
+
+    Header *freelists_[kNumBuckets] = {};
+    Stats stats_;
+};
+
+/**
+ * Inherit from this in a promise_type to pool its coroutine frames.
+ */
+struct PooledFrame
+{
+    static void *
+    operator new(std::size_t bytes)
+    {
+        return FramePool::instance().allocate(bytes);
+    }
+
+    static void
+    operator delete(void *p, std::size_t)
+    {
+        FramePool::instance().deallocate(p);
+    }
+
+    static void
+    operator delete(void *p)
+    {
+        FramePool::instance().deallocate(p);
+    }
+};
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_FRAME_POOL_HH

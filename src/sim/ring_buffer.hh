@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fixed-capacity (grow-on-demand) ring buffer.
+ *
+ * Replaces std::deque in the fabric queues: a deque allocates and frees
+ * 512-byte map nodes as it churns, while a ring buffer reaches a
+ * steady-state capacity once and never touches the allocator again.
+ * Capacity is a power of two; pushing into a full ring doubles it (an
+ * amortized warm-up cost, zero in steady state).
+ */
+
+#ifndef SONUMA_SIM_RING_BUFFER_HH
+#define SONUMA_SIM_RING_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sonuma::sim {
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t initialCapacity = 16)
+    {
+        std::size_t cap = 2;
+        while (cap < initialCapacity)
+            cap *= 2;
+        buf_.resize(cap);
+    }
+
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t size() const noexcept { return size_; }
+    std::size_t capacity() const noexcept { return buf_.size(); }
+
+    void
+    push(T v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(v);
+        ++size_;
+    }
+
+    T &
+    front()
+    {
+        assert(size_ > 0);
+        return buf_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        assert(size_ > 0);
+        return buf_[head_];
+    }
+
+    void
+    pop()
+    {
+        assert(size_ > 0);
+        // Release held resources eagerly; skip the dead store for PODs.
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            buf_[head_] = T{};
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+    }
+
+    T
+    popFront()
+    {
+        assert(size_ > 0);
+        T v = std::move(buf_[head_]);
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            buf_[head_] = T{};
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+        return v;
+    }
+
+    void
+    clear()
+    {
+        while (size_ > 0)
+            pop();
+    }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_.swap(bigger);
+        head_ = 0;
+    }
+};
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_RING_BUFFER_HH

@@ -12,9 +12,9 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "sim/callback.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
 
@@ -42,7 +42,7 @@ class ServiceResource
      * @return the completion tick.
      */
     Tick
-    submit(Tick serviceTime, std::function<void()> done = nullptr)
+    submit(Tick serviceTime, Callback done = nullptr)
     {
         const Tick start = std::max(eq_.now(), busyUntil_);
         busyUntil_ = start + serviceTime;
@@ -127,7 +127,7 @@ class BandwidthPipe
      * @return the delivery tick.
      */
     Tick
-    send(std::uint64_t bytes, std::function<void()> deliver)
+    send(std::uint64_t bytes, Callback deliver)
     {
         const Tick serialized =
             server_.submit(serializationTime(bytes), nullptr);

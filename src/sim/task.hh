@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "sim/event_queue.hh"
+#include "sim/frame_pool.hh"
 #include "sim/types.hh"
 
 namespace sonuma::sim {
@@ -37,7 +38,7 @@ class Task
     struct promise_type;
     using Handle = std::coroutine_handle<promise_type>;
 
-    struct promise_type
+    struct promise_type : PooledFrame
     {
         std::coroutine_handle<> continuation;
         std::exception_ptr exception;
@@ -169,7 +170,7 @@ class Task
  */
 struct FireAndForget
 {
-    struct promise_type
+    struct promise_type : PooledFrame
     {
         FireAndForget get_return_object() noexcept { return {}; }
         std::suspend_never initial_suspend() noexcept { return {}; }

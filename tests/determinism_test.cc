@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Determinism regression tests: two identically-seeded runs of the
+ * fig7-style remote-read workload and the fig8-style send/receive
+ * workload must produce byte-identical statistics dumps. Guards the
+ * event queue's same-tick FIFO ordering and the fabric's ring-buffered
+ * drain path against nondeterminism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench/common.hh"
+
+namespace {
+
+using namespace sonuma;
+using bench::TwoNodeHarness;
+
+sim::Task
+remoteReadWorker(api::RmcSession *s, vm::VAddr buf, std::uint64_t segBytes,
+                 int iters)
+{
+    rmc::CqStatus st;
+    const std::uint64_t span = segBytes / 2;
+    for (int i = 0; i < iters; ++i) {
+        co_await s->readSync(0, (std::uint64_t(i) * 64) % span, buf, 64,
+                             &st);
+    }
+}
+
+/** Run the fig7-style workload and render the full stats dump. */
+std::string
+runRemoteReadStats(std::uint64_t seed)
+{
+    TwoNodeHarness h(rmc::RmcParams::simulatedHardware(), 1ull << 20, seed);
+    auto session = h.clientSession();
+    h.sim.spawn(remoteReadWorker(&session, h.clientSegBase, h.segBytes,
+                                 200));
+    h.sim.run();
+    std::ostringstream os;
+    os << "finalTick=" << h.sim.now() << "\n";
+    h.sim.stats().dump(os);
+    return os.str();
+}
+
+TEST(Determinism, RemoteReadStatsDumpIsReproducible)
+{
+    const std::string a = runRemoteReadStats(42);
+    const std::string b = runRemoteReadStats(42);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "identical seeds must give identical stats dumps";
+}
+
+sim::Task
+sendWorker(api::RmcSession *s, vm::VAddr buf, int iters)
+{
+    rmc::CqStatus st;
+    for (int i = 0; i < iters; ++i) {
+        // Remote write of one line, fig8-style one-way messaging.
+        co_await s->writeSync(0, 4096 + std::uint64_t(i % 8) * 64, buf, 64,
+                              &st);
+    }
+}
+
+std::string
+runSendReceiveStats(std::uint64_t seed)
+{
+    TwoNodeHarness h(rmc::RmcParams::simulatedHardware(), 1ull << 20, seed);
+    auto session = h.clientSession();
+    h.sim.spawn(sendWorker(&session, h.clientSegBase, 200));
+    h.sim.run();
+    std::ostringstream os;
+    os << "finalTick=" << h.sim.now() << "\n";
+    h.sim.stats().dump(os);
+    return os.str();
+}
+
+TEST(Determinism, SendReceiveStatsDumpIsReproducible)
+{
+    const std::string a = runSendReceiveStats(7);
+    const std::string b = runSendReceiveStats(7);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, BackToBackRunsInOneProcessMatchFreshState)
+{
+    // Pools and thread-local state must not leak timing between runs:
+    // run A, then B, then A again; the two A dumps must match.
+    const std::string a1 = runRemoteReadStats(123);
+    const std::string b = runSendReceiveStats(9);
+    const std::string a2 = runRemoteReadStats(123);
+    EXPECT_NE(a1, b);
+    EXPECT_EQ(a1, a2);
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for sim::Callback: inline vs heap storage around the SBO
+ * threshold, move-only captures, move semantics, and eager release of
+ * captured resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/callback.hh"
+
+namespace {
+
+using sonuma::sim::Callback;
+
+TEST(Callback, DefaultIsEmpty)
+{
+    Callback cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    Callback nullCb = nullptr;
+    EXPECT_FALSE(static_cast<bool>(nullCb));
+}
+
+TEST(Callback, InvokesSmallCapture)
+{
+    int hits = 0;
+    Callback cb = [&hits] { ++hits; };
+    ASSERT_TRUE(static_cast<bool>(cb));
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(Callback, CaptureExactlyAtThresholdStaysInline)
+{
+    // 48-byte capture: exactly kInlineBytes.
+    struct Exactly48
+    {
+        std::array<std::uint64_t, 6> v;
+    };
+    static_assert(sizeof(Exactly48) == Callback::kInlineBytes);
+    std::uint64_t sum = 0;
+    Exactly48 st{{1, 2, 3, 4, 5, 6}};
+    std::uint64_t *out = &sum;
+    Callback cb = [st, out] {
+        for (auto x : st.v)
+            *out += x;
+    };
+    // Capture is st (48) + out (8) = 56 > 48: heap. Shrink to fit:
+    EXPECT_FALSE(cb.isInline());
+
+    static std::uint64_t g_sum;
+    g_sum = 0;
+    struct Exactly40
+    {
+        std::array<std::uint64_t, 5> v;
+    };
+    Exactly40 st40{{1, 2, 3, 4, 5}};
+    Callback cb40 = [st40] {
+        for (auto x : st40.v)
+            g_sum += x;
+    };
+    EXPECT_TRUE(cb40.isInline());
+    cb40();
+    EXPECT_EQ(g_sum, 15u);
+}
+
+TEST(Callback, CaptureAboveThresholdUsesHeapAndWorks)
+{
+    struct Big
+    {
+        std::array<std::uint64_t, 16> v{}; // 128 B
+    };
+    std::uint64_t sum = 0;
+    Big big;
+    big.v.fill(3);
+    Callback cb = [big, &sum] {
+        for (auto x : big.v)
+            sum += x;
+    };
+    EXPECT_FALSE(cb.isInline());
+    cb();
+    EXPECT_EQ(sum, 48u);
+}
+
+TEST(Callback, MoveOnlyCaptureInline)
+{
+    auto p = std::make_unique<int>(41);
+    int result = 0;
+    Callback cb = [p = std::move(p), &result] { result = *p + 1; };
+    EXPECT_TRUE(cb.isInline());
+    cb();
+    EXPECT_EQ(result, 42);
+}
+
+TEST(Callback, MoveOnlyCaptureHeap)
+{
+    auto p = std::make_unique<int>(1);
+    std::array<std::uint64_t, 8> pad{};
+    int result = 0;
+    Callback cb = [p = std::move(p), pad, &result] {
+        result = *p + static_cast<int>(pad[0]);
+    };
+    EXPECT_FALSE(cb.isInline());
+    cb();
+    EXPECT_EQ(result, 1);
+}
+
+TEST(Callback, MoveTransfersOwnership)
+{
+    int hits = 0;
+    Callback a = [&hits] { ++hits; };
+    Callback b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    Callback c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(Callback, MoveAssignReleasesPreviousTarget)
+{
+    auto tracked = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = tracked;
+    Callback cb = [tracked] { (void)*tracked; };
+    tracked.reset();
+    EXPECT_FALSE(watch.expired());
+    cb = [] {};
+    EXPECT_TRUE(watch.expired()); // old captures released on reassign
+}
+
+TEST(Callback, ResetReleasesCapturedResources)
+{
+    auto tracked = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = tracked;
+    Callback cb = [tracked] { (void)*tracked; };
+    tracked.reset();
+    EXPECT_FALSE(watch.expired());
+    cb.reset();
+    EXPECT_TRUE(watch.expired());
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(Callback, DestructorReleasesHeapTarget)
+{
+    auto tracked = std::make_shared<int>(1);
+    std::weak_ptr<int> watch = tracked;
+    {
+        std::array<std::uint64_t, 8> pad{};
+        Callback cb = [tracked, pad] { (void)pad; };
+        EXPECT_FALSE(cb.isInline());
+        tracked.reset();
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(Callback, NullptrAssignmentClears)
+{
+    Callback cb = [] {};
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb = nullptr;
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(Callback, NonTriviallyCopyableInlineCaptureDestructs)
+{
+    auto tracked = std::make_shared<int>(5);
+    std::weak_ptr<int> watch = tracked;
+    {
+        Callback cb = [tracked] { (void)*tracked; };
+        EXPECT_TRUE(cb.isInline()); // shared_ptr capture fits inline
+        tracked.reset();
+        Callback moved = std::move(cb);
+        EXPECT_FALSE(watch.expired());
+        moved();
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+} // namespace
