@@ -16,41 +16,35 @@
 #include <numeric>
 
 #include "bench/common.hh"
-#include "fabric/torus.hh"
 
 namespace {
 
 using namespace sonuma;
+using api::ClusterSpec;
+using api::TestBed;
+using api::operator""_MiB;
 
 double
 rttWithLinkLatency(double linkNs)
 {
-    node::ClusterParams params;
-    params.nodes = 2;
-    params.crossbar.linkLatency = sim::nsToTicks(linkNs);
-    sim::Simulation sim(1);
-    node::Cluster cluster(sim, params);
-    cluster.createSharedContext(1);
-    auto &sp = cluster.node(0).os().createProcess(0);
-    const auto seg = sp.alloc(8 << 20);
-    cluster.node(0).driver().openContext(sp, 1);
-    cluster.node(0).driver().registerSegment(sp, 1, seg, 8 << 20);
-    auto &cp = cluster.node(1).os().createProcess(0);
-    api::RmcSession s(cluster.node(1).core(0), cluster.node(1).driver(),
-                      cp, 1);
+    TestBed bed(ClusterSpec{}
+                    .nodes(2)
+                    .crossbarLinkNs(linkNs)
+                    .segmentPerNode(8_MiB)
+                    .seed(1));
+    auto &s = bed.session(1);
     const auto buf = s.allocBuffer(64);
     double rtt = 0;
-    sim.spawn([](sim::Simulation *sim, api::RmcSession *s, vm::VAddr buf,
+    bed.spawn([](sim::Simulation *sim, api::RmcSession *s, vm::VAddr buf,
                  double *out) -> sim::Task {
-        rmc::CqStatus st;
         for (int i = 0; i < 16; ++i)
-            co_await s->readSync(0, std::uint64_t(i) * 64, buf, 64, &st);
+            co_await s->read(0, std::uint64_t(i) * 64, buf, 64);
         const sim::Tick t0 = sim->now();
         for (int i = 0; i < 200; ++i)
-            co_await s->readSync(0, std::uint64_t(i) * 64, buf, 64, &st);
+            co_await s->read(0, std::uint64_t(i) * 64, buf, 64);
         *out = sim::ticksToNs(sim->now() - t0) / 200;
-    }(&sim, &s, buf, &rtt));
-    sim.run();
+    }(&bed.sim(), &s, buf, &rtt));
+    bed.run();
     return rtt;
 }
 
@@ -58,53 +52,32 @@ rttWithLinkLatency(double linkNs)
 double
 allToAllRtt(node::Topology topo)
 {
-    node::ClusterParams params;
-    params.nodes = 16;
-    params.topology = topo;
-    params.torus.dims = {4, 4};
-    sim::Simulation sim(3);
-    node::Cluster cluster(sim, params);
-    cluster.createSharedContext(1);
-
-    struct NodeCtx
-    {
-        os::Process *proc;
-        vm::VAddr seg;
-        std::unique_ptr<api::RmcSession> session;
-        vm::VAddr buf;
-    };
-    std::vector<NodeCtx> ctx(16);
-    for (std::uint32_t i = 0; i < 16; ++i) {
-        auto &nd = cluster.node(i);
-        ctx[i].proc = &nd.os().createProcess(0);
-        ctx[i].seg = ctx[i].proc->alloc(1 << 20);
-        nd.driver().openContext(*ctx[i].proc, 1);
-        nd.driver().registerSegment(*ctx[i].proc, 1, ctx[i].seg, 1 << 20);
-        ctx[i].session = std::make_unique<api::RmcSession>(
-            nd.core(0), nd.driver(), *ctx[i].proc, 1);
-        ctx[i].buf = ctx[i].session->allocBuffer(64);
-    }
+    ClusterSpec spec;
+    spec.nodes(16).segmentPerNode(1_MiB).seed(3);
+    if (topo == node::Topology::kTorus)
+        spec.torus(4, 4);
+    TestBed bed(spec);
 
     std::vector<double> rtts(16, 0);
     for (std::uint32_t i = 0; i < 16; ++i) {
-        sim.spawn([](sim::Simulation *sim, api::RmcSession *s,
+        auto &s = bed.session(i);
+        const auto buf = s.allocBuffer(64);
+        bed.spawn([](sim::Simulation *sim, api::RmcSession *s,
                      vm::VAddr buf, std::uint32_t self,
                      double *out) -> sim::Task {
-            rmc::CqStatus st;
             const int iters = 60;
             const sim::Tick t0 = sim->now();
             for (int i = 0; i < iters; ++i) {
                 const auto peer = static_cast<sim::NodeId>(
                     (self + 1 + (static_cast<std::uint32_t>(i) % 15)) %
                     16);
-                co_await s->readSync(peer,
-                                     (std::uint64_t(i) % 256) * 64, buf,
-                                     64, &st);
+                co_await s->read(peer, (std::uint64_t(i) % 256) * 64,
+                                 buf, 64);
             }
             *out = sim::ticksToNs(sim->now() - t0) / iters;
-        }(&sim, ctx[i].session.get(), ctx[i].buf, i, &rtts[i]));
+        }(&bed.sim(), &s, buf, i, &rtts[i]));
     }
-    sim.run();
+    bed.run();
     return std::accumulate(rtts.begin(), rtts.end(), 0.0) / 16.0;
 }
 

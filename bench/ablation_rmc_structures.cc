@@ -17,7 +17,7 @@
 namespace {
 
 using namespace sonuma;
-using bench::TwoNodeHarness;
+using api::TestBed;
 
 struct Result
 {
@@ -33,48 +33,43 @@ measure(const rmc::RmcParams &params, bool disableCtCache,
         std::uint64_t spanBytes = 0)
 {
     Result r;
-    TwoNodeHarness h(params);
+    TestBed bed = bench::twoNodeBed(params);
     if (disableCtCache)
-        h.cluster->node(0).rmc().contextTable().setCacheEnabled(false);
-    auto s = h.clientSession();
+        bed.node(0).rmc().contextTable().setCacheEnabled(false);
+    auto &s = bed.session(1);
     const auto buf = s.allocBuffer(64ull * readSize);
-    h.sim.spawn([](sim::Simulation *sim, api::RmcSession *s, vm::VAddr buf,
-                   std::uint64_t segBytes, std::uint32_t size, int ops,
-                   std::uint64_t stride, std::uint64_t spanBytes,
-                   Result *r) -> sim::Task {
-        auto cb = [](std::uint32_t, rmc::CqStatus) {};
-        rmc::CqStatus st;
+    bed.spawn([](sim::Simulation *sim, api::RmcSession *s, vm::VAddr buf,
+                 std::uint64_t segBytes, std::uint32_t size, int ops,
+                 std::uint64_t stride, std::uint64_t spanBytes,
+                 Result *r) -> sim::Task {
         if (stride == 0)
             stride = size;
         if (spanBytes == 0)
             spanBytes = segBytes / 2;
-        // Latency (sync, warm).
+        // Latency (blocking, warm).
         for (int i = 0; i < 16; ++i)
-            co_await s->readSync(0, (std::uint64_t(i) * stride) % spanBytes,
-                                 buf, size, &st);
+            co_await s->read(0, (std::uint64_t(i) * stride) % spanBytes,
+                             buf, size);
         sim::Tick t0 = sim->now();
         for (int i = 0; i < 100; ++i)
-            co_await s->readSync(
-                0, (std::uint64_t(i) * stride) % spanBytes, buf, size,
-                &st);
+            co_await s->read(0, (std::uint64_t(i) * stride) % spanBytes,
+                             buf, size);
         r->latencyNs = sim::ticksToNs(sim->now() - t0) / 100;
         // Bandwidth (async window).
         t0 = sim->now();
         for (int i = 0; i < ops; ++i) {
-            std::uint32_t slot = 0;
-            co_await s->waitForSlot(cb, &slot);
-            co_await s->postRead(
-                slot, 0, (std::uint64_t(i) * stride) % spanBytes,
+            co_await s->readAsync(
+                0, (std::uint64_t(i) * stride) % spanBytes,
                 buf + (std::uint64_t(i) % 64) * size, size);
         }
-        co_await s->drainCq(cb);
+        co_await s->drain();
         const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
         r->gbps = static_cast<double>(ops) * size * 8.0 / secs / 1e9;
-    }(&h.sim, &s, buf, h.segBytes, readSize, ops, stride, spanBytes, &r));
-    h.sim.run();
-    r.walks = h.cluster->node(0).rmc().tlb().missCount();
-    r.ctMisses =
-        h.cluster->node(0).rmc().contextTable().cacheMisses();
+    }(&bed.sim(), &s, buf, bed.segBytes(), readSize, ops, stride,
+      spanBytes, &r));
+    bed.run();
+    r.walks = bed.node(0).rmc().tlb().missCount();
+    r.ctMisses = bed.node(0).rmc().contextTable().cacheMisses();
     return r;
 }
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Simulation-core performance guard (CTest-registered).
+
+Re-runs bench_sim_core on a reduced event budget and fails when the
+engine regressed more than the threshold versus the checked-in
+BENCH_sim_core.json:
+
+  - speedup_vs_legacy is checked ALWAYS: the bench measures the legacy
+    event queue A/B in the same process, so the ratio is independent of
+    host speed and (largely) of compiler flags. A silent regression in
+    the inline queue shows up here on any machine. The ratio gets its
+    own (wider) threshold: on a busy single-CPU host the interleaved
+    A/B still jitters a few percent, while a real engine regression
+    moves it far more (the refactor it guards is a 2.7x).
+  - events_per_sec is checked only with --require-absolute (passed for
+    Release builds, the configuration that produced the baseline file);
+    other build types (-O2 RelWithDebInfo, sanitizers) legitimately run
+    slower in absolute terms.
+
+Usage:
+  check_sim_core.py --binary <bench_sim_core> --baseline <json>
+                    [--threshold 0.10] [--events 800000]
+                    [--require-absolute]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--threshold", type=float, default=0.10)
+    ap.add_argument("--ratio-threshold", type=float, default=0.25)
+    ap.add_argument("--events", type=int, default=800000)
+    ap.add_argument("--require-absolute", action="store_true")
+    args = ap.parse_args()
+
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "sim_core.json"
+        subprocess.run(
+            [
+                args.binary,
+                f"--events={args.events}",
+                f"--out={out}",
+            ],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        current = json.loads(out.read_text())
+
+    floor = 1.0 - args.threshold
+    ratio_floor = 1.0 - args.ratio_threshold
+    failures = []
+
+    base_ratio = baseline["speedup_vs_legacy"]
+    cur_ratio = current["speedup_vs_legacy"]
+    print(
+        f"speedup_vs_legacy: baseline {base_ratio:.3f}, "
+        f"current {cur_ratio:.3f} (floor {base_ratio * ratio_floor:.3f})"
+    )
+    if cur_ratio < base_ratio * ratio_floor:
+        failures.append(
+            f"speedup_vs_legacy regressed >{args.ratio_threshold:.0%}: "
+            f"{cur_ratio:.3f} < {base_ratio * ratio_floor:.3f}"
+        )
+
+    base_eps = baseline["events_per_sec"]
+    cur_eps = current["events_per_sec"]
+    print(
+        f"events_per_sec: baseline {base_eps:.0f}, current {cur_eps:.0f}"
+        f" (floor {base_eps * floor:.0f},"
+        f" {'enforced' if args.require_absolute else 'informational'})"
+    )
+    if args.require_absolute and cur_eps < base_eps * floor:
+        failures.append(
+            f"events_per_sec regressed >{args.threshold:.0%}: "
+            f"{cur_eps:.0f} < {base_eps * floor:.0f}"
+        )
+
+    alloc = current["allocs_per_event_steady_state"]
+    print(f"allocs_per_event_steady_state: {alloc}")
+    if alloc > 0.001:
+        failures.append(
+            f"steady-state allocations crept back in: {alloc}/event"
+        )
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print("OK: sim_core within threshold of checked-in baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,33 +1,86 @@
 /**
  * @file
- * Shared benchmark scaffolding: a two-node harness (the microbenchmark
- * configuration of paper §7.2/7.3), tiny CLI-flag parsing, and table
- * printing that mirrors the paper's rows/series.
+ * Shared benchmark scaffolding: strict CLI-flag parsing and table
+ * printing that mirrors the paper's rows/series. Cluster setup lives in
+ * the library now — see api::ClusterSpec / api::TestBed — so benches
+ * declare topology and segments instead of hand-wiring them.
  */
 
 #ifndef SONUMA_BENCH_COMMON_HH
 #define SONUMA_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <memory>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
-#include "api/session.hh"
-#include "node/cluster.hh"
+#include "api/testbed.hh"
 #include "sim/simulation.hh"
 
 namespace sonuma::bench {
 
-/** Minimal flag parser: --name=value / --name. */
+/**
+ * Minimal flag parser: --name=value / --name.
+ *
+ * Flags are validated against the bench's declared set: a typo'd sweep
+ * parameter must fail loudly instead of silently falling back to its
+ * default and poisoning the measurement.
+ */
 class Args
 {
   public:
-    Args(int argc, char **argv)
+    /**
+     * @param known every flag this bench accepts (without the "--").
+     * Unknown flags print a did-you-mean error and exit(2).
+     */
+    Args(int argc, char **argv,
+         std::initializer_list<const char *> known)
     {
         for (int i = 1; i < argc; ++i)
             args_.emplace_back(argv[i]);
+        std::vector<std::string> knownVec(known.begin(), known.end());
+        std::string error;
+        if (!validate(args_, knownVec, &error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            std::exit(2);
+        }
+    }
+
+    /**
+     * Check @p args against @p known flags. On failure fills @p error
+     * with an "unknown flag / did you mean / valid flags" message.
+     * Exposed for tests.
+     */
+    static bool
+    validate(const std::vector<std::string> &args,
+             const std::vector<std::string> &known, std::string *error)
+    {
+        for (const auto &a : args) {
+            if (a.rfind("--", 0) != 0)
+                continue;
+            const auto eq = a.find('=');
+            const std::string name =
+                a.substr(2, eq == std::string::npos ? std::string::npos
+                                                    : eq - 2);
+            bool ok = false;
+            for (const auto &k : known)
+                ok = ok || k == name;
+            if (ok)
+                continue;
+            if (error) {
+                *error = "unknown flag --" + name;
+                const std::string near = closest(name, known);
+                if (!near.empty())
+                    *error += "; did you mean --" + near + "?";
+                *error += " valid flags:";
+                for (const auto &k : known)
+                    *error += " --" + k;
+            }
+            return false;
+        }
+        return true;
     }
 
     bool
@@ -61,6 +114,42 @@ class Args
 
   private:
     std::vector<std::string> args_;
+
+    /** Closest known flag within edit distance 3, or "". */
+    static std::string
+    closest(const std::string &name, const std::vector<std::string> &known)
+    {
+        std::string best;
+        std::size_t bestDist = 4;
+        for (const auto &k : known) {
+            const std::size_t d = editDistance(name, k);
+            if (d < bestDist) {
+                bestDist = d;
+                best = k;
+            }
+        }
+        return best;
+    }
+
+    static std::size_t
+    editDistance(const std::string &a, const std::string &b)
+    {
+        std::vector<std::size_t> row(b.size() + 1);
+        for (std::size_t j = 0; j <= b.size(); ++j)
+            row[j] = j;
+        for (std::size_t i = 1; i <= a.size(); ++i) {
+            std::size_t prev = row[0];
+            row[0] = i;
+            for (std::size_t j = 1; j <= b.size(); ++j) {
+                const std::size_t cur = row[j];
+                row[j] = std::min(
+                    {row[j] + 1, row[j - 1] + 1,
+                     prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+                prev = cur;
+            }
+        }
+        return row[b.size()];
+    }
 };
 
 /** Print the Table 1 configuration header once per bench. */
@@ -80,79 +169,30 @@ printConfigHeader(const char *bench, const rmc::RmcParams &rmc)
         rmc.maqEntries, rmc.tlbEntries);
 }
 
-/**
- * Two nodes sharing one context: node 0 registers a segment ("server"),
- * node 1 runs the issuing application ("client"). Mirrors the paper's
- * two-node microbenchmark setup.
- */
-struct TwoNodeHarness
+/** The paper's two-node microbenchmark deployment (§7.2/7.3). */
+inline api::TestBed
+twoNodeBed(const rmc::RmcParams &rmcParams,
+           std::uint64_t segBytes = 64ull << 20, std::uint64_t seed = 1)
 {
-    sim::Simulation sim;
-    std::unique_ptr<node::Cluster> cluster;
-    os::Process *serverProc = nullptr;
-    os::Process *clientProc = nullptr;
-    vm::VAddr serverSegBase = 0;
-    vm::VAddr clientSegBase = 0;
-    std::uint64_t segBytes;
-    static constexpr sim::CtxId kCtx = 1;
-
-    explicit TwoNodeHarness(const rmc::RmcParams &rmcParams,
-                            std::uint64_t seg_bytes = 64ull << 20,
-                            std::uint64_t seed = 1)
-        : sim(seed), segBytes(seg_bytes)
-    {
-        node::ClusterParams params;
-        params.nodes = 2;
-        params.node.rmc = rmcParams;
-        params.node.physMemBytes =
-            std::max<std::uint64_t>(256ull << 20, 4 * seg_bytes);
-        cluster = std::make_unique<node::Cluster>(sim, params);
-        cluster->createSharedContext(kCtx);
-
-        serverProc = &cluster->node(0).os().createProcess(0);
-        serverSegBase = serverProc->alloc(seg_bytes);
-        cluster->node(0).driver().openContext(*serverProc, kCtx);
-        cluster->node(0).driver().registerSegment(*serverProc, kCtx,
-                                                  serverSegBase, seg_bytes);
-
-        clientProc = &cluster->node(1).os().createProcess(0);
-        clientSegBase = clientProc->alloc(seg_bytes);
-        cluster->node(1).driver().openContext(*clientProc, kCtx);
-        cluster->node(1).driver().registerSegment(*clientProc, kCtx,
-                                                  clientSegBase, seg_bytes);
-    }
-
-    api::RmcSession
-    clientSession()
-    {
-        return api::RmcSession(cluster->node(1).core(0),
-                               cluster->node(1).driver(), *clientProc,
-                               kCtx);
-    }
-
-    api::RmcSession
-    serverSession()
-    {
-        return api::RmcSession(cluster->node(0).core(0),
-                               cluster->node(0).driver(), *serverProc,
-                               kCtx);
-    }
-};
+    return api::TestBed(api::ClusterSpec{}
+                            .nodes(2)
+                            .rmc(rmcParams)
+                            .segmentPerNode(segBytes)
+                            .seed(seed));
+}
 
 /** Measure local DRAM-load latency on a node (the paper's yardstick). */
 inline double
 measureLocalDramNs(std::uint64_t seed = 9)
 {
-    sim::Simulation sim(seed);
-    node::ClusterParams params;
-    params.nodes = 1;
-    node::Cluster cluster(sim, params);
-    auto &nd = cluster.node(0);
-    auto &proc = nd.os().createProcess(0);
-    const auto buf = proc.alloc(64ull << 20);
-    nd.core(0).attachProcess(proc);
+    using api::operator""_MiB;
+    api::TestBed bed(
+        api::ClusterSpec{}.nodes(1).segmentPerNode(64_MiB).seed(seed));
+    auto &core = bed.node(0).core(0);
+    core.attachProcess(bed.process(0));
+    const vm::VAddr buf = bed.segBase(0);
     double result = 0;
-    sim.spawn([](sim::Simulation *sim, node::Core *core, vm::VAddr buf,
+    bed.spawn([](sim::Simulation *sim, node::Core *core, vm::VAddr buf,
                  double *out) -> sim::Task {
         const int kAccesses = 256;
         const sim::Tick t0 = sim->now();
@@ -161,8 +201,8 @@ measureLocalDramNs(std::uint64_t seed = 9)
             co_await core->load(buf + std::uint64_t(i) * 8192 * 17);
         }
         *out = sim::ticksToNs(sim->now() - t0) / kAccesses;
-    }(&sim, &nd.core(0), buf, &result));
-    sim.run();
+    }(&bed.sim(), &core, buf, &result));
+    bed.run();
     return result;
 }
 

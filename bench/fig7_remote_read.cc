@@ -19,7 +19,7 @@
 namespace {
 
 using namespace sonuma;
-using bench::TwoNodeHarness;
+using api::TestBed;
 
 struct Point
 {
@@ -31,44 +31,36 @@ struct Point
 
 /** Synchronous latency: one node reading (single-sided). */
 sim::Task
-latencyWorker(api::RmcSession *s, vm::VAddr buf,
-              std::uint64_t segBytes, std::uint32_t size, int iters,
-              double *out)
+latencyWorker(api::RmcSession *s, vm::VAddr buf, std::uint64_t segBytes,
+              std::uint32_t size, int iters, double *out)
 {
     sim::Simulation *sim = &s->core().simulation();
-    rmc::CqStatus st;
     const std::uint64_t span = segBytes / 2;
     // Warm: TLB/CT$ fills.
     for (int i = 0; i < 16; ++i)
-        co_await s->readSync(0, (std::uint64_t(i) * size) % span, buf,
-                             size, &st);
+        co_await s->read(0, (std::uint64_t(i) * size) % span, buf, size);
     const sim::Tick t0 = sim->now();
     for (int i = 0; i < iters; ++i)
-        co_await s->readSync(0, (std::uint64_t(i) * size) % span, buf,
-                             size, &st);
+        co_await s->read(0, (std::uint64_t(i) * size) % span, buf, size);
     *out = sim::ticksToNs(sim->now() - t0) / iters;
 }
 
 /** Asynchronous throughput with a full window (WQ depth). */
 sim::Task
-bandwidthWorker(api::RmcSession *s, vm::VAddr buf,
-                std::uint64_t segBytes, sim::NodeId peer,
-                std::uint32_t size, int ops, double *gbps, double *mops)
+bandwidthWorker(api::RmcSession *s, vm::VAddr buf, std::uint64_t segBytes,
+                sim::NodeId peer, std::uint32_t size, int ops,
+                double *gbps, double *mops)
 {
     sim::Simulation *sim = &s->core().simulation();
-    auto cb = [](std::uint32_t, rmc::CqStatus) {};
     const std::uint64_t span = segBytes / 2;
     const std::uint64_t bufSpan = 64ull * size;
     const sim::Tick t0 = sim->now();
     for (int i = 0; i < ops; ++i) {
-        std::uint32_t slot = 0;
-        co_await s->waitForSlot(cb, &slot);
-        co_await s->postRead(slot, peer,
-                             (std::uint64_t(i) * size) % span,
-                             buf + (std::uint64_t(i) * size) % bufSpan,
-                             size);
+        co_await s->readAsync(peer, (std::uint64_t(i) * size) % span,
+                              buf + (std::uint64_t(i) * size) % bufSpan,
+                              size);
     }
-    co_await s->drainCq(cb);
+    co_await s->drain();
     const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
     *gbps = static_cast<double>(ops) * size * 8.0 / secs / 1e9;
     *mops = static_cast<double>(ops) / secs / 1e6;
@@ -96,35 +88,35 @@ runPlatform(const rmc::RmcParams &params, bool bandwidth_too)
 
         // (a) single-sided latency.
         {
-            TwoNodeHarness h(params);
-            auto s = h.clientSession();
+            TestBed bed = bench::twoNodeBed(params);
+            auto &s = bed.session(1);
             const auto buf = s.allocBuffer(size);
-            h.sim.spawn(latencyWorker(&s, buf, h.segBytes, size, iters,
-                                      &p.latencyNs));
-            h.sim.run();
+            bed.spawn(latencyWorker(&s, buf, bed.segBytes(), size, iters,
+                                    &p.latencyNs));
+            bed.run();
         }
 
         // (a) double-sided latency: both nodes read from each other.
         double lat2 = 0;
         {
-            TwoNodeHarness h(params);
-            auto sc = h.clientSession();
-            auto ss = h.serverSession();
+            TestBed bed = bench::twoNodeBed(params);
+            auto &sc = bed.session(1);
+            auto &ss = bed.session(0);
             const auto bufC = sc.allocBuffer(size);
             const auto bufS = ss.allocBuffer(64ull * size);
             double other = 0;
-            h.sim.spawn(latencyWorker(&sc, bufC, h.segBytes, size, iters,
-                                      &lat2));
+            bed.spawn(latencyWorker(&sc, bufC, bed.segBytes(), size,
+                                    iters, &lat2));
             // The peer streams reads in the opposite direction.
-            h.sim.spawn([](api::RmcSession *s, vm::VAddr buf,
-                           std::uint64_t segBytes, std::uint32_t size,
-                           int ops, double *sink) -> sim::Task {
+            bed.spawn([](api::RmcSession *s, vm::VAddr buf,
+                         std::uint64_t segBytes, std::uint32_t size,
+                         int ops, double *sink) -> sim::Task {
                 double g = 0, m = 0;
                 co_await bandwidthWorker(s, buf, segBytes, 1, size, ops,
                                          &g, &m);
                 *sink = g;
-            }(&ss, bufS, h.segBytes, size, iters + 64, &other));
-            h.sim.run();
+            }(&ss, bufS, bed.segBytes(), size, iters + 64, &other));
+            bed.run();
         }
 
         double bw1 = 0, mops1 = 0, bw2 = 0;
@@ -132,25 +124,25 @@ runPlatform(const rmc::RmcParams &params, bool bandwidth_too)
             const int ops = size <= 256 ? 20000 : (size <= 2048 ? 4000
                                                                 : 1500);
             {
-                TwoNodeHarness h(params);
-                auto s = h.clientSession();
+                TestBed bed = bench::twoNodeBed(params);
+                auto &s = bed.session(1);
                 const auto buf = s.allocBuffer(64ull * size);
-                h.sim.spawn(bandwidthWorker(&s, buf, h.segBytes, 0, size,
-                                            ops, &bw1, &mops1));
-                h.sim.run();
+                bed.spawn(bandwidthWorker(&s, buf, bed.segBytes(), 0,
+                                          size, ops, &bw1, &mops1));
+                bed.run();
             }
             {
-                TwoNodeHarness h(params);
-                auto sc = h.clientSession();
-                auto ss = h.serverSession();
+                TestBed bed = bench::twoNodeBed(params);
+                auto &sc = bed.session(1);
+                auto &ss = bed.session(0);
                 const auto bufC = sc.allocBuffer(64ull * size);
                 const auto bufS = ss.allocBuffer(64ull * size);
                 double bwa = 0, bwb = 0, m1 = 0, m2 = 0;
-                h.sim.spawn(bandwidthWorker(&sc, bufC, h.segBytes, 0,
-                                            size, ops, &bwa, &m1));
-                h.sim.spawn(bandwidthWorker(&ss, bufS, h.segBytes, 1,
-                                            size, ops, &bwb, &m2));
-                h.sim.run();
+                bed.spawn(bandwidthWorker(&sc, bufC, bed.segBytes(), 0,
+                                          size, ops, &bwa, &m1));
+                bed.spawn(bandwidthWorker(&ss, bufS, bed.segBytes(), 1,
+                                          size, ops, &bwb, &m2));
+                bed.run();
                 bw2 = bwa + bwb;
             }
         }
@@ -167,7 +159,7 @@ runPlatform(const rmc::RmcParams &params, bool bandwidth_too)
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv);
+    bench::Args args(argc, argv, {"platform"});
     const bool emuOnly = args.get("platform", "") == "emu";
     const bool hwOnly = args.get("platform", "") == "hw";
 

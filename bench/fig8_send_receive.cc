@@ -17,6 +17,8 @@
 #include <limits>
 #include <vector>
 
+#include <memory>
+
 #include "api/messaging.hh"
 #include "bench/common.hh"
 
@@ -25,28 +27,21 @@ namespace {
 using namespace sonuma;
 using api::MsgEndpoint;
 using api::MsgParams;
-using bench::TwoNodeHarness;
+using api::TestBed;
 
 struct Endpoints
 {
-    std::unique_ptr<api::RmcSession> s0, s1;
     std::unique_ptr<MsgEndpoint> e0, e1;
 };
 
 Endpoints
-makeEndpoints(TwoNodeHarness &h, const MsgParams &mp)
+makeEndpoints(TestBed &bed, const MsgParams &mp)
 {
     Endpoints e;
-    e.s0 = std::make_unique<api::RmcSession>(h.cluster->node(0).core(0),
-                                             h.cluster->node(0).driver(),
-                                             *h.serverProc, h.kCtx);
-    e.s1 = std::make_unique<api::RmcSession>(h.cluster->node(1).core(0),
-                                             h.cluster->node(1).driver(),
-                                             *h.clientProc, h.kCtx);
-    e.e0 = std::make_unique<MsgEndpoint>(*e.s0, 1, h.serverSegBase, 0, 0,
-                                         mp);
-    e.e1 = std::make_unique<MsgEndpoint>(*e.s1, 0, h.clientSegBase, 0, 0,
-                                         mp);
+    e.e0 = std::make_unique<MsgEndpoint>(bed.session(0), 1,
+                                         bed.segBase(0), 0, 0, mp);
+    e.e1 = std::make_unique<MsgEndpoint>(bed.session(1), 0,
+                                         bed.segBase(1), 0, 0, mp);
     return e;
 }
 
@@ -55,11 +50,12 @@ double
 pingPongLatencyNs(const rmc::RmcParams &rp, const MsgParams &mp,
                   std::uint32_t size, int iters)
 {
-    TwoNodeHarness h(rp, std::max<std::uint64_t>(
-                             64ull << 20, 4 * MsgEndpoint::regionBytes(mp)));
-    auto e = makeEndpoints(h, mp);
+    TestBed bed = bench::twoNodeBed(
+        rp, std::max<std::uint64_t>(64ull << 20,
+                                    4 * MsgEndpoint::regionBytes(mp)));
+    auto e = makeEndpoints(bed, mp);
     double oneWayNs = 0;
-    h.sim.spawn([](sim::Simulation *sim, MsgEndpoint *ep,
+    bed.spawn([](sim::Simulation *sim, MsgEndpoint *ep,
                    std::uint32_t size, int iters,
                    double *out) -> sim::Task {
         std::vector<std::uint8_t> msg(size, 0x5a), buf;
@@ -71,8 +67,8 @@ pingPongLatencyNs(const rmc::RmcParams &rp, const MsgParams &mp,
             co_await ep->receive(&buf);
         }
         *out = sim::ticksToNs(sim->now() - t0) / (2.0 * iters);
-    }(&h.sim, e.e0.get(), size, iters, &oneWayNs));
-    h.sim.spawn([](MsgEndpoint *ep, std::uint32_t size,
+    }(&bed.sim(), e.e0.get(), size, iters, &oneWayNs));
+    bed.spawn([](MsgEndpoint *ep, std::uint32_t size,
                    int iters) -> sim::Task {
         std::vector<std::uint8_t> msg(size, 0xa5), buf;
         co_await ep->receive(&buf);
@@ -82,7 +78,7 @@ pingPongLatencyNs(const rmc::RmcParams &rp, const MsgParams &mp,
             co_await ep->send(msg.data(), size);
         }
     }(e.e1.get(), size, iters));
-    h.sim.run();
+    bed.run();
     return oneWayNs;
 }
 
@@ -91,17 +87,18 @@ double
 streamGbps(const rmc::RmcParams &rp, const MsgParams &mp,
            std::uint32_t size, int count)
 {
-    TwoNodeHarness h(rp, std::max<std::uint64_t>(
-                             64ull << 20, 4 * MsgEndpoint::regionBytes(mp)));
-    auto e = makeEndpoints(h, mp);
+    TestBed bed = bench::twoNodeBed(
+        rp, std::max<std::uint64_t>(64ull << 20,
+                                    4 * MsgEndpoint::regionBytes(mp)));
+    auto e = makeEndpoints(bed, mp);
     double gbps = 0;
-    h.sim.spawn([](MsgEndpoint *ep, std::uint32_t size,
+    bed.spawn([](MsgEndpoint *ep, std::uint32_t size,
                    int count) -> sim::Task {
         std::vector<std::uint8_t> msg(size, 0x42);
         for (int i = 0; i < count; ++i)
             co_await ep->send(msg.data(), size);
     }(e.e0.get(), size, count));
-    h.sim.spawn([](sim::Simulation *sim, MsgEndpoint *ep,
+    bed.spawn([](sim::Simulation *sim, MsgEndpoint *ep,
                    std::uint32_t size, int count,
                    double *out) -> sim::Task {
         std::vector<std::uint8_t> buf;
@@ -110,8 +107,8 @@ streamGbps(const rmc::RmcParams &rp, const MsgParams &mp,
             co_await ep->receive(&buf);
         const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
         *out = static_cast<double>(count) * size * 8.0 / secs / 1e9;
-    }(&h.sim, e.e1.get(), size, count, &gbps));
-    h.sim.run();
+    }(&bed.sim(), e.e1.get(), size, count, &gbps));
+    bed.run();
     return gbps;
 }
 
@@ -158,7 +155,7 @@ runPlatform(const rmc::RmcParams &rp, std::uint32_t tunedThreshold,
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv);
+    bench::Args args(argc, argv, {"platform"});
     const bool emuOnly = args.get("platform", "") == "emu";
     const bool hwOnly = args.get("platform", "") == "hw";
 

@@ -62,7 +62,9 @@ runSide(const char *title, const Graph &g, const PageRankConfig &cfg,
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv);
+    bench::Args args(argc, argv,
+                     {"quick", "platform", "vertices", "degree",
+                      "emu-vertices", "emu-degree", "l2kb"});
     const bool quick = args.has("quick");
     const bool emuOnly = args.get("platform", "") == "emu";
     const bool hwOnly = args.get("platform", "") == "hw";

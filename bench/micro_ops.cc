@@ -74,17 +74,16 @@ void
 BM_SimulatedRemoteReads(benchmark::State &state)
 {
     for (auto _ : state) {
-        bench::TwoNodeHarness h(rmc::RmcParams::simulatedHardware(),
-                                8ull << 20);
-        auto s = h.clientSession();
+        api::TestBed bed = bench::twoNodeBed(
+            rmc::RmcParams::simulatedHardware(), 8ull << 20);
+        auto &s = bed.session(1);
         const auto buf = s.allocBuffer(64);
-        h.sim.spawn([](api::RmcSession *s, vm::VAddr buf) -> sim::Task {
-            rmc::CqStatus st;
+        bed.spawn([](api::RmcSession *s, vm::VAddr buf) -> sim::Task {
             for (int i = 0; i < 200; ++i)
-                co_await s->readSync(0, (std::uint64_t(i) % 1024) * 64,
-                                     buf, 64, &st);
+                co_await s->read(0, (std::uint64_t(i) % 1024) * 64, buf,
+                                 64);
         }(&s, buf));
-        h.sim.run();
+        bed.run();
     }
     state.SetItemsProcessed(state.iterations() * 200);
 }

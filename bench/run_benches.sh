@@ -6,23 +6,68 @@
 #                                   (events/sec, ns/event, legacy A/B
 #                                   speedup, allocs/event, peak RSS)
 #   BENCH_fig7_remote_read.json   - written here (wall seconds, peak RSS)
+#   BENCH_sweep/SWEEP_*.json      - one JSON per sweep cell (64-node
+#                                   torus fig9-style matrix)
 #
-# Usage: bench/run_benches.sh [build-dir]   (default: build-release)
+# Usage: bench/run_benches.sh [--smoke] [build-dir]
+#                             (default build dir: build-release)
+#
+# --smoke: fast CI sanity — build the bench binaries, run each tracked
+# bench on a reduced budget, verify the guard script against the
+# checked-in baseline, and write NOTHING into the repository.
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE=1
+    shift
+fi
 BUILD_DIR="${1:-$REPO_ROOT/build-release}"
 
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DSONUMA_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-      --target bench_sim_core bench_fig7_remote_read >/dev/null
+      --target bench_sim_core bench_fig7_remote_read bench_sweep >/dev/null
 
 cd "$REPO_ROOT"
 
+if [[ "$SMOKE" == 1 ]]; then
+    SMOKE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE_DIR"' EXIT
+    echo "== smoke: sim_core guard (ratio check vs checked-in baseline) =="
+    python3 "$REPO_ROOT/bench/check_sim_core.py" \
+        --binary "$BUILD_DIR/bench_sim_core" \
+        --baseline "$REPO_ROOT/BENCH_sim_core.json" \
+        --threshold 0.10 --events 400000
+    echo "== smoke: sweep (2-cell quick matrix, JSON schema check) =="
+    "$BUILD_DIR/bench_sweep" --quick --out-dir="$SMOKE_DIR" >/dev/null
+    python3 - "$SMOKE_DIR" <<'PY'
+import json, pathlib, sys
+cells = list(pathlib.Path(sys.argv[1]).glob("SWEEP_*.json"))
+assert cells, "sweep wrote no cells"
+for c in cells:
+    d = json.loads(c.read_text())
+    for key in ("bench", "schema", "nodes", "topology", "request_bytes",
+                "qp_depth", "mops", "mean_latency_ns"):
+        assert key in d, f"{c}: missing {key}"
+print(f"{len(cells)} sweep cell(s) OK")
+PY
+    echo "== smoke: fig7 (hw side only, binary runs) =="
+    "$BUILD_DIR/bench_fig7_remote_read" --platform=hw >/dev/null
+    echo "smoke OK (no repository artifacts touched)"
+    exit 0
+fi
+
 echo "== sim_core =="
 "$BUILD_DIR/bench_sim_core" --out="$REPO_ROOT/BENCH_sim_core.json"
+
+echo "== sweep (64-node torus fig9-style matrix) =="
+mkdir -p "$REPO_ROOT/BENCH_sweep"
+"$BUILD_DIR/bench_sweep" --nodes=64 --topologies=torus \
+    --sizes=64,512 --depths=16,64 --ops=64 \
+    --out-dir="$REPO_ROOT/BENCH_sweep"
 
 echo "== fig7_remote_read =="
 # Wrap the paper benchmark: wall-clock seconds and peak RSS, schema v1.

@@ -395,7 +395,7 @@ peakRssBytes()
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv);
+    bench::Args args(argc, argv, {"events", "chains", "messages", "out"});
     const std::uint64_t events = args.getU64("events", 4'000'000);
     const int chains = static_cast<int>(args.getU64("chains", 64));
     const std::uint64_t messages = args.getU64("messages", 400'000);

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parameter-matrix sweep (ROADMAP "workload sweeps" / paper §7.6 scale
+ * projection): request size x QP depth x node count x topology, one
+ * JSON blob per cell on stdout (and per-cell SWEEP_*.json files with
+ * --out-dir=...).
+ *
+ *   $ ./bench_sweep                         # 64-node torus fig9-style
+ *   $ ./bench_sweep --nodes=4,16,64 --topologies=crossbar,torus \
+ *                   --sizes=64,512,4096 --depths=16,64 --ops=256
+ *   $ ./bench_sweep --quick                 # smoke-sized matrix
+ *
+ * The whole driver is ClusterSpec + SweepDriver; scaling the study to
+ * 512 nodes is a flag, not a new harness.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/sweep.hh"
+#include "bench/common.hh"
+
+namespace {
+
+using namespace sonuma;
+
+/** Parse "64,512,..." strictly: any non-numeric token is a clear
+ *  error, not a silent default or an unhandled exception. */
+std::vector<std::uint32_t>
+parseList(const char *flag, const std::string &csv)
+{
+    std::vector<std::uint32_t> out;
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        const std::size_t comma = csv.find(',', pos);
+        const std::string tok =
+            csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (!tok.empty()) {
+            std::size_t used = 0;
+            unsigned long v = 0;
+            try {
+                v = std::stoul(tok, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != tok.size()) {
+                std::fprintf(stderr,
+                             "--%s: '%s' is not a number (expected a "
+                             "comma-separated list like 64,512)\n",
+                             flag, tok.c_str());
+                std::exit(2);
+            }
+            out.push_back(static_cast<std::uint32_t>(v));
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Args args(argc, argv, {"nodes", "topologies", "sizes",
+                                  "depths", "ops", "seed", "out-dir",
+                                  "quick"});
+    const bool quick = args.has("quick");
+
+    api::SweepConfig cfg;
+    cfg.nodeCounts =
+        parseList("nodes", args.get("nodes", quick ? "4" : "64"));
+    cfg.requestSizes = parseList(
+        "sizes", args.get("sizes", quick ? "64" : "64,512,4096"));
+    cfg.qpDepths =
+        parseList("depths", args.get("depths", quick ? "16" : "16,64"));
+    cfg.opsPerNode = static_cast<std::uint32_t>(
+        args.getU64("ops", quick ? 32 : 128));
+    cfg.seed = args.getU64("seed", 1);
+    cfg.outDir = args.get("out-dir", "");
+
+    cfg.topologies.clear();
+    const std::string topos = args.get("topologies", "torus");
+    std::size_t pos = 0;
+    while (pos <= topos.size()) {
+        const std::size_t comma = topos.find(',', pos);
+        const std::string tok =
+            topos.substr(pos, comma == std::string::npos
+                                  ? std::string::npos
+                                  : comma - pos);
+        if (tok == "crossbar") {
+            cfg.topologies.push_back(node::Topology::kCrossbar);
+        } else if (tok == "torus") {
+            cfg.topologies.push_back(node::Topology::kTorus);
+        } else if (!tok.empty()) {
+            std::fprintf(stderr,
+                         "--topologies: unknown topology '%s' (valid: "
+                         "crossbar, torus)\n",
+                         tok.c_str());
+            return 2;
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (cfg.topologies.empty()) {
+        std::fprintf(stderr,
+                     "--topologies must name crossbar and/or torus\n");
+        return 2;
+    }
+
+    std::printf("# sweep: %zu nodes x %zu topologies x %zu sizes x %zu "
+                "depths = %zu cells (ops/node=%u)\n",
+                cfg.nodeCounts.size(), cfg.topologies.size(),
+                cfg.requestSizes.size(), cfg.qpDepths.size(),
+                cfg.nodeCounts.size() * cfg.topologies.size() *
+                    cfg.requestSizes.size() * cfg.qpDepths.size(),
+                cfg.opsPerNode);
+
+    api::SweepDriver driver(cfg);
+    try {
+        const auto cells = driver.run();
+        std::printf("# %zu cells done\n", cells.size());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "sweep: %s\n", e.what());
+        return 2;
+    }
+    return 0;
+}

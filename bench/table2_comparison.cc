@@ -18,7 +18,7 @@
 namespace {
 
 using namespace sonuma;
-using bench::TwoNodeHarness;
+using api::TestBed;
 
 struct Metrics
 {
@@ -34,68 +34,58 @@ measureSonuma(const rmc::RmcParams &params)
     Metrics m;
     const bool emu = params.emulation();
 
-    // Read RTT + fetch-and-add (synchronous, warm).
+    // Read RTT + fetch-and-add (blocking, warm).
     {
-        TwoNodeHarness h(params);
-        auto s = h.clientSession();
+        TestBed bed = bench::twoNodeBed(params);
+        auto &s = bed.session(1);
         const auto buf = s.allocBuffer(64);
-        h.sim.spawn([](sim::Simulation *sim, api::RmcSession *s,
-                       vm::VAddr buf, Metrics *m) -> sim::Task {
-            rmc::CqStatus st;
-            std::uint64_t old;
+        bed.spawn([](sim::Simulation *sim, api::RmcSession *s,
+                     vm::VAddr buf, Metrics *m) -> sim::Task {
             for (int i = 0; i < 16; ++i)
-                co_await s->readSync(0, std::uint64_t(i) * 64, buf, 64,
-                                     &st);
+                co_await s->read(0, std::uint64_t(i) * 64, buf, 64);
             sim::Tick t0 = sim->now();
             const int iters = 200;
             for (int i = 0; i < iters; ++i)
-                co_await s->readSync(0, std::uint64_t(i) * 64, buf, 64,
-                                     &st);
+                co_await s->read(0, std::uint64_t(i) * 64, buf, 64);
             m->readRttUs = sim::ticksToUs(sim->now() - t0) / iters;
             t0 = sim->now();
             for (int i = 0; i < iters; ++i)
-                co_await s->fetchAddSync(0, 1 << 20, 1, &old, &st);
+                co_await s->fetchAdd(0, 1 << 20, 1);
             m->fetchAddUs = sim::ticksToUs(sim->now() - t0) / iters;
-        }(&h.sim, &s, buf, &m));
-        h.sim.run();
+        }(&bed.sim(), &s, buf, &m));
+        bed.run();
     }
 
     // Max BW: pipelined 8 KB reads. IOPS: pipelined 64 B reads.
     {
-        TwoNodeHarness h(params);
-        auto s = h.clientSession();
+        TestBed bed = bench::twoNodeBed(params);
+        auto &s = bed.session(1);
         const auto buf = s.allocBuffer(64ull * 8192);
-        h.sim.spawn([](sim::Simulation *sim, api::RmcSession *s,
-                       vm::VAddr buf, std::uint64_t segBytes, bool emu,
-                       Metrics *m) -> sim::Task {
-            auto cb = [](std::uint32_t, rmc::CqStatus) {};
+        bed.spawn([](sim::Simulation *sim, api::RmcSession *s,
+                     vm::VAddr buf, std::uint64_t segBytes, bool emu,
+                     Metrics *m) -> sim::Task {
             const int ops = emu ? 100 : 1500;
             sim::Tick t0 = sim->now();
             for (int i = 0; i < ops; ++i) {
-                std::uint32_t slot = 0;
-                co_await s->waitForSlot(cb, &slot);
-                co_await s->postRead(
-                    slot, 0, (std::uint64_t(i) * 8192) % (segBytes / 2),
+                co_await s->readAsync(
+                    0, (std::uint64_t(i) * 8192) % (segBytes / 2),
                     buf + (std::uint64_t(i) % 64) * 8192, 8192);
             }
-            co_await s->drainCq(cb);
+            co_await s->drain();
             double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
             m->maxBwGbps = ops * 8192.0 * 8.0 / secs / 1e9;
 
             const int iops = emu ? 4000 : 20000;
             t0 = sim->now();
             for (int i = 0; i < iops; ++i) {
-                std::uint32_t slot = 0;
-                co_await s->waitForSlot(cb, &slot);
-                co_await s->postRead(
-                    slot, 0, (std::uint64_t(i) * 64) % (segBytes / 2),
-                    buf, 64);
+                co_await s->readAsync(
+                    0, (std::uint64_t(i) * 64) % (segBytes / 2), buf, 64);
             }
-            co_await s->drainCq(cb);
+            co_await s->drain();
             secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
             m->mops = iops / secs / 1e6;
-        }(&h.sim, &s, buf, h.segBytes, emu, &m));
-        h.sim.run();
+        }(&bed.sim(), &s, buf, bed.segBytes(), emu, &m));
+        bed.run();
     }
     return m;
 }

@@ -14,10 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "api/testbed.hh"
 #include "app/kv_store.hh"
 #include "sim/log.hh"
-#include "node/cluster.hh"
-#include "sim/simulation.hh"
 
 using namespace sonuma;
 using namespace sonuma::app;
@@ -46,39 +45,29 @@ main(int argc, char **argv)
     constexpr std::uint32_t kBuckets = 8192;
     constexpr std::uint64_t kKeys = 1500;
 
-    sim::Simulation sim(3);
-    node::ClusterParams params;
-    params.nodes = clients + 1; // node 0 serves, the rest issue GETs
-    node::Cluster cluster(sim, params);
-    cluster.createSharedContext(1);
-
-    // Server: hash table inside the registered segment.
-    auto &serverProc = cluster.node(0).os().createProcess(0);
-    const vm::VAddr seg = serverProc.alloc(KvServer::tableBytes(kBuckets));
-    cluster.node(0).driver().openContext(serverProc, 1);
-    cluster.node(0).driver().registerSegment(
-        serverProc, 1, seg, KvServer::tableBytes(kBuckets));
-    api::RmcSession serverSession(cluster.node(0).core(0),
-                                  cluster.node(0).driver(), serverProc, 1);
-    KvServer server(serverSession, seg, 0, kBuckets);
+    // Node 0 serves; the rest issue GETs. The bucket table is the
+    // context segment.
+    api::TestBed bed(api::ClusterSpec{}
+                         .nodes(clients + 1)
+                         .context(1)
+                         .segmentPerNode(KvServer::tableBytes(kBuckets))
+                         .seed(3));
+    KvServer server(bed.session(0), bed.segBase(0), 0, kBuckets);
 
     // Populate, then let clients hammer GETs concurrently.
-    sim.spawn([](KvServer *server) -> sim::Task {
+    bed.spawn([](KvServer *server) -> sim::Task {
         for (std::uint64_t k = 0; k < kKeys; ++k) {
-            bool ok = false;
             const std::uint64_t v = k * 1000 + 7;
-            co_await server->put(k, &v, sizeof(v), &ok);
-            if (!ok)
+            if (!co_await server->put(k, &v, sizeof(v)))
                 sim::fatal("table full");
         }
         std::printf("server: %llu keys loaded into %u buckets\n",
                     static_cast<unsigned long long>(kKeys), kBuckets);
     }(&server));
-    sim.run();
+    bed.run();
 
     struct ClientState
     {
-        std::unique_ptr<api::RmcSession> session;
         std::unique_ptr<KvClient> kv;
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
@@ -86,13 +75,9 @@ main(int argc, char **argv)
     };
     std::vector<ClientState> cs(clients);
     for (std::uint32_t c = 0; c < clients; ++c) {
-        auto &nd = cluster.node(c + 1);
-        auto &proc = nd.os().createProcess(0);
-        cs[c].session = std::make_unique<api::RmcSession>(
-            nd.core(0), nd.driver(), proc, 1);
-        cs[c].kv =
-            std::make_unique<KvClient>(*cs[c].session, 0, 0, kBuckets);
-        sim.spawn([](sim::Simulation *sim, ClientState *st,
+        cs[c].kv = std::make_unique<KvClient>(bed.session(c + 1), 0, 0,
+                                              kBuckets);
+        bed.spawn([](sim::Simulation *sim, ClientState *st,
                      std::uint32_t c, std::uint64_t gets) -> sim::Task {
             sim::Rng rng(100 + c);
             std::uint8_t value[kKvValueBytes];
@@ -102,9 +87,7 @@ main(int argc, char **argv)
                 const std::uint64_t key = rng.chance(0.9)
                                               ? rng.below(kKeys)
                                               : kKeys + rng.below(1000);
-                bool found = false;
-                co_await st->kv->get(key, value, &found);
-                if (found) {
+                if (co_await st->kv->get(key, value)) {
                     ++st->hits;
                     std::uint64_t v;
                     std::memcpy(&v, value, sizeof(v));
@@ -116,9 +99,9 @@ main(int argc, char **argv)
             }
             st->avgNs = sim::ticksToNs(sim->now() - t0) /
                         static_cast<double>(gets);
-        }(&sim, &cs[c], c, gets));
+        }(&bed.sim(), &cs[c], c, gets));
     }
-    sim.run();
+    bed.run();
 
     std::printf("\n%-8s %10s %10s %14s %16s\n", "client", "hits",
                 "misses", "avg GET (ns)", "reads issued");

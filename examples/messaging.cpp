@@ -1,133 +1,101 @@
 /**
  * @file
  * Messaging and synchronization without hardware send/receive (§5.3):
- * a pipeline of nodes passes tokens with the software send/receive
- * library (push for small control messages, pull for bulk payloads),
- * then all nodes meet at the one-sided barrier.
+ * a ring of nodes passes tokens with the software send/receive library
+ * (push for small control messages, pull for bulk payloads), running
+ * on the Workload runtime — one coroutine per node with the built-in
+ * one-sided barrier.
  *
  *   $ ./messaging
  */
 
 #include <cstdio>
-#include <numeric>
+#include <memory>
 #include <vector>
 
-#include "api/barrier.hh"
 #include "api/messaging.hh"
-#include "node/cluster.hh"
-#include "sim/simulation.hh"
+#include "api/workload.hh"
 
 using namespace sonuma;
+using api::MsgEndpoint;
+using api::Workload;
 
 int
 main()
 {
     constexpr std::uint32_t kNodes = 4;
-    sim::Simulation sim(5);
-    node::ClusterParams params;
-    params.nodes = kNodes;
-    node::Cluster cluster(sim, params);
-    cluster.createSharedContext(1);
-
     const api::MsgParams mp; // push <= 256 B, pull beyond
-    // Segment layout per node: barrier region, then one messaging
-    // region per neighbor direction (previous and next in the ring).
+
+    // Segment layout per node: the Workload's barrier region, then one
+    // messaging region per ring direction (from-previous, to-next).
     const std::uint64_t barBytes = api::Barrier::regionBytes(kNodes);
     const std::uint64_t epBytes = api::MsgEndpoint::regionBytes(mp);
-    const std::uint64_t segBytes = barBytes + 2 * epBytes;
 
-    struct NodeState
-    {
-        os::Process *proc;
-        vm::VAddr seg;
-        std::unique_ptr<api::RmcSession> msgSession, barrierSession;
-        std::unique_ptr<api::MsgEndpoint> fromPrev, toNext;
-        std::unique_ptr<api::Barrier> barrier;
-    };
-    std::vector<NodeState> ns(kNodes);
-    std::vector<sim::NodeId> all(kNodes);
-    std::iota(all.begin(), all.end(), 0);
+    api::TestBed bed(api::ClusterSpec{}
+                         .nodes(kNodes)
+                         .context(1)
+                         .segmentPerNode(barBytes + 2 * epBytes)
+                         .seed(5));
 
-    for (std::uint32_t i = 0; i < kNodes; ++i) {
-        auto &nd = cluster.node(i);
-        ns[i].proc = &nd.os().createProcess(0);
-        ns[i].seg = ns[i].proc->alloc(segBytes);
-        nd.driver().openContext(*ns[i].proc, 1);
-        nd.driver().registerSegment(*ns[i].proc, 1, ns[i].seg, segBytes);
-        ns[i].msgSession = std::make_unique<api::RmcSession>(
-            nd.core(0), nd.driver(), *ns[i].proc, 1);
-        ns[i].barrierSession = std::make_unique<api::RmcSession>(
-            nd.core(0), nd.driver(), *ns[i].proc, 1);
-        ns[i].barrier = std::make_unique<api::Barrier>(
-            *ns[i].barrierSession, all, ns[i].seg, 0);
-    }
     // Ring endpoints: region [bar, bar+ep) receives from the previous
     // node; region [bar+ep, bar+2ep) receives from the next node (only
-    // the first is used for data here; layout kept symmetric).
+    // the first carries data here; layout kept symmetric).
+    std::vector<std::unique_ptr<MsgEndpoint>> toNext(kNodes),
+        fromPrev(kNodes);
     for (std::uint32_t i = 0; i < kNodes; ++i) {
         const std::uint32_t next = (i + 1) % kNodes;
-        ns[i].toNext = std::make_unique<api::MsgEndpoint>(
-            *ns[i].msgSession, static_cast<sim::NodeId>(next),
-            ns[i].seg, barBytes + epBytes, barBytes, mp);
-    }
-    for (std::uint32_t i = 0; i < kNodes; ++i) {
         const std::uint32_t prev = (i + kNodes - 1) % kNodes;
-        // Reuse the sending endpoint of prev for its receive side: the
-        // endpoint at node i receiving from prev is ns[i].fromPrev.
-        ns[i].fromPrev = std::make_unique<api::MsgEndpoint>(
-            *ns[i].msgSession, static_cast<sim::NodeId>(prev),
-            ns[i].seg, barBytes, barBytes + epBytes, mp);
+        toNext[i] = std::make_unique<MsgEndpoint>(
+            bed.session(i), static_cast<sim::NodeId>(next),
+            bed.segBase(i), barBytes + epBytes, barBytes, mp);
+        fromPrev[i] = std::make_unique<MsgEndpoint>(
+            bed.session(i), static_cast<sim::NodeId>(prev),
+            bed.segBase(i), barBytes, barBytes + epBytes, mp);
     }
 
-    for (std::uint32_t i = 0; i < kNodes; ++i) {
-        sim.spawn([](sim::Simulation *sim, NodeState *st, std::uint32_t i,
-                     std::uint32_t nodes) -> sim::Task {
-            // Token ride around the ring: node 0 injects a small (push)
-            // and a bulk (pull) message; everyone relays.
-            std::vector<std::uint8_t> bulk(16 * 1024);
-            for (std::size_t b = 0; b < bulk.size(); ++b)
-                bulk[b] = static_cast<std::uint8_t>(b * 7);
+    Workload wl(bed);
+    wl.onEachNode([&](Workload::NodeCtx &ctx) -> sim::Task {
+        const std::uint32_t i = ctx.nodeId();
+        // Token ride around the ring: node 0 injects a small (push)
+        // and a bulk (pull) message; everyone relays.
+        std::vector<std::uint8_t> bulk(16 * 1024);
+        for (std::size_t b = 0; b < bulk.size(); ++b)
+            bulk[b] = static_cast<std::uint8_t>(b * 7);
 
-            if (i == 0) {
-                std::uint64_t token = 1;
-                co_await st->toNext->send(&token, sizeof(token));
-                co_await st->toNext->send(bulk.data(),
-                                          static_cast<std::uint32_t>(
-                                              bulk.size()));
-                std::vector<std::uint8_t> back;
-                co_await st->fromPrev->receive(&back); // token returns
-                co_await st->fromPrev->receive(&back); // bulk returns
-                std::printf("node 0: token + %zu B bulk made the round "
-                            "trip in %.2f us\n",
-                            back.size(), sim::ticksToUs(sim->now()));
-                bool intact = back.size() == bulk.size();
-                for (std::size_t b = 0; intact && b < back.size(); ++b)
-                    intact = back[b] == bulk[b];
-                std::printf("node 0: bulk payload integrity: %s\n",
-                            intact ? "ok" : "CORRUPT");
-            } else {
-                std::vector<std::uint8_t> m1, m2;
-                co_await st->fromPrev->receive(&m1);
-                co_await st->fromPrev->receive(&m2);
-                std::printf("node %u: relaying token + %zu B bulk\n", i,
-                            m2.size());
-                co_await st->toNext->send(m1.data(),
-                                          static_cast<std::uint32_t>(
-                                              m1.size()));
-                co_await st->toNext->send(m2.data(),
-                                          static_cast<std::uint32_t>(
-                                              m2.size()));
-            }
-
-            // Everyone meets at the barrier (writes to peers + local
-            // polling, §5.3).
-            co_await st->barrier->arrive();
-            if (i == 0)
-                std::printf("all %u nodes passed the barrier at %.2f "
-                            "us\n",
-                            nodes, sim::ticksToUs(sim->now()));
-        }(&sim, &ns[i], i, kNodes));
-    }
-    sim.run();
+        if (i == 0) {
+            std::uint64_t token = 1;
+            co_await toNext[i]->send(&token, sizeof(token));
+            co_await toNext[i]->send(
+                bulk.data(), static_cast<std::uint32_t>(bulk.size()));
+            std::vector<std::uint8_t> back;
+            co_await fromPrev[i]->receive(&back); // token returns
+            co_await fromPrev[i]->receive(&back); // bulk returns
+            std::printf("node 0: token + %zu B bulk made the round "
+                        "trip in %.2f us\n",
+                        back.size(), sim::ticksToUs(ctx.sim().now()));
+            bool intact = back.size() == bulk.size();
+            for (std::size_t b = 0; intact && b < back.size(); ++b)
+                intact = back[b] == bulk[b];
+            std::printf("node 0: bulk payload integrity: %s\n",
+                        intact ? "ok" : "CORRUPT");
+        } else {
+            std::vector<std::uint8_t> m1, m2;
+            co_await fromPrev[i]->receive(&m1);
+            co_await fromPrev[i]->receive(&m2);
+            std::printf("node %u: relaying token + %zu B bulk\n", i,
+                        m2.size());
+            co_await toNext[i]->send(
+                m1.data(), static_cast<std::uint32_t>(m1.size()));
+            co_await toNext[i]->send(
+                m2.data(), static_cast<std::uint32_t>(m2.size()));
+        }
+        // The Workload's finish barrier aligns all nodes (§5.3); an
+        // explicit mid-workload ctx.barrier() works the same way.
+        co_await ctx.barrier();
+        if (i == 0)
+            std::printf("all %u nodes passed the barrier at %.2f us\n",
+                        ctx.nodes(), sim::ticksToUs(ctx.sim().now()));
+    });
+    wl.run();
     return 0;
 }

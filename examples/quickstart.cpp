@@ -1,125 +1,62 @@
 /**
  * @file
- * Quickstart: the smallest complete soNUMA program.
- *
- * Builds a two-node rack, joins a global address space (context), and
- * performs the paper's three one-sided primitives — remote read, remote
- * write, and a remote atomic — printing what happened and how long each
- * took in simulated time.
+ * Quickstart: the smallest complete soNUMA program, on the v2 API.
+ * Two nodes, one context, and the paper's one-sided primitives — each
+ * a single co_await yielding an OpResult (status + latency).
  *
  *   $ ./quickstart
  */
 
 #include <cstdio>
 
-#include "api/session.hh"
-#include "node/cluster.hh"
-#include "sim/simulation.hh"
+#include "api/testbed.hh"
 
 using namespace sonuma;
+using namespace sonuma::api;
 
-namespace {
-
-sim::Task
-clientMain(sim::Simulation &sim, api::RmcSession &session,
-           os::Process &serverProc, vm::VAddr serverSeg)
+static sim::Task clientMain(TestBed &bed)
 {
-    // A local buffer to read into / write from (any process memory).
-    const vm::VAddr buf = session.allocBuffer(4096);
-
-    //
-    // 1. Remote read: copy 64 bytes from the server's context segment
-    //    (offset 0) into our local buffer.
-    //
-    rmc::CqStatus status;
-    sim::Tick t0 = sim.now();
-    co_await session.readSync(/*nid=*/0, /*offset=*/0, buf, 64, &status);
+    auto &s = bed.session(1);              // node 1, core 0
+    auto &as = s.process().addressSpace();
+    const vm::VAddr buf = s.allocBuffer(4096);
+    // 1. Remote read: 64 B from node 0's segment into our buffer.
+    OpResult r = co_await s.read(/*nid=*/0, /*offset=*/0, buf, 64);
+    char text[65] = {};
+    as.read(buf, text, 64);
     std::printf("remote read : %-4s in %6.0f ns  -> \"%s\"\n",
-                status == rmc::CqStatus::kOk ? "ok" : "ERR",
-                sim::ticksToNs(sim.now() - t0),
-                [&] {
-                    static char text[65];
-                    session.process().addressSpace().read(buf, text, 64);
-                    text[64] = 0;
-                    return text;
-                }());
+                r.ok() ? "ok" : "ERR", sim::ticksToNs(r.latency), text);
 
-    //
-    // 2. Remote write: place a greeting at offset 4096 of the server's
-    //    segment, then verify it landed (functional read on the server).
-    //
-    const char reply[] = "greetings from node 1";
-    session.process().addressSpace().write(buf, reply, sizeof(reply));
-    t0 = sim.now();
-    co_await session.writeSync(0, 4096, buf, 64, &status);
+    // 2. Remote write: place a greeting in node 0's memory.
+    as.write(buf, "greetings from node 1", 22);
+    r = co_await s.write(0, 4096, buf, 64);
     char landed[64];
-    serverProc.addressSpace().read(serverSeg + 4096, landed,
-                                   sizeof(landed));
+    bed.process(0).addressSpace().read(bed.segBase(0) + 4096, landed, 64);
     std::printf("remote write: %-4s in %6.0f ns  -> server sees \"%s\"\n",
-                status == rmc::CqStatus::kOk ? "ok" : "ERR",
-                sim::ticksToNs(sim.now() - t0), landed);
+                r.ok() ? "ok" : "ERR", sim::ticksToNs(r.latency), landed);
 
-    //
-    // 3. Remote atomic: fetch-and-add on a counter in the server's
-    //    segment. Atomicity is enforced by the server's own cache
-    //    coherence (paper §7.4), so it is safe against local access too.
-    //
-    std::uint64_t old = 0;
-    t0 = sim.now();
-    co_await session.fetchAddSync(0, /*offset=*/8192, /*addend=*/5, &old,
-                                  &status);
-    std::printf("fetch-add   : %-4s in %6.0f ns  -> old=%llu now=%llu\n",
-                status == rmc::CqStatus::kOk ? "ok" : "ERR",
-                sim::ticksToNs(sim.now() - t0),
-                static_cast<unsigned long long>(old),
-                static_cast<unsigned long long>(
-                    serverProc.addressSpace().readT<std::uint64_t>(
-                        serverSeg + 8192)));
+    // 3. Remote atomic: fetch-and-add; the old value rides the result.
+    r = co_await s.fetchAdd(0, /*offset=*/8192, /*addend=*/5);
+    std::printf("fetch-add   : %-4s in %6.0f ns  -> old=%llu\n",
+                r.ok() ? "ok" : "ERR", sim::ticksToNs(r.latency),
+                static_cast<unsigned long long>(r.oldValue));
 
-    //
-    // 4. Errors surface through the CQ: reading past the segment end
-    //    yields an error completion, not silent corruption.
-    //
-    co_await session.readSync(0, /*offset=*/1 << 30, buf, 64, &status);
+    // 4. Errors surface in the OpResult, not as corruption.
+    r = co_await s.read(0, /*offset=*/1 << 30, buf, 64);
     std::printf("bad read    : %s (bounds violations surface via CQ)\n",
-                status == rmc::CqStatus::kBoundsError ? "rejected"
-                                                      : "UNEXPECTED");
+                r.status == rmc::CqStatus::kBoundsError ? "rejected"
+                                                        : "UNEXPECTED");
 }
 
-} // namespace
-
-int
-main()
+int main()
 {
-    std::printf("soNUMA quickstart: 2 nodes, crossbar fabric, one "
-                "shared context\n\n");
-
-    sim::Simulation sim(/*seed=*/1);
-
-    // A rack: two nodes on one memory fabric (defaults = paper Table 1).
-    node::Cluster cluster(sim, node::ClusterParams{});
-
-    // A global virtual address space, id 1, open to everyone.
-    cluster.createSharedContext(/*ctx=*/1);
-
-    // Node 0: register a 1 MiB context segment and put data in it.
-    auto &serverProc = cluster.node(0).os().createProcess(/*uid=*/0);
-    const vm::VAddr serverSeg = serverProc.alloc(1 << 20);
-    cluster.node(0).driver().openContext(serverProc, 1);
-    cluster.node(0).driver().registerSegment(serverProc, 1, serverSeg,
-                                             1 << 20);
-    const char hello[] = "hello from node 0's memory";
-    serverProc.addressSpace().write(serverSeg, hello, sizeof(hello));
-    serverProc.addressSpace().writeT<std::uint64_t>(serverSeg + 8192, 100);
-
-    // Node 1: join the context and run the client program.
-    auto &clientProc = cluster.node(1).os().createProcess(/*uid=*/0);
-    api::RmcSession session(cluster.node(1).core(0),
-                            cluster.node(1).driver(), clientProc, 1);
-
-    sim.spawn(clientMain(sim, session, serverProc, serverSeg));
-    sim.run();
-
-    std::printf("\nsimulated time: %.2f us\n", sim::ticksToUs(sim.now()));
+    TestBed bed(ClusterSpec{}.nodes(2).context(1).segmentPerNode(1_MiB));
+    bed.process(0).addressSpace().write(bed.segBase(0),
+                                        "hello from node 0's memory", 27);
+    bed.process(0).addressSpace().writeT<std::uint64_t>(
+        bed.segBase(0) + 8192, 100);
+    bed.spawn(clientMain(bed));
+    bed.run();
+    std::printf("\nsimulated time: %.2f us\n",
+                sim::ticksToUs(bed.sim().now()));
     return 0;
 }

@@ -36,10 +36,10 @@ Barrier::arrive()
             as.writeT<std::uint64_t>(local, gen);
             continue;
         }
-        std::uint32_t wq = 0;
-        co_await session_.waitForSlot(nullptr, &wq);
-        co_await session_.postWrite(wq, peer, mySlotOff, announceLine_,
-                                    sim::kCacheLineBytes);
+        // Fire-and-forget: peers observe the write by polling locally;
+        // the slot recycles when a later post reaps its completion.
+        co_await session_.writeAsync(peer, mySlotOff, announceLine_,
+                                     sim::kCacheLineBytes);
     }
 
     // Poll locally until every participant announced this generation.

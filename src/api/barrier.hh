@@ -25,11 +25,13 @@ class Barrier
 {
   public:
     /**
-     * @param session this node's RMC session. The barrier takes
-     *        exclusive use of the session's QP: its announcement-write
-     *        completions are reaped internally, so sharing the QP with
-     *        application traffic would misroute the application's
-     *        completion callbacks.
+     * @param session this node's RMC session. The barrier posts its
+     *        announcement writes fire-and-forget; v2 per-slot
+     *        completions cannot be misrouted, so the owning coroutine
+     *        may interleave barrier arrivals with its own traffic on
+     *        one session (sequentially — see session.hh's concurrency
+     *        contract). Workload still gives each barrier a private QP
+     *        so announcement writes never contend for WQ slots.
      * @param participants node ids taking part (must include self)
      * @param mySegmentBase local VA of this node's context segment
      * @param regionOffset common offset of the barrier region in every

@@ -88,12 +88,9 @@ MsgEndpoint::postSlot(const Slot &slot)
     co_await session_.core().store(lineVa);
     as.write(lineVa, &stamped, sizeof(stamped));
 
-    std::uint32_t wq = 0;
-    co_await session_.waitForSlot(nullptr, &wq);
-    co_await session_.postWrite(
-        wq, peer_,
-        peerRingOff_ + std::uint64_t(idx) * sim::kCacheLineBytes, lineVa,
-        sim::kCacheLineBytes);
+    co_await session_.writeAsync(
+        peer_, peerRingOff_ + std::uint64_t(idx) * sim::kCacheLineBytes,
+        lineVa, sim::kCacheLineBytes);
 
     sendCursor_.advance();
     ++slotsSent_;
@@ -208,10 +205,8 @@ MsgEndpoint::returnCreditsIfDue()
     auto &as = session_.process().addressSpace();
     co_await session_.core().store(creditLine_);
     as.writeT<std::uint64_t>(creditLine_, slotsConsumed_);
-    std::uint32_t wq = 0;
-    co_await session_.waitForSlot(nullptr, &wq);
-    co_await session_.postWrite(wq, peer_, peerCreditsOff_, creditLine_,
-                                sim::kCacheLineBytes);
+    co_await session_.writeAsync(peer_, peerCreditsOff_, creditLine_,
+                                 sim::kCacheLineBytes);
 }
 
 sim::Task
@@ -250,11 +245,10 @@ MsgEndpoint::receive(std::vector<std::uint8_t> *out)
         const std::uint64_t need = roundUpLine(first.msgLen);
         const std::uint64_t off =
             first.stagingOff % params_.pullBufferBytes;
-        rmc::CqStatus st = rmc::CqStatus::kOk;
-        co_await session_.readSync(peer_, peerStagingOff_ + off,
-                                   pullLanding_,
-                                   static_cast<std::uint32_t>(need), &st);
-        if (st != rmc::CqStatus::kOk)
+        const OpResult pull = co_await session_.read(
+            peer_, peerStagingOff_ + off, pullLanding_,
+            static_cast<std::uint32_t>(need));
+        if (!pull.ok())
             sim::fatal("pull read failed");
         as.read(pullLanding_, out->data(), first.msgLen);
 
@@ -262,10 +256,8 @@ MsgEndpoint::receive(std::vector<std::uint8_t> *out)
         pulledBytes_ = first.stagingOff + need;
         co_await session_.core().store(ackLine_);
         as.writeT<std::uint64_t>(ackLine_, pulledBytes_);
-        std::uint32_t wq = 0;
-        co_await session_.waitForSlot(nullptr, &wq);
-        co_await session_.postWrite(wq, peer_, peerPullAckOff_,
-                                    ackLine_, sim::kCacheLineBytes);
+        co_await session_.writeAsync(peer_, peerPullAckOff_, ackLine_,
+                                     sim::kCacheLineBytes);
     }
 
     co_await returnCreditsIfDue();

@@ -59,8 +59,12 @@ class MsgEndpoint
 
     /**
      * @param session this thread's RMC session (context already joined).
-     *        The endpoint takes exclusive use of the session's QP; do
-     *        not interleave other traffic with user callbacks on it.
+     *        The endpoint posts fire-and-forget writes on the session's
+     *        QP. v2 per-slot completions cannot be misrouted, so the
+     *        owning coroutine may interleave its own (sequential)
+     *        traffic on the same session; a concurrently-running
+     *        coroutine must use its own session (see session.hh's
+     *        concurrency contract).
      * @param peerNid the peer node
      * @param mySegmentBase local VA of this node's context segment
      * @param myRegionOffset offset of my region within my segment

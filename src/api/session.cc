@@ -1,6 +1,6 @@
 /**
  * @file
- * Access-library implementation.
+ * Access-library implementation (v2 awaitable surface).
  */
 
 #include "api/session.hh"
@@ -11,6 +11,26 @@
 #include "sim/log.hh"
 
 namespace sonuma::api {
+
+namespace {
+
+rmc::WqEntry
+makeEntry(rmc::WqOp op, sim::NodeId nid, std::uint64_t offset,
+          vm::VAddr buf, std::uint32_t len, std::uint64_t operand1 = 0,
+          std::uint64_t operand2 = 0)
+{
+    rmc::WqEntry e{};
+    e.op = static_cast<std::uint8_t>(op);
+    e.dstNid = nid;
+    e.offset = offset;
+    e.bufVa = buf;
+    e.length = len;
+    e.operand1 = operand1;
+    e.operand2 = operand2;
+    return e;
+}
+
+} // namespace
 
 RmcSession::RmcSession(node::Core &core, os::RmcDriver &driver,
                        os::Process &proc, sim::CtxId ctx,
@@ -27,20 +47,29 @@ RmcSession::RmcSession(node::Core &core, os::RmcDriver &driver,
     wqCursor_ = rmc::RingCursor(qp_.entries);
     cqCursor_ = rmc::RingCursor(qp_.entries);
     slotBusy_.assign(qp_.entries, false);
-    syncWaiters_.assign(qp_.entries, nullptr);
+    records_.assign(qp_.entries, SlotRecord{});
     driver_.rmc().setCompletionHook(ctx_, qp_.qpIndex,
                                     [this] { completionEvent_.notifyAll(); });
 }
 
-void
-RmcSession::setDefaultCallback(CompletionCallback cb)
+vm::VAddr
+RmcSession::scratchFor(std::uint32_t slot)
 {
-    defaultCb_ = std::move(cb);
+    if (atomicScratch_ == 0)
+        atomicScratch_ =
+            proc_.alloc(std::uint64_t(qp_.entries) * sim::kCacheLineBytes);
+    return atomicScratch_ + std::uint64_t(slot) * sim::kCacheLineBytes;
+}
+
+bool
+RmcSession::completionVisible(std::uint32_t slot, std::uint64_t token) const
+{
+    const SlotRecord &r = records_[slot];
+    return r.token == token && r.completed;
 }
 
 sim::Task
-RmcSession::reapAvailable(const CompletionCallback &cb,
-                          std::uint32_t *reaped)
+RmcSession::reapAvailable(std::uint32_t *reaped)
 {
     std::uint32_t n = 0;
     while (true) {
@@ -63,214 +92,207 @@ RmcSession::reapAvailable(const CompletionCallback &cb,
         cqCursor_.advance();
         ++n;
 
-        if (syncWaiters_[slot]) {
-            syncWaiters_[slot]->done = true;
-            syncWaiters_[slot]->status = status;
-            syncWaiters_[slot] = nullptr;
-        } else if (cb) {
-            cb(slot, status);
-        } else if (defaultCb_) {
-            defaultCb_(slot, status);
-        }
+        SlotRecord &r = records_[slot];
+        r.completed = true;
+        r.status = status;
+        r.completedAt = core_.simulation().now();
+        if (r.atomic && status == rmc::CqStatus::kOk)
+            r.oldValue =
+                proc_.addressSpace().readT<std::uint64_t>(r.bufVa);
     }
     if (reaped)
         *reaped = n;
 }
 
+bool
+RmcSession::cqEntryVisible() const
+{
+    rmc::CqEntry entry;
+    proc_.addressSpace().read(qp_.cqEntryVa(cqCursor_.index()), &entry,
+                              sizeof(entry));
+    return entry.phase == cqCursor_.expectedPhase();
+}
+
 sim::Task
-RmcSession::waitForSlot(CompletionCallback cb, std::uint32_t *slot)
+RmcSession::pollWait()
+{
+    co_await core_.compute(params_.syncPollOverheadCycles);
+    // A completion may have landed during the compute charge, with its
+    // hook firing while no waiter was registered. Re-check the CQ head
+    // before sleeping: the check and the wait registration execute in
+    // one event-loop step, so nothing can slip between them.
+    if (!cqEntryVisible())
+        co_await completionEvent_.wait();
+}
+
+sim::Task
+RmcSession::acquireSlot(std::uint32_t *slot)
 {
     const std::uint32_t next = wqCursor_.index();
     while (slotBusy_[next]) {
         std::uint32_t reaped = 0;
-        co_await reapAvailable(cb, &reaped);
-        if (slotBusy_[next]) {
-            co_await core_.compute(params_.syncPollOverheadCycles);
-            co_await completionEvent_.wait();
-        }
+        co_await reapAvailable(&reaped);
+        if (slotBusy_[next] && reaped == 0)
+            co_await pollWait();
     }
     *slot = next;
 }
 
-sim::Task
-RmcSession::postEntry(std::uint32_t slot, const rmc::WqEntry &entry)
+sim::ValueTask<OpHandle>
+RmcSession::postOp(rmc::WqEntry entry, bool atomic)
 {
-    assert(slot == wqCursor_.index() &&
-           "slots must be posted in ring order (use waitForSlot)");
-    assert(!slotBusy_[slot]);
+    std::uint32_t slot = 0;
+    co_await acquireSlot(&slot);
+    assert(slot == wqCursor_.index() && !slotBusy_[slot]);
 
-    rmc::WqEntry e = entry;
-    e.phase = wqCursor_.expectedPhase();
+    entry.phase = wqCursor_.expectedPhase();
 
     // Inline-function overhead + the producing store (one cache line).
     co_await core_.compute(params_.issueOverheadCycles);
     const vm::VAddr entryVa = qp_.wqEntryVa(slot);
     co_await core_.store(entryVa);
-    proc_.addressSpace().write(entryVa, &e, sizeof(e));
+    proc_.addressSpace().write(entryVa, &entry, sizeof(entry));
+
+    SlotRecord &r = records_[slot];
+    r.token = ++nextToken_;
+    r.completed = false;
+    r.atomic = atomic;
+    r.status = rmc::CqStatus::kOk;
+    r.postedAt = core_.simulation().now();
+    r.bufVa = entry.bufVa;
+    r.oldValue = 0;
 
     slotBusy_[slot] = true;
     ++outstanding_;
     wqCursor_.advance();
     driver_.rmc().doorbell(ctx_, qp_.qpIndex);
+    co_return OpHandle(this, slot, r.token);
 }
 
-sim::Task
-RmcSession::postRead(std::uint32_t slot, sim::NodeId nid,
-                     std::uint64_t offset, vm::VAddr buf, std::uint32_t len)
+sim::ValueTask<OpResult>
+RmcSession::awaitCompletion(std::uint32_t slot, std::uint64_t token)
 {
-    rmc::WqEntry e{};
-    e.op = static_cast<std::uint8_t>(rmc::WqOp::kRead);
-    e.dstNid = nid;
-    e.offset = offset;
-    e.bufVa = buf;
-    e.length = len;
-    co_await postEntry(slot, e);
+    while (true) {
+        SlotRecord &r = records_[slot];
+        if (r.token != token)
+            sim::fatal("OpHandle awaited after its WQ slot was reused; "
+                       "consume results within one ring lap");
+        if (r.completed)
+            break;
+        std::uint32_t reaped = 0;
+        co_await reapAvailable(&reaped);
+        if (!records_[slot].completed && reaped == 0)
+            co_await pollWait();
+    }
+    const SlotRecord &r = records_[slot];
+    OpResult res;
+    res.status = r.status;
+    res.latency = r.completedAt - r.postedAt;
+    res.oldValue = r.oldValue;
+    co_return res;
 }
 
-sim::Task
-RmcSession::postWrite(std::uint32_t slot, sim::NodeId nid,
-                      std::uint64_t offset, vm::VAddr buf, std::uint32_t len)
+//
+// ------------------------- asynchronous posts --------------------------
+//
+
+sim::ValueTask<OpHandle>
+RmcSession::readAsync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
+                      std::uint32_t len)
 {
-    rmc::WqEntry e{};
-    e.op = static_cast<std::uint8_t>(rmc::WqOp::kWrite);
-    e.dstNid = nid;
-    e.offset = offset;
-    e.bufVa = buf;
-    e.length = len;
-    co_await postEntry(slot, e);
+    co_return co_await postOp(
+        makeEntry(rmc::WqOp::kRead, nid, offset, buf, len),
+        /*atomic=*/false);
 }
 
-sim::Task
-RmcSession::postCompareSwap(std::uint32_t slot, sim::NodeId nid,
-                            std::uint64_t offset, vm::VAddr buf,
-                            std::uint64_t expected, std::uint64_t desired)
+sim::ValueTask<OpHandle>
+RmcSession::writeAsync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
+                       std::uint32_t len)
 {
-    rmc::WqEntry e{};
-    e.op = static_cast<std::uint8_t>(rmc::WqOp::kCas);
-    e.dstNid = nid;
-    e.offset = offset;
-    e.bufVa = buf;
-    e.length = sizeof(std::uint64_t);
-    e.operand1 = expected;
-    e.operand2 = desired;
-    co_await postEntry(slot, e);
+    co_return co_await postOp(
+        makeEntry(rmc::WqOp::kWrite, nid, offset, buf, len),
+        /*atomic=*/false);
 }
 
-sim::Task
-RmcSession::postFetchAdd(std::uint32_t slot, sim::NodeId nid,
-                         std::uint64_t offset, vm::VAddr buf,
-                         std::uint64_t addend)
+sim::ValueTask<OpHandle>
+RmcSession::fetchAddAsync(sim::NodeId nid, std::uint64_t offset,
+                          std::uint64_t addend)
 {
-    rmc::WqEntry e{};
-    e.op = static_cast<std::uint8_t>(rmc::WqOp::kFetchAdd);
-    e.dstNid = nid;
-    e.offset = offset;
-    e.bufVa = buf;
-    e.length = sizeof(std::uint64_t);
-    e.operand1 = addend;
-    co_await postEntry(slot, e);
+    const vm::VAddr buf = scratchFor(wqCursor_.index());
+    co_return co_await postOp(
+        makeEntry(rmc::WqOp::kFetchAdd, nid, offset, buf,
+                  sizeof(std::uint64_t), addend),
+        /*atomic=*/true);
 }
 
-sim::Task
-RmcSession::pollCq(CompletionCallback cb, std::uint32_t *reaped)
+sim::ValueTask<OpHandle>
+RmcSession::compareSwapAsync(sim::NodeId nid, std::uint64_t offset,
+                             std::uint64_t expected, std::uint64_t desired)
 {
-    co_await reapAvailable(cb, reaped);
+    const vm::VAddr buf = scratchFor(wqCursor_.index());
+    co_return co_await postOp(
+        makeEntry(rmc::WqOp::kCas, nid, offset, buf,
+                  sizeof(std::uint64_t), expected, desired),
+        /*atomic=*/true);
+}
+
+//
+// -------------------------- blocking wrappers --------------------------
+//
+
+sim::ValueTask<OpResult>
+RmcSession::read(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
+                 std::uint32_t len)
+{
+    OpHandle h = co_await readAsync(nid, offset, buf, len);
+    co_return co_await h;
+}
+
+sim::ValueTask<OpResult>
+RmcSession::write(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
+                  std::uint32_t len)
+{
+    OpHandle h = co_await writeAsync(nid, offset, buf, len);
+    co_return co_await h;
+}
+
+sim::ValueTask<OpResult>
+RmcSession::fetchAdd(sim::NodeId nid, std::uint64_t offset,
+                     std::uint64_t addend)
+{
+    OpHandle h = co_await fetchAddAsync(nid, offset, addend);
+    co_return co_await h;
+}
+
+sim::ValueTask<OpResult>
+RmcSession::compareSwap(sim::NodeId nid, std::uint64_t offset,
+                        std::uint64_t expected, std::uint64_t desired)
+{
+    OpHandle h = co_await compareSwapAsync(nid, offset, expected, desired);
+    co_return co_await h;
+}
+
+//
+// ----------------------------- reaping ---------------------------------
+//
+
+sim::ValueTask<std::uint32_t>
+RmcSession::poll()
+{
+    std::uint32_t reaped = 0;
+    co_await reapAvailable(&reaped);
+    co_return reaped;
 }
 
 sim::Task
-RmcSession::drainCq(CompletionCallback cb)
+RmcSession::drain()
 {
     while (outstanding_ > 0) {
         std::uint32_t reaped = 0;
-        co_await reapAvailable(cb, &reaped);
-        if (outstanding_ > 0 && reaped == 0) {
-            co_await core_.compute(params_.syncPollOverheadCycles);
-            co_await completionEvent_.wait();
-        }
+        co_await reapAvailable(&reaped);
+        if (outstanding_ > 0 && reaped == 0)
+            co_await pollWait();
     }
-}
-
-sim::Task
-RmcSession::syncOp(const rmc::WqEntry &entry, rmc::CqStatus *status)
-{
-    std::uint32_t slot = 0;
-    co_await waitForSlot(defaultCb_, &slot);
-    SyncWait wait;
-    co_await postEntry(slot, entry);
-    syncWaiters_[slot] = &wait;
-    while (!wait.done) {
-        std::uint32_t reaped = 0;
-        co_await reapAvailable(defaultCb_, &reaped);
-        if (!wait.done && reaped == 0) {
-            co_await core_.compute(params_.syncPollOverheadCycles);
-            co_await completionEvent_.wait();
-        }
-    }
-    if (status)
-        *status = wait.status;
-}
-
-sim::Task
-RmcSession::readSync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
-                     std::uint32_t len, rmc::CqStatus *status)
-{
-    rmc::WqEntry e{};
-    e.op = static_cast<std::uint8_t>(rmc::WqOp::kRead);
-    e.dstNid = nid;
-    e.offset = offset;
-    e.bufVa = buf;
-    e.length = len;
-    co_await syncOp(e, status);
-}
-
-sim::Task
-RmcSession::writeSync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
-                      std::uint32_t len, rmc::CqStatus *status)
-{
-    rmc::WqEntry e{};
-    e.op = static_cast<std::uint8_t>(rmc::WqOp::kWrite);
-    e.dstNid = nid;
-    e.offset = offset;
-    e.bufVa = buf;
-    e.length = len;
-    co_await syncOp(e, status);
-}
-
-sim::Task
-RmcSession::fetchAddSync(sim::NodeId nid, std::uint64_t offset,
-                         std::uint64_t addend, std::uint64_t *oldValue,
-                         rmc::CqStatus *status)
-{
-    const vm::VAddr buf = atomicScratch();
-    rmc::WqEntry e{};
-    e.op = static_cast<std::uint8_t>(rmc::WqOp::kFetchAdd);
-    e.dstNid = nid;
-    e.offset = offset;
-    e.bufVa = buf;
-    e.length = sizeof(std::uint64_t);
-    e.operand1 = addend;
-    co_await syncOp(e, status);
-    if (oldValue)
-        *oldValue = proc_.addressSpace().readT<std::uint64_t>(buf);
-}
-
-sim::Task
-RmcSession::compareSwapSync(sim::NodeId nid, std::uint64_t offset,
-                            std::uint64_t expected, std::uint64_t desired,
-                            std::uint64_t *oldValue, rmc::CqStatus *status)
-{
-    const vm::VAddr buf = atomicScratch();
-    rmc::WqEntry e{};
-    e.op = static_cast<std::uint8_t>(rmc::WqOp::kCas);
-    e.dstNid = nid;
-    e.offset = offset;
-    e.bufVa = buf;
-    e.length = sizeof(std::uint64_t);
-    e.operand1 = expected;
-    e.operand2 = desired;
-    co_await syncOp(e, status);
-    if (oldValue)
-        *oldValue = proc_.addressSpace().readT<std::uint64_t>(buf);
 }
 
 } // namespace sonuma::api

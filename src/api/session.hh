@@ -1,44 +1,110 @@
 /**
  * @file
- * The soNUMA access library (paper §5.2).
+ * The soNUMA access library, v2 (paper §5.2, Fig. 4).
  *
- * A lightweight user-level API over the queue pairs: applications issue
- * one-sided remote reads/writes/atomics and synchronize by polling the
- * completion queue. Mirrors the paper's Fig. 4 interface:
+ * Applications issue one-sided remote reads/writes/atomics against a
+ * global address space (context) through a queue pair. Every operation
+ * is awaitable and yields an OpResult value — no status out-params, no
+ * completion callbacks:
  *
- *   - waitForSlot  ~ rmc_wait_for_slot (process CQ until WQ head frees)
- *   - postRead     ~ rmc_read_async
- *   - postWrite    ~ rmc_write_async
- *   - drainCq      ~ rmc_drain_cq
- *   - readSync / writeSync ~ the blocking variants
- *   - fetchAddSync / compareSwapSync ~ atomic operations (§5.2)
+ *   OpResult r = co_await session.read(nid, offset, buf, len);
+ *   if (!r.ok()) ...                        // CQ status, by value
+ *
+ * Asynchronous posts return a lightweight OpHandle that is itself
+ * awaitable and carries its completion:
+ *
+ *   OpHandle h = co_await session.readAsync(nid, offset, buf, len);
+ *   ... overlap compute ...
+ *   OpResult r = co_await h;                // rendezvous with the CQ
+ *
+ * Mapping to the paper's Fig. 4 calls (see src/api/README.md):
+ *
+ *   read / write            ~ rmc_read_sync / rmc_write_sync
+ *   readAsync / writeAsync  ~ rmc_read_async / rmc_write_async
+ *                             (slot wait + WQ post fused; the handle is
+ *                             the paper's wq index + completion state)
+ *   drain                   ~ rmc_drain_cq
+ *   fetchAdd / compareSwap  ~ the atomic operations of §5.2
  *
  * All methods are coroutines executing "on" a Core: they charge API
  * instruction overhead on the core's compute resource and perform timed
  * loads/stores on the core's L1 for every WQ/CQ interaction, which is
  * exactly where soNUMA's coherence-integrated queue pairs earn their
- * latency advantage.
+ * latency advantage. Internally the session keeps the zero-allocation
+ * machinery of the simulation core: completions land in fixed per-slot
+ * records, wake-ups ride sim::Callback, and no std::function appears on
+ * any per-operation path.
  */
 
 #ifndef SONUMA_API_SESSION_HH
 #define SONUMA_API_SESSION_HH
 
 #include <cstdint>
-#include <functional>
-#include <optional>
 #include <vector>
 
 #include "node/core.hh"
 #include "os/rmc_driver.hh"
 #include "rmc/queue_pair.hh"
+#include "sim/log.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
 
 namespace sonuma::api {
 
-/** Callback applied to completed WQ slots during CQ processing. */
-using CompletionCallback =
-    std::function<void(std::uint32_t slot, rmc::CqStatus status)>;
+class RmcSession;
+
+/**
+ * The completion of one remote operation, returned by value from every
+ * awaitable op.
+ */
+struct OpResult
+{
+    rmc::CqStatus status = rmc::CqStatus::kOk;
+    sim::Tick latency = 0;        //!< WQ post -> CQ completion observed
+    std::uint64_t oldValue = 0;   //!< atomics: memory value before the op
+
+    bool ok() const { return status == rmc::CqStatus::kOk; }
+};
+
+/**
+ * A pending asynchronous operation. Copyable and cheap (pointer + slot
+ * + token); awaiting it yields the operation's OpResult. Discarding a
+ * handle is legal (fire-and-forget): the WQ slot is still recycled when
+ * its completion is reaped by a later session call.
+ *
+ * A handle's result stays readable until its WQ slot is reused, i.e.
+ * for at least one full ring lap (queueDepth() subsequent posts).
+ * Awaiting a handle after that is a programming error and aborts.
+ */
+class OpHandle
+{
+  public:
+    OpHandle() = default;
+
+    /** True if this handle refers to a posted operation. */
+    bool valid() const { return session_ != nullptr; }
+
+    /** True once the completion has been observed (non-blocking). */
+    bool done() const;
+
+    /** The WQ slot this operation occupies (e.g. to index buffers). */
+    std::uint32_t slot() const { return slot_; }
+
+    struct Awaiter; // defined below; owns the rendezvous coroutine
+
+    /** `co_await handle` -> OpResult. */
+    Awaiter operator co_await() const;
+
+  private:
+    friend class RmcSession;
+    OpHandle(RmcSession *s, std::uint32_t slot, std::uint64_t token)
+        : session_(s), slot_(slot), token_(token)
+    {}
+
+    RmcSession *session_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint64_t token_ = 0;
+};
 
 /** Tunable software overheads of the inline API functions. */
 struct SessionParams
@@ -51,6 +117,15 @@ struct SessionParams
 /**
  * One application thread's handle on a queue pair within a global
  * address space (context).
+ *
+ * Concurrency contract (matches the paper's one-QP-per-thread model,
+ * §4.2): a session belongs to ONE application coroutine. Its methods
+ * suspend internally, so two coroutines interleaving posts on the same
+ * session would corrupt the WQ ring. Software layers (Barrier,
+ * MsgEndpoint) may share their caller's session only because the
+ * caller invokes them sequentially from that one coroutine; coroutines
+ * that run concurrently need sessions of their own (TestBed::
+ * newSession).
  */
 class RmcSession
 {
@@ -66,74 +141,59 @@ class RmcSession
     RmcSession &operator=(const RmcSession &) = delete;
 
     //
-    // Asynchronous API (paper Fig. 4)
+    // Blocking operations: post, then rendezvous with the completion.
     //
 
-    /**
-     * Process CQ events (invoking @p cb on completed slots) until the
-     * head of the WQ is free; returns that slot in @p slot.
-     */
-    [[nodiscard]] sim::Task waitForSlot(CompletionCallback cb,
-                                        std::uint32_t *slot);
+    /** Remote read of @p len bytes into local @p buf. */
+    [[nodiscard]] sim::ValueTask<OpResult> read(sim::NodeId nid,
+                                                std::uint64_t offset,
+                                                vm::VAddr buf,
+                                                std::uint32_t len);
 
-    /** Schedule a remote read of @p len bytes into local @p buf. */
-    [[nodiscard]] sim::Task postRead(std::uint32_t slot, sim::NodeId nid,
-                                     std::uint64_t offset, vm::VAddr buf,
-                                     std::uint32_t len);
+    /** Remote write of @p len bytes from local @p buf. */
+    [[nodiscard]] sim::ValueTask<OpResult> write(sim::NodeId nid,
+                                                 std::uint64_t offset,
+                                                 vm::VAddr buf,
+                                                 std::uint32_t len);
 
-    /** Schedule a remote write of @p len bytes from local @p buf. */
-    [[nodiscard]] sim::Task postWrite(std::uint32_t slot, sim::NodeId nid,
-                                      std::uint64_t offset, vm::VAddr buf,
-                                      std::uint32_t len);
+    /** Atomic fetch-and-add; the prior value is OpResult::oldValue. */
+    [[nodiscard]] sim::ValueTask<OpResult> fetchAdd(sim::NodeId nid,
+                                                    std::uint64_t offset,
+                                                    std::uint64_t addend);
 
-    /** Schedule an atomic compare-and-swap; old value lands in @p buf. */
-    [[nodiscard]] sim::Task postCompareSwap(std::uint32_t slot,
-                                            sim::NodeId nid,
-                                            std::uint64_t offset,
-                                            vm::VAddr buf,
-                                            std::uint64_t expected,
-                                            std::uint64_t desired);
+    /** Atomic compare-and-swap; the prior value is OpResult::oldValue. */
+    [[nodiscard]] sim::ValueTask<OpResult>
+    compareSwap(sim::NodeId nid, std::uint64_t offset,
+                std::uint64_t expected, std::uint64_t desired);
 
-    /** Schedule an atomic fetch-and-add; old value lands in @p buf. */
-    [[nodiscard]] sim::Task postFetchAdd(std::uint32_t slot,
-                                         sim::NodeId nid,
-                                         std::uint64_t offset,
-                                         vm::VAddr buf,
-                                         std::uint64_t addend);
+    //
+    // Asynchronous operations: wait for a free WQ slot (reaping
+    // completions meanwhile), post, and return the slot's handle.
+    //
 
-    /** Process available CQ events without blocking. */
-    [[nodiscard]] sim::Task pollCq(CompletionCallback cb,
-                                   std::uint32_t *reaped);
+    [[nodiscard]] sim::ValueTask<OpHandle> readAsync(sim::NodeId nid,
+                                                     std::uint64_t offset,
+                                                     vm::VAddr buf,
+                                                     std::uint32_t len);
+
+    [[nodiscard]] sim::ValueTask<OpHandle> writeAsync(sim::NodeId nid,
+                                                      std::uint64_t offset,
+                                                      vm::VAddr buf,
+                                                      std::uint32_t len);
+
+    [[nodiscard]] sim::ValueTask<OpHandle>
+    fetchAddAsync(sim::NodeId nid, std::uint64_t offset,
+                  std::uint64_t addend);
+
+    [[nodiscard]] sim::ValueTask<OpHandle>
+    compareSwapAsync(sim::NodeId nid, std::uint64_t offset,
+                     std::uint64_t expected, std::uint64_t desired);
+
+    /** Reap available completions without blocking; yields the count. */
+    [[nodiscard]] sim::ValueTask<std::uint32_t> poll();
 
     /** Block until every outstanding operation has completed. */
-    [[nodiscard]] sim::Task drainCq(CompletionCallback cb);
-
-    //
-    // Synchronous (blocking) API
-    //
-
-    [[nodiscard]] sim::Task readSync(sim::NodeId nid, std::uint64_t offset,
-                                     vm::VAddr buf, std::uint32_t len,
-                                     rmc::CqStatus *status);
-
-    [[nodiscard]] sim::Task writeSync(sim::NodeId nid, std::uint64_t offset,
-                                      vm::VAddr buf, std::uint32_t len,
-                                      rmc::CqStatus *status);
-
-    /** Atomic fetch-and-add returning the old value. */
-    [[nodiscard]] sim::Task fetchAddSync(sim::NodeId nid,
-                                         std::uint64_t offset,
-                                         std::uint64_t addend,
-                                         std::uint64_t *oldValue,
-                                         rmc::CqStatus *status);
-
-    /** Atomic compare-and-swap returning the old value. */
-    [[nodiscard]] sim::Task compareSwapSync(sim::NodeId nid,
-                                            std::uint64_t offset,
-                                            std::uint64_t expected,
-                                            std::uint64_t desired,
-                                            std::uint64_t *oldValue,
-                                            rmc::CqStatus *status);
+    [[nodiscard]] sim::Task drain();
 
     //
     // Introspection / helpers
@@ -141,17 +201,18 @@ class RmcSession
 
     std::uint32_t outstanding() const { return outstanding_; }
     std::uint32_t queueDepth() const { return qp_.entries; }
+
+    /**
+     * The WQ slot the *next* async post will occupy (the paper's
+     * wq_head). Lets callers address per-slot landing buffers before
+     * posting: `buf + session.nextSlot() * 64`.
+     */
+    std::uint32_t nextSlot() const { return wqCursor_.index(); }
     node::Core &core() { return core_; }
     os::Process &process() { return proc_; }
     sim::NodeId nodeId() const { return nid_; }
     rmc::Rmc &rmc() { return driver_.rmc(); }
     sim::CtxId ctx() const { return ctx_; }
-
-    /**
-     * Callback for completions reaped inside sync calls that belong to
-     * other (async) slots. Defaults to dropping them.
-     */
-    void setDefaultCallback(CompletionCallback cb);
 
     /** Scratch buffer allocator in the session's process. */
     vm::VAddr
@@ -160,16 +221,9 @@ class RmcSession
         return proc_.alloc(bytes);
     }
 
-    /** Lazily-allocated per-session scratch line for sync atomics. */
-    vm::VAddr
-    atomicScratch()
-    {
-        if (scratch_ == 0)
-            scratch_ = proc_.alloc(sim::kCacheLineBytes);
-        return scratch_;
-    }
-
   private:
+    friend class OpHandle;
+
     node::Core &core_;
     os::RmcDriver &driver_;
     os::Process &proc_;
@@ -183,28 +237,96 @@ class RmcSession
     std::uint32_t outstanding_ = 0;
     std::vector<bool> slotBusy_;
 
-    // Sync-op rendezvous per slot.
-    struct SyncWait
+    /** Completion rendezvous state, one fixed record per WQ slot. */
+    struct SlotRecord
     {
-        bool done = false;
+        std::uint64_t token = 0;  //!< which post currently owns the slot
+        bool completed = false;
+        bool atomic = false;      //!< reap reads oldValue from bufVa
         rmc::CqStatus status = rmc::CqStatus::kOk;
+        sim::Tick postedAt = 0;
+        sim::Tick completedAt = 0;
+        vm::VAddr bufVa = 0;
+        std::uint64_t oldValue = 0;
     };
-    std::vector<SyncWait *> syncWaiters_;
+    std::vector<SlotRecord> records_;
+    std::uint64_t nextToken_ = 0;
 
     sim::Condition completionEvent_;
-    CompletionCallback defaultCb_;
-    vm::VAddr scratch_ = 0;
-
-    /** Write + ring one WQ entry (shared by all post* methods). */
-    sim::Task postEntry(std::uint32_t slot, const rmc::WqEntry &entry);
+    vm::VAddr atomicScratch_ = 0; //!< per-slot landing lines for atomics
 
     /** Reap everything currently visible in the CQ. */
-    sim::Task reapAvailable(const CompletionCallback &cb,
-                            std::uint32_t *reaped);
+    sim::Task reapAvailable(std::uint32_t *reaped);
 
-    /** Generic sync wrapper: post, then wait for that slot. */
-    sim::Task syncOp(const rmc::WqEntry &entry, rmc::CqStatus *status);
+    /** Functional peek: does the CQ head hold an unreaped entry? */
+    bool cqEntryVisible() const;
+
+    /**
+     * Empty-poll backoff: charge the poll overhead, then block on the
+     * completion event — unless a completion landed during the charge
+     * (lost-wakeup guard).
+     */
+    sim::Task pollWait();
+
+    /** Spin (reaping) until the WQ head slot frees; returns it. */
+    sim::Task acquireSlot(std::uint32_t *slot);
+
+    /** Acquire a slot, write + ring one WQ entry, hand out the handle. */
+    sim::ValueTask<OpHandle> postOp(rmc::WqEntry entry, bool atomic);
+
+    /** Rendezvous coroutine behind `co_await handle`. */
+    sim::ValueTask<OpResult> awaitCompletion(std::uint32_t slot,
+                                             std::uint64_t token);
+
+    /** Non-blocking completion check for OpHandle::done(). */
+    bool completionVisible(std::uint32_t slot, std::uint64_t token) const;
+
+    /** Landing line for the old value of an atomic using @p slot. */
+    vm::VAddr scratchFor(std::uint32_t slot);
 };
+
+//
+// OpHandle inline implementation (needs RmcSession above).
+//
+
+/**
+ * Awaiter returned by `co_await handle`. Owns the rendezvous coroutine
+ * for the duration of the await (the enclosing coroutine frame keeps
+ * the awaiter alive across suspension).
+ */
+struct OpHandle::Awaiter
+{
+    sim::ValueTask<OpResult> task;
+    sim::ValueTask<OpResult>::JoinAwaiter join;
+
+    explicit Awaiter(sim::ValueTask<OpResult> t)
+        : task(std::move(t)), join(task.operator co_await())
+    {}
+
+    bool await_ready() const noexcept { return join.await_ready(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> parent) noexcept
+    {
+        return join.await_suspend(parent);
+    }
+
+    OpResult await_resume() const { return join.await_resume(); }
+};
+
+inline OpHandle::Awaiter
+OpHandle::operator co_await() const
+{
+    if (!session_)
+        sim::fatal("co_await on a default-constructed (invalid) OpHandle");
+    return Awaiter(session_->awaitCompletion(slot_, token_));
+}
+
+inline bool
+OpHandle::done() const
+{
+    return session_ && session_->completionVisible(slot_, token_);
+}
 
 } // namespace sonuma::api
 

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * SweepDriver implementation.
+ */
+
+#include "api/sweep.hh"
+
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "api/workload.hh"
+#include "sim/log.hh"
+
+namespace sonuma::api {
+
+std::string
+SweepCellResult::topologyName() const
+{
+    if (topology == node::Topology::kCrossbar)
+        return "crossbar";
+    std::string name = "torus";
+    for (std::size_t i = 0; i < torusDims.size(); ++i) {
+        name += (i == 0 ? "_" : "x");
+        name += std::to_string(torusDims[i]);
+    }
+    return name;
+}
+
+std::string
+SweepCellResult::label() const
+{
+    std::string out = "n";
+    out += std::to_string(nodes);
+    out += "_" + topologyName();
+    out += "_rs" + std::to_string(requestBytes);
+    out += "_qd" + std::to_string(qpDepth);
+    return out;
+}
+
+void
+SweepCellResult::writeJson(std::ostream &os) const
+{
+    os << "{\"bench\": \"sweep\", \"schema\": 1"
+       << ", \"nodes\": " << nodes
+       << ", \"topology\": \"" << topologyName() << "\""
+       << ", \"request_bytes\": " << requestBytes
+       << ", \"qp_depth\": " << qpDepth
+       << ", \"ops\": " << ops
+       << ", \"mops\": " << mops
+       << ", \"gbps\": " << gbps
+       << ", \"mean_latency_ns\": " << meanLatencyNs
+       << ", \"p99_latency_ns\": " << p99LatencyNs
+       << ", \"sim_us\": " << simMicros
+       << ", \"host_seconds\": " << hostSeconds << "}";
+}
+
+std::vector<std::uint32_t>
+SweepDriver::torusDimsFor(std::uint32_t nodes)
+{
+    std::uint32_t a =
+        static_cast<std::uint32_t>(std::sqrt(static_cast<double>(nodes)));
+    while (a > 1 && nodes % a != 0)
+        --a;
+    if (a == 0)
+        a = 1;
+    return {a, nodes / a};
+}
+
+SweepCellResult
+SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
+                     std::uint32_t requestBytes, std::uint32_t qpDepth)
+{
+    if (nodes < 2)
+        throw std::invalid_argument(
+            "SweepDriver: cells need >= 2 nodes (remote reads have no "
+            "self-loop)");
+    if (requestBytes == 0 || requestBytes % sim::kCacheLineBytes != 0)
+        throw std::invalid_argument(
+            "SweepDriver: request size must be a positive multiple of " +
+            std::to_string(sim::kCacheLineBytes) + " bytes (got " +
+            std::to_string(requestBytes) + ")");
+    {
+        const std::uint64_t dataOff = Barrier::regionBytes(nodes);
+        if (cfg_.segmentBytes < dataOff + 2ull * requestBytes)
+            throw std::invalid_argument(
+                "SweepDriver: segmentBytes " +
+                std::to_string(cfg_.segmentBytes) +
+                " too small for the barrier region plus " +
+                std::to_string(requestBytes) + "-byte reads at " +
+                std::to_string(nodes) + " nodes");
+    }
+
+    SweepCellResult cell;
+    cell.nodes = nodes;
+    cell.topology = topo;
+    cell.requestBytes = requestBytes;
+    cell.qpDepth = qpDepth;
+
+    ClusterSpec spec;
+    spec.nodes(nodes)
+        .context(1)
+        .segmentPerNode(cfg_.segmentBytes)
+        .rmc(cfg_.rmcParams)
+        .qpDepth(qpDepth)
+        .seed(cfg_.seed);
+    if (topo == node::Topology::kTorus) {
+        cell.torusDims = torusDimsFor(nodes);
+        spec.torus({cell.torusDims[0], cell.torusDims[1]});
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    TestBed bed(spec);
+    Workload wl(bed, "sweep");
+
+    const std::uint32_t ops = cfg_.opsPerNode;
+    const std::uint64_t segBytes = cfg_.segmentBytes;
+
+    // Uniform remote reads: node i streams a full-window pipeline of
+    // requestBytes reads round-robin over its peers, sampling per-op
+    // latency as handles complete (fig9's fine-grain access pattern
+    // reduced to its fabric-facing core).
+    wl.onEachNode([ops, requestBytes, segBytes,
+                   nodes](Workload::NodeCtx &ctx) -> sim::Task {
+        auto &s = ctx.session();
+        auto &issued = ctx.counter("readsIssued");
+        auto &lat = ctx.histogram("readLatencyNs");
+
+        const std::uint32_t depth = s.queueDepth();
+        const vm::VAddr buf =
+            s.allocBuffer(std::uint64_t(depth) * requestBytes);
+        const std::uint64_t dataOff = ctx.dataOffset();
+        const std::uint64_t span =
+            (segBytes - dataOff) / 2 / requestBytes * requestBytes;
+
+        std::deque<OpHandle> window;
+        auto retireFront =
+            [&window, &lat]() -> sim::ValueTask<OpResult> {
+            OpHandle h = window.front();
+            window.pop_front();
+            OpResult r = co_await h;
+            if (!r.ok())
+                sim::fatal("sweep read failed");
+            lat.sample(sim::ticksToNs(r.latency));
+            co_return r;
+        };
+        for (std::uint32_t i = 0; i < ops; ++i) {
+            const auto peer = static_cast<sim::NodeId>(
+                (ctx.nodeId() + 1 + i % (nodes - 1)) % nodes);
+            const std::uint64_t off =
+                dataOff + (std::uint64_t(i) * requestBytes) % span;
+            // Full window: retire the oldest handle before its WQ slot
+            // can be recycled by the next post (see session.hh).
+            while (window.size() >= depth)
+                co_await retireFront();
+            const std::uint32_t slot = s.nextSlot();
+            OpHandle h = co_await s.readAsync(
+                peer, off, buf + std::uint64_t(slot) * requestBytes,
+                requestBytes);
+            issued.inc();
+            window.push_back(h);
+            // Opportunistically retire completed ops as they pass.
+            while (!window.empty() && window.front().done())
+                co_await retireFront();
+        }
+        while (!window.empty())
+            co_await retireFront();
+    });
+    wl.run();
+
+    cell.hostSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    cell.ops = std::uint64_t(nodes) * ops;
+    cell.simMicros = sim::ticksToUs(wl.elapsed());
+    const double secs = cell.simMicros * 1e-6;
+    cell.mops = static_cast<double>(cell.ops) / secs / 1e6;
+    cell.gbps = static_cast<double>(cell.ops) * requestBytes * 8.0 /
+                secs / 1e9;
+
+    // Pool the per-node histograms so mean and p99 describe the whole
+    // cluster's sample population, not any single node's.
+    double latSum = 0, latMaxSample = 0;
+    std::uint64_t latCount = 0;
+    std::vector<std::uint64_t> pooled;
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+        const auto *h = bed.sim().stats().histogram(
+            "sweep.node" + std::to_string(i) + ".readLatencyNs");
+        if (!h)
+            continue;
+        latSum += h->sum();
+        latCount += h->count();
+        latMaxSample = std::max(latMaxSample, h->max());
+        const auto &b = h->buckets();
+        if (b.size() > pooled.size())
+            pooled.resize(b.size(), 0);
+        for (std::size_t j = 0; j < b.size(); ++j)
+            pooled[j] += b[j];
+    }
+    cell.meanLatencyNs = latCount ? latSum / latCount : 0.0;
+    cell.p99LatencyNs = sim::Histogram::percentileFromBuckets(
+        pooled, latCount, 99.0, latMaxSample);
+    return cell;
+}
+
+void
+SweepDriver::emit(const SweepCellResult &cell) const
+{
+    if (cfg_.echo) {
+        cell.writeJson(std::cout);
+        std::cout << "\n" << std::flush;
+    }
+    if (!cfg_.outDir.empty()) {
+        const std::string path =
+            cfg_.outDir + "/SWEEP_" + cell.label() + ".json";
+        std::ofstream f(path);
+        if (!f)
+            sim::fatal("sweep: cannot write " + path);
+        cell.writeJson(f);
+        f << "\n";
+    }
+}
+
+std::vector<SweepCellResult>
+SweepDriver::run()
+{
+    std::vector<SweepCellResult> results;
+    for (const auto nodes : cfg_.nodeCounts)
+        for (const auto topo : cfg_.topologies)
+            for (const auto size : cfg_.requestSizes)
+                for (const auto depth : cfg_.qpDepths) {
+                    results.push_back(runCell(nodes, topo, size, depth));
+                    emit(results.back());
+                }
+    return results;
+}
+
+} // namespace sonuma::api

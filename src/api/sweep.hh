@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Parameter-matrix sweep driver.
+ *
+ * Runs a fig9-style uniform remote-read workload over the full cross
+ * product of request size x QP depth x node count x topology, one
+ * freshly-built TestBed + Workload per cell, and emits one JSON blob
+ * per cell in the flat BENCH_sim_core.json schema so regression
+ * tooling can diff runs:
+ *
+ *   {"bench": "sweep", "schema": 1, "nodes": 64,
+ *    "topology": "torus_8x8", "request_bytes": 64, "qp_depth": 64,
+ *    "ops": 8192, "mops": ..., "gbps": ..., "mean_latency_ns": ...,
+ *    "p99_latency_ns": ..., "sim_us": ..., "host_seconds": ...}
+ *
+ * This is the ROADMAP's "workload sweeps" driver: a 64-512 node
+ * scaling study is a SweepConfig literal, not a new harness.
+ */
+
+#ifndef SONUMA_API_SWEEP_HH
+#define SONUMA_API_SWEEP_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "api/testbed.hh"
+#include "node/cluster.hh"
+#include "rmc/params.hh"
+
+namespace sonuma::api {
+
+/** The sweep matrix plus per-cell workload intensity. */
+struct SweepConfig
+{
+    std::vector<std::uint32_t> requestSizes{64};
+    std::vector<std::uint32_t> qpDepths{64};
+    std::vector<std::uint32_t> nodeCounts{4};
+    std::vector<node::Topology> topologies{node::Topology::kCrossbar};
+
+    std::uint32_t opsPerNode = 128;   //!< async reads issued per node
+    std::uint64_t segmentBytes = 1_MiB;
+    std::uint64_t seed = 1;
+    rmc::RmcParams rmcParams = rmc::RmcParams::simulatedHardware();
+
+    std::string outDir;   //!< write one SWEEP_*.json per cell; "" = skip
+    bool echo = true;     //!< print each cell's JSON line to stdout
+};
+
+/** One cell of the matrix plus its measurements. */
+struct SweepCellResult
+{
+    // Coordinates.
+    std::uint32_t nodes = 0;
+    node::Topology topology = node::Topology::kCrossbar;
+    std::vector<std::uint32_t> torusDims; //!< empty for crossbar
+    std::uint32_t requestBytes = 0;
+    std::uint32_t qpDepth = 0;
+
+    // Measurements.
+    std::uint64_t ops = 0;          //!< total remote reads issued
+    double mops = 0;                //!< million ops per simulated second
+    double gbps = 0;                //!< payload Gbit per simulated second
+    double meanLatencyNs = 0;       //!< post -> completion, per op
+    double p99LatencyNs = 0;
+    double simMicros = 0;           //!< aligned region, simulated time
+    double hostSeconds = 0;         //!< wall time to simulate the cell
+
+    /** Stable identifier, e.g. "n64_torus_8x8_rs64_qd64". */
+    std::string label() const;
+
+    /** Human-readable topology, e.g. "torus_8x8" or "crossbar". */
+    std::string topologyName() const;
+
+    /** Render the flat JSON blob (BENCH_sim_core.json schema style). */
+    void writeJson(std::ostream &os) const;
+};
+
+class SweepDriver
+{
+  public:
+    explicit SweepDriver(SweepConfig cfg) : cfg_(std::move(cfg)) {}
+
+    /**
+     * Run every cell of the matrix. Each cell gets its own Simulation
+     * seeded from cfg.seed, so cells are independent and reproducible.
+     */
+    std::vector<SweepCellResult> run();
+
+    /** Run one cell (used by run() and directly by tests). */
+    SweepCellResult runCell(std::uint32_t nodes, node::Topology topo,
+                            std::uint32_t requestBytes,
+                            std::uint32_t qpDepth);
+
+    /**
+     * Near-square torus factorization for @p nodes, e.g. 64 -> {8, 8},
+     * 32 -> {4, 8}. Falls back to {1, n} for primes.
+     */
+    static std::vector<std::uint32_t> torusDimsFor(std::uint32_t nodes);
+
+  private:
+    SweepConfig cfg_;
+
+    void emit(const SweepCellResult &cell) const;
+};
+
+} // namespace sonuma::api
+
+#endif // SONUMA_API_SWEEP_HH

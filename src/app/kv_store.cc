@@ -46,17 +46,14 @@ KvServer::findSlot(std::uint64_t key, bool forInsert) const
     return std::nullopt;
 }
 
-sim::Task
-KvServer::put(std::uint64_t key, const void *value, std::uint32_t len,
-              bool *ok)
+sim::ValueTask<bool>
+KvServer::put(std::uint64_t key, const void *value, std::uint32_t len)
 {
     assert(len <= kKvValueBytes);
     auto &as = session_.process().addressSpace();
     const auto slot = findSlot(key, /*forInsert=*/true);
-    if (!slot) {
-        *ok = false;
-        co_return;
-    }
+    if (!slot)
+        co_return false;
     const vm::VAddr va = tableVa_ + std::uint64_t(*slot) * 64;
     KvBucket b;
     as.read(va, &b, sizeof(b));
@@ -75,18 +72,16 @@ KvServer::put(std::uint64_t key, const void *value, std::uint32_t len,
     b.version += 1; // even: stable
     co_await session_.core().store(va);
     as.write(va, &b, sizeof(b));
-    *ok = true;
+    co_return true;
 }
 
-sim::Task
-KvServer::erase(std::uint64_t key, bool *ok)
+sim::ValueTask<bool>
+KvServer::erase(std::uint64_t key)
 {
     auto &as = session_.process().addressSpace();
     const auto slot = findSlot(key, /*forInsert=*/false);
-    if (!slot) {
-        *ok = false;
-        co_return;
-    }
+    if (!slot)
+        co_return false;
     const vm::VAddr va = tableVa_ + std::uint64_t(*slot) * 64;
     KvBucket b;
     as.read(va, &b, sizeof(b));
@@ -97,7 +92,7 @@ KvServer::erase(std::uint64_t key, bool *ok)
     b.version += 1;
     co_await session_.core().store(va);
     as.write(va, &b, sizeof(b));
-    *ok = true;
+    co_return true;
 }
 
 KvClient::KvClient(api::RmcSession &session, sim::NodeId serverNid,
@@ -108,37 +103,35 @@ KvClient::KvClient(api::RmcSession &session, sim::NodeId serverNid,
     landing_ = session_.allocBuffer(sim::kCacheLineBytes);
 }
 
-sim::Task
-KvClient::get(std::uint64_t key, void *value, bool *found)
+sim::ValueTask<bool>
+KvClient::get(std::uint64_t key, void *value)
 {
     auto &as = session_.process().addressSpace();
     const auto start =
         static_cast<std::uint32_t>(KvServer::hashKey(key) &
                                    (buckets_ - 1));
-    *found = false;
     for (std::uint32_t probe = 0; probe < kMaxProbes; ++probe) {
         const std::uint32_t idx = (start + probe) & (buckets_ - 1);
         KvBucket b;
         while (true) {
-            rmc::CqStatus st = rmc::CqStatus::kOk;
             ++reads_;
-            co_await session_.readSync(
+            const api::OpResult r = co_await session_.read(
                 server_, tableOffset_ + std::uint64_t(idx) * 64, landing_,
-                64, &st);
-            if (st != rmc::CqStatus::kOk)
-                co_return; // segment torn down / failure
+                64);
+            if (!r.ok())
+                co_return false; // segment torn down / failure
             as.read(landing_, &b, sizeof(b));
             if ((b.version & 1) == 0)
                 break; // stable snapshot (seqlock even)
         }
         if (b.valid && b.key == key) {
             std::memcpy(value, b.value, kKvValueBytes);
-            *found = true;
-            co_return;
+            co_return true;
         }
         if (!b.valid)
-            co_return; // probe chain ends at an empty bucket
+            co_return false; // probe chain ends at an empty bucket
     }
+    co_return false;
 }
 
 } // namespace sonuma::app

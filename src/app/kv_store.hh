@@ -57,11 +57,12 @@ class KvServer
     }
 
     /** Local PUT (insert or update). Linear probing; false if full. */
-    [[nodiscard]] sim::Task put(std::uint64_t key, const void *value,
-                                std::uint32_t len, bool *ok);
+    [[nodiscard]] sim::ValueTask<bool> put(std::uint64_t key,
+                                           const void *value,
+                                           std::uint32_t len);
 
-    /** Local DELETE. */
-    [[nodiscard]] sim::Task erase(std::uint64_t key, bool *ok);
+    /** Local DELETE; false if the key was absent. */
+    [[nodiscard]] sim::ValueTask<bool> erase(std::uint64_t key);
 
     std::uint32_t buckets() const { return buckets_; }
     std::uint64_t tableOffset() const { return tableOffset_; }
@@ -94,12 +95,11 @@ class KvClient
              std::uint64_t tableOffset, std::uint32_t buckets);
 
     /**
-     * Remote GET. On success, *found = true and value bytes are copied
-     * to @p value (kKvValueBytes capacity). Reads chase linear-probe
-     * chains and retry on torn (odd-version) buckets.
+     * Remote GET; yields true when the key was found, with the value
+     * bytes copied to @p value (kKvValueBytes capacity). Reads chase
+     * linear-probe chains and retry on torn (odd-version) buckets.
      */
-    [[nodiscard]] sim::Task get(std::uint64_t key, void *value,
-                                bool *found);
+    [[nodiscard]] sim::ValueTask<bool> get(std::uint64_t key, void *value);
 
     /** Remote reads issued (probe chain length observability). */
     std::uint64_t readsIssued() const { return reads_; }

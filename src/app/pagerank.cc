@@ -6,6 +6,7 @@
 #include "app/pagerank.hh"
 
 #include <cassert>
+#include <deque>
 #include <memory>
 
 #include "api/barrier.hh"
@@ -339,17 +340,15 @@ runPageRankBulk(const Graph &g, const Partition &part,
                     const auto chunk = static_cast<std::uint32_t>(
                         std::min<std::uint64_t>(cfg.bulkChunkBytes,
                                                 bytes - off));
-                    std::uint32_t slot = 0;
-                    co_await n.session->waitForSlot(nullptr, &slot);
-                    co_await n.session->postRead(
-                        slot, static_cast<sim::NodeId>(q),
+                    co_await n.session->readAsync(
+                        static_cast<sim::NodeId>(q),
                         setup.nodes[q].vtxOff + off, mirror[p][q] + off,
                         chunk);
                     ++remoteOps;
                     off += chunk;
                 }
             }
-            co_await n.session->drainCq(nullptr);
+            co_await n.session->drain();
             co_await n.barrier->arrive();
         }
         if (p == 0)
@@ -400,32 +399,33 @@ runPageRankFine(const Graph &g, const Partition &part,
         auto &as = n.proc->addressSpace();
         auto &session = *n.session;
 
-        // Per-WQ-slot callback context (the paper's async_dest_addr).
-        struct SlotCtx
+        // Per-slot landing lines + a FIFO of pending reads carrying the
+        // paper's async_dest_addr context alongside each OpHandle.
+        struct PendingRead
         {
+            api::OpHandle h;
             std::uint32_t vLocal;
             int readPar;
             int writePar;
         };
-        std::vector<SlotCtx> slotCtx(session.queueDepth());
+        std::deque<PendingRead> pendingReads;
         const vm::VAddr lbuf =
             n.proc->alloc(std::uint64_t(session.queueDepth()) * 64);
 
-        // The completion callback runs the paper's pagerank_async:
+        // Applying one completion runs the paper's pagerank_async:
         // read the fetched vertex, accumulate into the target's rank.
-        auto cb = [&as, &slotCtx, &n, &cfg, this_lbuf = lbuf](
-                      std::uint32_t slot, rmc::CqStatus st) {
-            assert(st == rmc::CqStatus::kOk);
-            (void)st;
-            const SlotCtx &ctx = slotCtx[slot];
+        auto applyOne = [&as, &n, &cfg,
+                         this_lbuf = lbuf](const PendingRead &pr) {
+            assert(pr.h.done());
             VertexData nb;
-            as.read(this_lbuf + std::uint64_t(slot) * 64, &nb, sizeof(nb));
-            const double contrib = cfg.damping * nb.rank[ctx.readPar] /
+            as.read(this_lbuf + std::uint64_t(pr.h.slot()) * 64, &nb,
+                    sizeof(nb));
+            const double contrib = cfg.damping * nb.rank[pr.readPar] /
                                    static_cast<double>(nb.outDegree);
-            const vm::VAddr va = n.vtxVa + std::uint64_t(ctx.vLocal) * 64;
+            const vm::VAddr va = n.vtxVa + std::uint64_t(pr.vLocal) * 64;
             VertexData vd;
             as.read(va, &vd, sizeof(vd));
-            vd.rank[ctx.writePar] += contrib;
+            vd.rank[pr.writePar] += contrib;
             as.write(va, &vd, sizeof(vd));
         };
 
@@ -471,17 +471,31 @@ runPageRankFine(const Graph &g, const Partition &part,
                         acc += cfg.damping * ud.rank[readPar] /
                                static_cast<double>(ud.outDegree);
                     } else {
-                        // Explicit remote memory path (Fig. 4).
-                        std::uint32_t slot = 0;
-                        co_await session.waitForSlot(cb, &slot);
-                        slotCtx[slot] =
-                            SlotCtx{i, readPar, writePar};
-                        co_await session.postRead(
-                            slot, static_cast<sim::NodeId>(ref.part),
+                        // Explicit remote memory path (Fig. 4). A full
+                        // window retires its oldest read before posting
+                        // so the WQ slot (and landing line) can be
+                        // recycled safely (see session.hh).
+                        while (pendingReads.size() >=
+                               session.queueDepth()) {
+                            co_await pendingReads.front().h;
+                            applyOne(pendingReads.front());
+                            pendingReads.pop_front();
+                        }
+                        const std::uint32_t slot = session.nextSlot();
+                        api::OpHandle h = co_await session.readAsync(
+                            static_cast<sim::NodeId>(ref.part),
                             setup.nodes[ref.part].vtxOff +
                                 std::uint64_t(ref.localIdx) * 64,
                             lbuf + std::uint64_t(slot) * 64, 64);
+                        pendingReads.push_back(
+                            PendingRead{h, i, readPar, writePar});
                         ++remoteOps;
+                        // Absorb completions the post just reaped.
+                        while (!pendingReads.empty() &&
+                               pendingReads.front().h.done()) {
+                            applyOne(pendingReads.front());
+                            pendingReads.pop_front();
+                        }
                     }
                 }
                 if (acc != 0.0) {
@@ -492,7 +506,11 @@ runPageRankFine(const Graph &g, const Partition &part,
                     as.write(va, &vd, sizeof(vd));
                 }
             }
-            co_await session.drainCq(cb);
+            co_await session.drain();
+            while (!pendingReads.empty()) {
+                applyOne(pendingReads.front());
+                pendingReads.pop_front();
+            }
             co_await n.barrier->arrive();
         }
         if (p == 0)

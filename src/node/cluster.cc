@@ -5,29 +5,57 @@
 
 #include "node/cluster.hh"
 
+#include <stdexcept>
+#include <string>
+
 #include "sim/log.hh"
 
 namespace sonuma::node {
 
+void
+validate(const ClusterParams &params)
+{
+    if (params.nodes == 0)
+        throw std::invalid_argument(
+            "ClusterParams: nodes must be >= 1 (got 0)");
+    if (params.topology == Topology::kTorus) {
+        if (params.torus.dims.empty())
+            throw std::invalid_argument(
+                "ClusterParams: torus dims are empty; give one radix per "
+                "dimension, e.g. {8, 8} for an 8x8 torus");
+        std::uint64_t cap = 1;
+        std::string dims;
+        for (auto d : params.torus.dims) {
+            if (d == 0)
+                throw std::invalid_argument(
+                    "ClusterParams: torus dimension radix must be >= 1");
+            cap *= d;
+            if (!dims.empty())
+                dims += "x";
+            dims += std::to_string(d);
+        }
+        if (cap != params.nodes)
+            throw std::invalid_argument(
+                "ClusterParams: torus dims " + dims + " hold " +
+                std::to_string(cap) + " nodes but nodes=" +
+                std::to_string(params.nodes) +
+                "; dims must multiply to the node count");
+    }
+}
+
 Cluster::Cluster(sim::Simulation &sim, const ClusterParams &params)
     : params_(params), registry_(params.node.rmc.maxContexts)
 {
+    validate(params);
     switch (params.topology) {
       case Topology::kCrossbar:
         fabric_ = std::make_unique<fab::CrossbarFabric>(
             sim.eq(), sim.stats(), params.crossbar);
         break;
-      case Topology::kTorus: {
-        fab::TorusParams tp = params.torus;
-        std::uint32_t cap = 1;
-        for (auto d : tp.dims)
-            cap *= d;
-        if (cap != params.nodes)
-            sim::fatal("torus dims do not match node count");
+      case Topology::kTorus:
         fabric_ = std::make_unique<fab::TorusFabric>(sim.eq(), sim.stats(),
-                                                     tp);
+                                                     params.torus);
         break;
-      }
     }
 
     for (std::uint32_t i = 0; i < params.nodes; ++i) {

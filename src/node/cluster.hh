@@ -34,6 +34,14 @@ struct ClusterParams
     NodeParams node;
 };
 
+/**
+ * Eager configuration check: throws std::invalid_argument with a
+ * precise message on nodes == 0 or torus dims whose product differs
+ * from the node count (instead of misbehaving deep in fab::Torus
+ * routing). Called by the Cluster constructor; also usable directly.
+ */
+void validate(const ClusterParams &params);
+
 class Cluster
 {
   public:

@@ -89,7 +89,7 @@ RmcDriver::createQueuePair(Process &proc, sim::CtxId ctx)
     if (entry->qps.size() >= rmc_.params().maxQpsPerContext)
         sim::fatal("QP limit reached for ctx " + std::to_string(ctx));
 
-    const std::uint32_t entries = rmc::kDefaultQueueEntries;
+    const std::uint32_t entries = rmc_.params().qpEntries;
     rmc::QpDescriptor qp;
     qp.valid = true;
     qp.entries = entries;

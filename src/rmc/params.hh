@@ -40,6 +40,7 @@ struct RmcParams
     std::uint32_t ctCacheEntries = 8;  //!< CT$ (recently used CT entries)
     std::uint32_t maxContexts = 16;
     std::uint32_t maxQpsPerContext = 4;
+    std::uint32_t qpEntries = 64;      //!< WQ/CQ ring depth per queue pair
 
     //
     // Hardwired-pipeline stage costs, in core cycles (the 'L' states of
@@ -98,8 +99,6 @@ struct RmcParams
     }
 };
 
-/** Queue-pair geometry (paper: bounded buffers, written by app / RMC). */
-inline constexpr std::uint32_t kDefaultQueueEntries = 64;
 
 } // namespace sonuma::rmc
 

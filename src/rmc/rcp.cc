@@ -110,17 +110,24 @@ Rmc::postCompletion(IttEntry &itt, std::uint32_t tidIndex)
     const vm::VAddr cqVa = qp.cqEntryVa(cursor.index());
     cursor.advance();
 
+    // Release the ITT entry *before* any suspension, too: a fabric
+    // failure (reset()) or the timeout sweep scanning active entries
+    // mid-write would otherwise abort this transfer a second time and
+    // post a duplicate completion for the same WQ slot. The epoch bump
+    // in freeTid drops any straggler replies for the old incarnation.
+    const sim::CtxId ctx = itt.ctx;
+    const std::uint32_t qpIndex = itt.qpIndex;
+    const mem::PAddr ptRoot = ce->ptRoot;
+    freeTid(tidIndex);
+
     std::optional<mem::PAddr> pa;
-    co_await translate(itt.ctx, cqVa, ce->ptRoot, &pa);
+    co_await translate(ctx, cqVa, ptRoot, &pa);
     if (pa) {
         co_await maq_.write(*pa);
         phys_.write(*pa, &cq, sizeof(cq));
         completionsPosted_.inc();
     }
 
-    const sim::CtxId ctx = itt.ctx;
-    const std::uint32_t qpIndex = itt.qpIndex;
-    freeTid(tidIndex);
     if (completionHooks_[ctx][qpIndex])
         completionHooks_[ctx][qpIndex]();
 }

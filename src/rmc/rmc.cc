@@ -61,8 +61,8 @@ Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
         cqCursor_.emplace_back();
         completionHooks_.emplace_back(params.maxQpsPerContext);
         for (std::uint32_t q = 0; q < params.maxQpsPerContext; ++q) {
-            wqCursor_.back().emplace_back(kDefaultQueueEntries);
-            cqCursor_.back().emplace_back(kDefaultQueueEntries);
+            wqCursor_.back().emplace_back(params.qpEntries);
+            cqCursor_.back().emplace_back(params.qpEntries);
         }
     }
 

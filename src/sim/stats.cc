@@ -46,14 +46,22 @@ Histogram::sample(double v)
 double
 Histogram::percentile(double p) const
 {
-    if (count_ == 0)
+    return percentileFromBuckets(buckets_, count_, p, max_);
+}
+
+double
+Histogram::percentileFromBuckets(const std::vector<std::uint64_t> &buckets,
+                                 std::uint64_t count, double p,
+                                 double maxFallback)
+{
+    if (count == 0)
         return 0.0;
     const auto target =
         static_cast<std::uint64_t>(std::ceil(p / 100.0 *
-                                             static_cast<double>(count_)));
+                                             static_cast<double>(count)));
     std::uint64_t seen = 0;
-    for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        seen += buckets_[i];
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
         if (seen >= target) {
             // Midpoint of the log2 bucket as the estimate.
             if (i == 0)
@@ -61,7 +69,7 @@ Histogram::percentile(double p) const
             return 0.75 * std::pow(2.0, static_cast<double>(i));
         }
     }
-    return max_;
+    return maxFallback;
 }
 
 void

@@ -62,6 +62,16 @@ class Histogram
     /** Approximate p-th percentile (0 < p < 100) from log2 buckets. */
     double percentile(double p) const;
 
+    /**
+     * The same estimate over an externally pooled bucket array (e.g.
+     * several histograms' buckets() summed element-wise); keeps pooled
+     * percentiles in lockstep with this class's bucket mapping.
+     * @param maxFallback returned when the target lies past all buckets
+     */
+    static double percentileFromBuckets(
+        const std::vector<std::uint64_t> &buckets, std::uint64_t count,
+        double p, double maxFallback);
+
     void reset();
 
     const std::string &name() const { return name_; }

@@ -162,6 +162,130 @@ class Task
 };
 
 /**
+ * A lazily-started coroutine that computes a value of type T.
+ *
+ * The value-bearing sibling of Task, used by the access library for
+ * awaitable operations: `OpResult r = co_await session.read(...)`.
+ * Same lifetime rules as Task (move-only, owns its frame, pooled
+ * allocation); `co_await valueTask` runs the child to completion in
+ * simulated time and yields the returned value.
+ */
+template <typename T>
+class ValueTask
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type : PooledFrame
+    {
+        std::coroutine_handle<> continuation;
+        std::exception_ptr exception;
+        T value{};
+
+        ValueTask
+        get_return_object()
+        {
+            return ValueTask(Handle::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(Handle h) noexcept
+            {
+                auto &p = h.promise();
+                return p.continuation ? p.continuation
+                                      : std::coroutine_handle<>(
+                                            std::noop_coroutine());
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void
+        return_value(T v) noexcept
+        {
+            value = std::move(v);
+        }
+
+        void
+        unhandled_exception() noexcept
+        {
+            exception = std::current_exception();
+        }
+    };
+
+    ValueTask() = default;
+    explicit ValueTask(Handle h) : handle_(h) {}
+
+    ValueTask(ValueTask &&o) noexcept
+        : handle_(std::exchange(o.handle_, nullptr))
+    {}
+
+    ValueTask &
+    operator=(ValueTask &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    ValueTask(const ValueTask &) = delete;
+    ValueTask &operator=(const ValueTask &) = delete;
+
+    ~ValueTask() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+
+    /** Awaiter: start the child, resume the parent with the value. */
+    struct JoinAwaiter
+    {
+        Handle handle;
+
+        bool await_ready() const noexcept { return !handle || handle.done(); }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) noexcept
+        {
+            handle.promise().continuation = parent;
+            return handle; // symmetric transfer: start the child now
+        }
+
+        T
+        await_resume() const
+        {
+            if (handle && handle.promise().exception)
+                std::rethrow_exception(handle.promise().exception);
+            return std::move(handle.promise().value);
+        }
+    };
+
+    JoinAwaiter operator co_await() const noexcept { return {handle_}; }
+
+  private:
+    Handle handle_;
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+};
+
+/**
  * An eagerly-started, self-destroying coroutine for hardware transactions
  * (e.g., one in-flight RMC request). Runs synchronously until its first
  * suspension; the frame frees itself at completion, so millions of

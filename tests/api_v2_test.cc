@@ -1,0 +1,212 @@
+/**
+ * @file
+ * v2 access-library tests: OpResult error paths (kBoundsError,
+ * kBadContext), OpHandle semantics (done(), await-after-completion,
+ * fire-and-forget slot recycling), and mixed synchronous/asynchronous
+ * completions interleaved on one session across a 16-node cluster.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "api/testbed.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace sonuma;
+using api::ClusterSpec;
+using api::OpHandle;
+using api::OpResult;
+using api::RmcSession;
+using api::TestBed;
+using api::operator""_KiB;
+using api::operator""_MiB;
+using rmc::CqStatus;
+
+TEST(OpResultErrors, BoundsErrorSurfacesInResult)
+{
+    TestBed bed(ClusterSpec{}.nodes(2).segmentPerNode(64_KiB).seed(2));
+    auto &s = bed.session(1);
+    const vm::VAddr buf = s.allocBuffer(128);
+    OpResult sync, async;
+    bed.spawn([](TestBed *bed, RmcSession *s, vm::VAddr buf, OpResult *rs,
+                 OpResult *ra) -> sim::Task {
+        // Blocking path: offset entirely past the 64 KiB segment.
+        *rs = co_await s->read(0, 1 << 20, buf, 64);
+        // Async path: straddles the segment end by one line.
+        OpHandle h = co_await s->readAsync(0, bed->segBytes() - 64, buf,
+                                           128);
+        *ra = co_await h;
+    }(&bed, &s, buf, &sync, &async));
+    bed.run();
+
+    EXPECT_EQ(sync.status, CqStatus::kBoundsError);
+    EXPECT_FALSE(sync.ok());
+    EXPECT_EQ(async.status, CqStatus::kBoundsError);
+    // Error completions still free their slots.
+    EXPECT_EQ(s.outstanding(), 0u);
+}
+
+TEST(OpResultErrors, BadContextSurfacesInResult)
+{
+    // Destination registered nothing in context 2: the RRPP reports the
+    // miss, which the source maps onto a bounds-error completion, and
+    // the badContext counter attributes the cause.
+    TestBed bed(ClusterSpec{}.nodes(2).segmentPerNode(64_KiB).seed(3));
+    bed.cluster().createSharedContext(2);
+    auto &nd = bed.node(1);
+    RmcSession session(nd.core(0), nd.driver(), bed.process(1), 2);
+    const vm::VAddr buf = session.allocBuffer(64);
+    OpResult r;
+    bed.spawn([](RmcSession *s, vm::VAddr buf, OpResult *r) -> sim::Task {
+        *r = co_await s->read(0, 0, buf, 64);
+    }(&session, buf, &r));
+    bed.run();
+
+    EXPECT_FALSE(r.ok());
+    EXPECT_GT(
+        bed.sim().stats().counter("node0.rmc.rrpp.badContext")->value(),
+        0u);
+}
+
+TEST(OpHandle, DoneBecomesTrueAndAwaitAfterDoneIsImmediate)
+{
+    TestBed bed(ClusterSpec{}.nodes(2).segmentPerNode(1_MiB).seed(4));
+    auto &s = bed.session(1);
+    const vm::VAddr buf = s.allocBuffer(64);
+    bed.spawn([](sim::Simulation *sim, RmcSession *s,
+                 vm::VAddr buf) -> sim::Task {
+        OpHandle h = co_await s->readAsync(0, 0, buf, 64);
+        EXPECT_TRUE(h.valid());
+        EXPECT_FALSE(h.done()); // cannot have completed at post time
+        co_await s->drain();
+        EXPECT_TRUE(h.done());
+        // Awaiting a completed handle returns without advancing time.
+        const sim::Tick t0 = sim->now();
+        const OpResult r = co_await h;
+        EXPECT_EQ(sim->now(), t0);
+        EXPECT_TRUE(r.ok());
+        EXPECT_GT(r.latency, 0u);
+    }(&bed.sim(), &s, buf));
+    bed.run();
+}
+
+TEST(OpHandle, FireAndForgetRecyclesSlots)
+{
+    // Discarding handles must not leak WQ slots: 4 ring laps of posts
+    // with no explicit completion consumption.
+    TestBed bed(ClusterSpec{}.nodes(2).segmentPerNode(1_MiB).seed(5));
+    auto &s = bed.session(1);
+    const vm::VAddr buf = s.allocBuffer(64);
+    const int kOps = static_cast<int>(s.queueDepth()) * 4;
+    bed.spawn([](RmcSession *s, vm::VAddr buf, int ops) -> sim::Task {
+        for (int i = 0; i < ops; ++i)
+            co_await s->writeAsync(0, (std::uint64_t(i) % 128) * 64, buf,
+                                   64);
+        co_await s->drain();
+    }(&s, buf, kOps));
+    bed.run();
+    EXPECT_EQ(s.outstanding(), 0u);
+}
+
+TEST(MixedCompletions, SyncAndAsyncInterleaveOnOneSessionAt16Nodes)
+{
+    // Every node interleaves blocking reads, windowed async reads, and
+    // atomics on ONE session, against all 15 peers. Under the v1
+    // callback API this pattern misrouted completions; v2 per-slot
+    // results make it safe by construction.
+    constexpr std::uint32_t kNodes = 16;
+    TestBed bed(
+        ClusterSpec{}.nodes(kNodes).segmentPerNode(256_KiB).seed(6));
+
+    // Publish one recognizable line per node at offset 0.
+    for (std::uint32_t i = 0; i < kNodes; ++i)
+        bed.process(i).addressSpace().writeT<std::uint64_t>(
+            bed.segBase(i), 0xbeef0000u + i);
+
+    int finished = 0;
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+        auto &s = bed.session(i);
+        // One landing line per WQ slot for the async window, plus a
+        // separate line for blocking reads (no aliasing).
+        const vm::VAddr buf =
+            s.allocBuffer(std::uint64_t(s.queueDepth()) * 64 + 64);
+        bed.spawn([](RmcSession *s, std::uint32_t self, vm::VAddr buf,
+                     int *finished) -> sim::Task {
+            auto &as = s->process().addressSpace();
+            const vm::VAddr syncBuf =
+                buf + std::uint64_t(s->queueDepth()) * 64;
+            std::deque<OpHandle> window;
+            int asyncDone = 0;
+            for (int round = 0; round < 30; ++round) {
+                const auto peer = static_cast<sim::NodeId>(
+                    (self + 1 + round % 15) % 16);
+                // (a) async post into the rolling window.
+                const std::uint32_t slot = s->nextSlot();
+                window.push_back(co_await s->readAsync(
+                    peer, 64, buf + std::uint64_t(slot) * 64, 64));
+                // (b) blocking read while async ops are outstanding.
+                const OpResult r = co_await s->read(peer, 0, syncBuf, 64);
+                EXPECT_TRUE(r.ok());
+                EXPECT_EQ(as.readT<std::uint64_t>(syncBuf),
+                          0xbeef0000u + peer);
+                // (c) every third round, a blocking atomic too.
+                if (round % 3 == 0) {
+                    const OpResult fa = co_await s->fetchAdd(
+                        peer, 128, 1);
+                    EXPECT_TRUE(fa.ok());
+                }
+                while (!window.empty() && window.front().done()) {
+                    EXPECT_TRUE((co_await window.front()).ok());
+                    window.pop_front();
+                    ++asyncDone;
+                }
+            }
+            while (!window.empty()) {
+                EXPECT_TRUE((co_await window.front()).ok());
+                window.pop_front();
+                ++asyncDone;
+            }
+            EXPECT_EQ(asyncDone, 30);
+            EXPECT_EQ(s->outstanding(), 0u);
+            ++*finished;
+        }(&s, i, buf, &finished));
+    }
+    bed.run();
+    EXPECT_EQ(finished, 16);
+
+    // Each node's counter at offset 128 received one fetch-add per
+    // arriving (round % 3 == 0) hit; total adds across the cluster =
+    // 16 nodes * 10 rounds.
+    std::uint64_t totalAdds = 0;
+    for (std::uint32_t i = 0; i < kNodes; ++i)
+        totalAdds += bed.process(i).addressSpace().readT<std::uint64_t>(
+            bed.segBase(i) + 128);
+    EXPECT_EQ(totalAdds, 16u * 10u);
+}
+
+TEST(MixedCompletions, LatencyFieldCoversOnlyOwnOp)
+{
+    // An async op posted first and completed *during* a later blocking
+    // op must report its own post->completion latency, not the
+    // blocking op's window.
+    TestBed bed(ClusterSpec{}.nodes(2).segmentPerNode(1_MiB).seed(7));
+    auto &s = bed.session(1);
+    const vm::VAddr buf = s.allocBuffer(8192 + 64);
+    bed.spawn([](RmcSession *s, vm::VAddr buf) -> sim::Task {
+        // Long 8 KiB read posted async; short blocking read after it.
+        OpHandle big = co_await s->readAsync(0, 0, buf, 8192);
+        const OpResult small = co_await s->read(0, 0, buf + 8192, 64);
+        const OpResult bigR = co_await big;
+        EXPECT_TRUE(small.ok());
+        EXPECT_TRUE(bigR.ok());
+        EXPECT_GT(bigR.latency, small.latency);
+    }(&s, buf));
+    bed.run();
+}
+
+} // namespace

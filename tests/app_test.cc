@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "api/testbed.hh"
 #include "app/graph.hh"
 #include "app/kv_store.hh"
 #include "app/pagerank.hh"
@@ -176,133 +177,108 @@ TEST_F(PageRankFixture, FineGrainSlowerThanBulk)
 
 struct KvFixture : public ::testing::Test
 {
-    sim::Simulation sim{5};
-    std::unique_ptr<node::Cluster> cluster;
-    std::unique_ptr<api::RmcSession> serverSession, clientSession;
+    std::unique_ptr<api::TestBed> bed;
     std::unique_ptr<KvServer> server;
     std::unique_ptr<KvClient> client;
-    static constexpr sim::CtxId kCtx = 1;
+    sim::Simulation *simp = nullptr;
     static constexpr std::uint32_t kBuckets = 1024;
 
     void
     SetUp() override
     {
-        node::ClusterParams cp;
-        cp.nodes = 2;
-        cluster = std::make_unique<node::Cluster>(sim, cp);
-        cluster->createSharedContext(kCtx);
-        auto &sp = cluster->node(0).os().createProcess(0);
-        const auto seg = sp.alloc(KvServer::tableBytes(kBuckets));
-        cluster->node(0).driver().openContext(sp, kCtx);
-        cluster->node(0).driver().registerSegment(
-            sp, kCtx, seg, KvServer::tableBytes(kBuckets));
-        serverSession = std::make_unique<api::RmcSession>(
-            cluster->node(0).core(0), cluster->node(0).driver(), sp, kCtx);
-        server = std::make_unique<KvServer>(*serverSession, seg, 0,
-                                            kBuckets);
-
-        auto &cp2 = cluster->node(1).os().createProcess(0);
-        clientSession = std::make_unique<api::RmcSession>(
-            cluster->node(1).core(0), cluster->node(1).driver(), cp2,
-            kCtx);
-        client = std::make_unique<KvClient>(*clientSession, 0, 0,
+        bed = std::make_unique<api::TestBed>(
+            api::ClusterSpec{}
+                .nodes(2)
+                .context(1)
+                .segmentPerNode(KvServer::tableBytes(kBuckets))
+                .seed(5));
+        simp = &bed->sim();
+        server = std::make_unique<KvServer>(bed->session(0),
+                                            bed->segBase(0), 0, kBuckets);
+        client = std::make_unique<KvClient>(bed->session(1), 0, 0,
                                             kBuckets);
     }
+
+    sim::Simulation &sim() { return *simp; }
 };
 
 TEST_F(KvFixture, PutThenRemoteGet)
 {
-    sim.spawn([](KvFixture *f) -> sim::Task {
-        bool ok = false;
+    sim().spawn([](KvFixture *f) -> sim::Task {
         const char val[] = "hello sonuma kv";
-        co_await f->server->put(1234, val, sizeof(val), &ok);
-        EXPECT_TRUE(ok);
+        EXPECT_TRUE(co_await f->server->put(1234, val, sizeof(val)));
         char got[kKvValueBytes] = {};
-        bool found = false;
-        co_await f->client->get(1234, got, &found);
-        EXPECT_TRUE(found);
+        EXPECT_TRUE(co_await f->client->get(1234, got));
         EXPECT_STREQ(got, "hello sonuma kv");
     }(this));
-    sim.run();
+    sim().run();
 }
 
 TEST_F(KvFixture, MissingKeyNotFound)
 {
-    sim.spawn([](KvFixture *f) -> sim::Task {
+    sim().spawn([](KvFixture *f) -> sim::Task {
         char got[kKvValueBytes];
-        bool found = true;
-        co_await f->client->get(999, got, &found);
-        EXPECT_FALSE(found);
+        EXPECT_FALSE(co_await f->client->get(999, got));
     }(this));
-    sim.run();
+    sim().run();
 }
 
 TEST_F(KvFixture, ManyKeysSurviveProbing)
 {
-    sim.spawn([](KvFixture *f) -> sim::Task {
+    sim().spawn([](KvFixture *f) -> sim::Task {
         const int kKeys = 400; // ~40% load factor
         for (int k = 0; k < kKeys; ++k) {
-            bool ok = false;
             std::uint64_t v = static_cast<std::uint64_t>(k) * 31 + 7;
-            co_await f->server->put(static_cast<std::uint64_t>(k), &v,
-                                    sizeof(v), &ok);
-            EXPECT_TRUE(ok);
+            EXPECT_TRUE(co_await f->server->put(
+                static_cast<std::uint64_t>(k), &v, sizeof(v)));
         }
         for (int k = 0; k < kKeys; ++k) {
             std::uint8_t got[kKvValueBytes];
-            bool found = false;
-            co_await f->client->get(static_cast<std::uint64_t>(k), got,
-                                    &found);
-            EXPECT_TRUE(found) << k;
+            EXPECT_TRUE(co_await f->client->get(
+                static_cast<std::uint64_t>(k), got))
+                << k;
             std::uint64_t v;
             std::memcpy(&v, got, sizeof(v));
             EXPECT_EQ(v, static_cast<std::uint64_t>(k) * 31 + 7);
         }
     }(this));
-    sim.run();
+    sim().run();
 }
 
 TEST_F(KvFixture, UpdateIsVisibleAndErasable)
 {
-    sim.spawn([](KvFixture *f) -> sim::Task {
-        bool ok = false;
+    sim().spawn([](KvFixture *f) -> sim::Task {
         std::uint64_t v1 = 111, v2 = 222;
-        co_await f->server->put(5, &v1, sizeof(v1), &ok);
-        co_await f->server->put(5, &v2, sizeof(v2), &ok);
+        EXPECT_TRUE(co_await f->server->put(5, &v1, sizeof(v1)));
+        EXPECT_TRUE(co_await f->server->put(5, &v2, sizeof(v2)));
         std::uint8_t got[kKvValueBytes];
-        bool found = false;
-        co_await f->client->get(5, got, &found);
-        EXPECT_TRUE(found);
+        EXPECT_TRUE(co_await f->client->get(5, got));
         std::uint64_t v;
         std::memcpy(&v, got, sizeof(v));
         EXPECT_EQ(v, 222u);
-        co_await f->server->erase(5, &ok);
-        EXPECT_TRUE(ok);
-        co_await f->client->get(5, got, &found);
-        EXPECT_FALSE(found);
+        EXPECT_TRUE(co_await f->server->erase(5));
+        EXPECT_FALSE(co_await f->client->get(5, got));
     }(this));
-    sim.run();
+    sim().run();
 }
 
 TEST_F(KvFixture, GetLatencyIsAFewRemoteReads)
 {
-    sim.spawn([](KvFixture *f) -> sim::Task {
-        bool ok = false;
+    sim().spawn([](KvFixture *f) -> sim::Task {
         std::uint64_t v = 42;
-        co_await f->server->put(77, &v, sizeof(v), &ok);
+        EXPECT_TRUE(co_await f->server->put(77, &v, sizeof(v)));
         std::uint8_t got[kKvValueBytes];
-        bool found = false;
         // Warm up, then time one GET.
-        co_await f->client->get(77, got, &found);
-        const sim::Tick t0 = f->sim.now();
-        co_await f->client->get(77, got, &found);
-        const double ns = sim::ticksToNs(f->sim.now() - t0);
+        co_await f->client->get(77, got);
+        const sim::Tick t0 = f->sim().now();
+        const bool found = co_await f->client->get(77, got);
+        const double ns = sim::ticksToNs(f->sim().now() - t0);
         EXPECT_TRUE(found);
         // One or two ~300 ns remote reads — far below the ~5 us the
         // paper quotes for RDMA-based KV stores (§2.1).
         EXPECT_LT(ns, 1500.0);
     }(this));
-    sim.run();
+    sim().run();
 }
 
 } // namespace

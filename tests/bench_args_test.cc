@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the strict bench flag parser: unknown --flags are rejected
+ * with a did-you-mean suggestion and the valid-flag list, so a typo'd
+ * sweep parameter can never silently fall back to its default and
+ * poison a measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/common.hh"
+
+namespace {
+
+using sonuma::bench::Args;
+
+TEST(BenchArgs, KnownFlagsValidate)
+{
+    std::string err;
+    EXPECT_TRUE(Args::validate({"--platform=hw", "--quick"},
+                               {"platform", "quick"}, &err));
+    EXPECT_TRUE(err.empty());
+}
+
+TEST(BenchArgs, PositionalArgumentsAreIgnored)
+{
+    std::string err;
+    EXPECT_TRUE(Args::validate({"outfile.json"}, {"out"}, &err));
+}
+
+TEST(BenchArgs, UnknownFlagRejectedWithSuggestion)
+{
+    std::string err;
+    EXPECT_FALSE(Args::validate({"--platfrom=hw"},
+                                {"platform", "quick"}, &err));
+    EXPECT_NE(err.find("unknown flag --platfrom"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("did you mean --platform"), std::string::npos)
+        << err;
+    EXPECT_NE(err.find("--quick"), std::string::npos) << err;
+}
+
+TEST(BenchArgs, UnknownFlagWithoutCloseMatchListsValidFlags)
+{
+    std::string err;
+    EXPECT_FALSE(
+        Args::validate({"--zzzzzzz"}, {"platform", "quick"}, &err));
+    EXPECT_NE(err.find("unknown flag --zzzzzzz"), std::string::npos);
+    EXPECT_EQ(err.find("did you mean"), std::string::npos) << err;
+    EXPECT_NE(err.find("valid flags"), std::string::npos) << err;
+}
+
+TEST(BenchArgs, ValueFormsParse)
+{
+    const char *argv[] = {"bench", "--vertices=4096", "--quick"};
+    Args args(3, const_cast<char **>(argv), {"vertices", "quick"});
+    EXPECT_EQ(args.getU64("vertices", 1), 4096u);
+    EXPECT_TRUE(args.has("quick"));
+    EXPECT_FALSE(args.has("platform"));
+    EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+}
+
+TEST(BenchArgs, TypoInValueFlagIsCaught)
+{
+    // The exact failure mode from the issue: a typo'd sweep parameter.
+    std::string err;
+    EXPECT_FALSE(Args::validate(
+        {"--vertcies=8192"},
+        {"vertices", "degree", "supersteps"}, &err));
+    EXPECT_NE(err.find("did you mean --vertices"), std::string::npos)
+        << err;
+}
+
+} // namespace

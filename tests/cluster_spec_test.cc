@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ClusterSpec / TestBed tests: eager validation of bad configurations
+ * (torus dims vs node count, zero nodes), declarative construction of
+ * crossbar and torus beds, session caching, and qpDepth plumbing down
+ * to the queue pairs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/testbed.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace sonuma;
+using api::ClusterSpec;
+using api::TestBed;
+using api::operator""_KiB;
+using api::operator""_MiB;
+
+TEST(ClusterParamsValidation, TorusDimsMustMultiplyToNodeCount)
+{
+    sim::Simulation sim(1);
+    node::ClusterParams p;
+    p.nodes = 16;
+    p.topology = node::Topology::kTorus;
+    p.torus.dims = {4, 3}; // 12 != 16
+    try {
+        node::Cluster cluster(sim, p);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        // The message names both the dims and the node count.
+        EXPECT_NE(msg.find("4x3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("16"), std::string::npos) << msg;
+    }
+}
+
+TEST(ClusterParamsValidation, ZeroNodesRejected)
+{
+    sim::Simulation sim(1);
+    node::ClusterParams p;
+    p.nodes = 0;
+    EXPECT_THROW(node::Cluster cluster(sim, p), std::invalid_argument);
+}
+
+TEST(ClusterParamsValidation, ZeroRadixAndEmptyDimsRejected)
+{
+    node::ClusterParams p;
+    p.nodes = 8;
+    p.topology = node::Topology::kTorus;
+    p.torus.dims = {};
+    EXPECT_THROW(node::validate(p), std::invalid_argument);
+    p.torus.dims = {8, 0};
+    EXPECT_THROW(node::validate(p), std::invalid_argument);
+}
+
+TEST(ClusterSpecTest, BuildFailsEagerlyOnBadTorus)
+{
+    EXPECT_THROW(TestBed bed(ClusterSpec{}.nodes(6).torus(2, 2)),
+                 std::invalid_argument);
+    EXPECT_THROW(TestBed bed(ClusterSpec{}.nodes(0)),
+                 std::invalid_argument);
+}
+
+TEST(ClusterSpecTest, DeclarativeTorusBedMovesBytesAcrossHops)
+{
+    TestBed bed(ClusterSpec{}
+                    .nodes(4)
+                    .torus(2, 2)
+                    .context(1)
+                    .segmentPerNode(64_KiB)
+                    .seed(13));
+    EXPECT_EQ(bed.nodes(), 4u);
+    bed.process(3).addressSpace().writeT<std::uint64_t>(
+        bed.segBase(3) + 128, 0x70517051ULL);
+
+    auto &s = bed.session(0);
+    const vm::VAddr buf = s.allocBuffer(64);
+    api::OpResult r;
+    bed.spawn([](api::RmcSession *s, vm::VAddr buf,
+                 api::OpResult *out) -> sim::Task {
+        *out = co_await s->read(3, 128, buf, 64);
+    }(&s, buf, &r));
+    bed.run();
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(bed.process(0).addressSpace().readT<std::uint64_t>(buf),
+              0x70517051ULL);
+}
+
+TEST(ClusterSpecTest, SessionAccessorCachesPerNodeCore)
+{
+    TestBed bed(ClusterSpec{}.nodes(2).segmentPerNode(64_KiB));
+    auto &a = bed.session(0);
+    auto &b = bed.session(0);
+    EXPECT_EQ(&a, &b); // same QP on repeat access
+    auto &fresh = bed.newSession(0);
+    EXPECT_NE(&a, &fresh); // explicit new QP
+}
+
+TEST(ClusterSpecTest, QpDepthReachesTheQueuePair)
+{
+    TestBed bed(
+        ClusterSpec{}.nodes(2).segmentPerNode(64_KiB).qpDepth(16));
+    EXPECT_EQ(bed.session(1).queueDepth(), 16u);
+
+    // The 16-deep ring throttles the async window: outstanding ops can
+    // never exceed the depth.
+    auto &s = bed.session(1);
+    const vm::VAddr buf = s.allocBuffer(64ull * 16);
+    std::uint32_t maxOutstanding = 0;
+    bed.spawn([](api::RmcSession *s, vm::VAddr buf,
+                 std::uint32_t *maxOut) -> sim::Task {
+        for (int i = 0; i < 100; ++i) {
+            co_await s->readAsync(0, (std::uint64_t(i) % 64) * 64,
+                                  buf + (std::uint64_t(i) % 16) * 64, 64);
+            *maxOut = std::max(*maxOut, s->outstanding());
+        }
+        co_await s->drain();
+    }(&s, buf, &maxOutstanding));
+    bed.run();
+    EXPECT_LE(maxOutstanding, 16u);
+    EXPECT_GT(maxOutstanding, 4u); // but the window does fill
+}
+
+TEST(ClusterSpecTest, LiteralsAndPhysMemSizing)
+{
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(1_MiB, 1048576u);
+    // A large segment auto-sizes physical memory (no PhysMem overflow).
+    TestBed bed(ClusterSpec{}.nodes(2).segmentPerNode(128_MiB));
+    EXPECT_EQ(bed.segBytes(), 128_MiB);
+}
+
+} // namespace

@@ -17,32 +17,30 @@
 namespace {
 
 using namespace sonuma;
-using bench::TwoNodeHarness;
+using api::TestBed;
 
 sim::Task
 remoteReadWorker(api::RmcSession *s, vm::VAddr buf, std::uint64_t segBytes,
                  int iters)
 {
-    rmc::CqStatus st;
     const std::uint64_t span = segBytes / 2;
-    for (int i = 0; i < iters; ++i) {
-        co_await s->readSync(0, (std::uint64_t(i) * 64) % span, buf, 64,
-                             &st);
-    }
+    for (int i = 0; i < iters; ++i)
+        co_await s->read(0, (std::uint64_t(i) * 64) % span, buf, 64);
 }
 
 /** Run the fig7-style workload and render the full stats dump. */
 std::string
 runRemoteReadStats(std::uint64_t seed)
 {
-    TwoNodeHarness h(rmc::RmcParams::simulatedHardware(), 1ull << 20, seed);
-    auto session = h.clientSession();
-    h.sim.spawn(remoteReadWorker(&session, h.clientSegBase, h.segBytes,
-                                 200));
-    h.sim.run();
+    TestBed bed = bench::twoNodeBed(rmc::RmcParams::simulatedHardware(),
+                                    1ull << 20, seed);
+    auto &session = bed.session(1);
+    bed.spawn(remoteReadWorker(&session, bed.segBase(1), bed.segBytes(),
+                               200));
+    bed.run();
     std::ostringstream os;
-    os << "finalTick=" << h.sim.now() << "\n";
-    h.sim.stats().dump(os);
+    os << "finalTick=" << bed.sim().now() << "\n";
+    bed.sim().stats().dump(os);
     return os.str();
 }
 
@@ -57,24 +55,23 @@ TEST(Determinism, RemoteReadStatsDumpIsReproducible)
 sim::Task
 sendWorker(api::RmcSession *s, vm::VAddr buf, int iters)
 {
-    rmc::CqStatus st;
     for (int i = 0; i < iters; ++i) {
         // Remote write of one line, fig8-style one-way messaging.
-        co_await s->writeSync(0, 4096 + std::uint64_t(i % 8) * 64, buf, 64,
-                              &st);
+        co_await s->write(0, 4096 + std::uint64_t(i % 8) * 64, buf, 64);
     }
 }
 
 std::string
 runSendReceiveStats(std::uint64_t seed)
 {
-    TwoNodeHarness h(rmc::RmcParams::simulatedHardware(), 1ull << 20, seed);
-    auto session = h.clientSession();
-    h.sim.spawn(sendWorker(&session, h.clientSegBase, 200));
-    h.sim.run();
+    TestBed bed = bench::twoNodeBed(rmc::RmcParams::simulatedHardware(),
+                                    1ull << 20, seed);
+    auto &session = bed.session(1);
+    bed.spawn(sendWorker(&session, bed.segBase(1), 200));
+    bed.run();
     std::ostringstream os;
-    os << "finalTick=" << h.sim.now() << "\n";
-    h.sim.stats().dump(os);
+    os << "finalTick=" << bed.sim().now() << "\n";
+    bed.sim().stats().dump(os);
     return os.str();
 }
 

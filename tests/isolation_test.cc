@@ -55,15 +55,11 @@ TEST(ContextIsolation, TwoContextsDoNotInterfere)
 
     sim.spawn([](RmcSession *s1, RmcSession *s2, vm::VAddr b1,
                  vm::VAddr b2) -> sim::Task {
-        rmc::CqStatus st;
         // Same offset, different contexts: different data.
-        co_await s1->readSync(0, 0, b1, 64, &st);
-        EXPECT_EQ(st, rmc::CqStatus::kOk);
-        co_await s2->readSync(0, 0, b2, 64, &st);
-        EXPECT_EQ(st, rmc::CqStatus::kOk);
+        EXPECT_TRUE((co_await s1->read(0, 0, b1, 64)).ok());
+        EXPECT_TRUE((co_await s2->read(0, 0, b2, 64)).ok());
         // Writing via ctx 2 must not touch ctx 1's segment.
-        co_await s2->writeSync(0, 0, b2, 64, &st);
-        EXPECT_EQ(st, rmc::CqStatus::kOk);
+        EXPECT_TRUE((co_await s2->write(0, 0, b2, 64)).ok());
     }(&s1, &s2, b1, b2));
     sim.run();
 
@@ -99,11 +95,8 @@ TEST(ContextIsolation, SegmentsOfDifferentProcessesStayApart)
                   2);
     const auto b = s1.allocBuffer(128);
     sim.spawn([](RmcSession *s1, RmcSession *s2, vm::VAddr b) -> sim::Task {
-        rmc::CqStatus st;
-        co_await s1->readSync(0, 512, b, 64, &st);
-        EXPECT_EQ(st, rmc::CqStatus::kOk);
-        co_await s2->readSync(0, 512, b + 64, 64, &st);
-        EXPECT_EQ(st, rmc::CqStatus::kOk);
+        EXPECT_TRUE((co_await s1->read(0, 512, b, 64)).ok());
+        EXPECT_TRUE((co_await s2->read(0, 512, b + 64, 64)).ok());
     }(&s1, &s2, b));
     sim.run();
     EXPECT_EQ(cli.addressSpace().readT<std::uint64_t>(b), 111u);
@@ -143,12 +136,11 @@ TEST(ContextIsolation, TlbTagsPreventCrossContextTranslationReuse)
     bool ok = true;
     sim.spawn([](RmcSession *s1, RmcSession *s2, os::Process *cli,
                  vm::VAddr b, bool *ok) -> sim::Task {
-        rmc::CqStatus st;
         for (int i = 0; i < 128; ++i) {
             const std::uint64_t off =
                 (static_cast<std::uint64_t>(i) * 8192) % (1 << 18);
             RmcSession *s = (i % 2) ? s2 : s1;
-            co_await s->readSync(0, off, b, 64, &st);
+            co_await s->read(0, off, b, 64);
             const auto v = cli->addressSpace().readT<std::uint64_t>(b);
             if (v != (off | ((i % 2) ? 2u : 1u)))
                 *ok = false;
@@ -193,17 +185,14 @@ TEST_P(CacheGeometry, RemoteTrafficSurvivesAnyGeometry)
     int done = 0;
     sim.spawn([](RmcSession *s, os::Process *cli, vm::VAddr buf,
                  int *done) -> sim::Task {
-        rmc::CqStatus st;
         for (int i = 0; i < 64; ++i) {
             // Write a pattern, read it back through the full stack.
             cli->addressSpace().writeT<std::uint64_t>(
                 buf, 0x1000u + static_cast<std::uint64_t>(i));
             const std::uint64_t off =
                 (static_cast<std::uint64_t>(i) * 4096) % (1 << 18);
-            co_await s->writeSync(0, off, buf, 64, &st);
-            EXPECT_EQ(st, rmc::CqStatus::kOk);
-            co_await s->readSync(0, off, buf + 2048, 64, &st);
-            EXPECT_EQ(st, rmc::CqStatus::kOk);
+            EXPECT_TRUE((co_await s->write(0, off, buf, 64)).ok());
+            EXPECT_TRUE((co_await s->read(0, off, buf + 2048, 64)).ok());
             if (cli->addressSpace().readT<std::uint64_t>(buf + 2048) ==
                 0x1000u + static_cast<std::uint64_t>(i))
                 ++*done;

@@ -1,8 +1,9 @@
 /**
  * @file
- * Tests for the software messaging and synchronization library (§5.3):
- * push and pull paths, threshold selection, ordering, credit flow
- * control under ring pressure, and the multi-node barrier.
+ * Tests for the software messaging library (§5.3): push and pull
+ * paths, threshold selection, ordering, and credit flow control under
+ * ring pressure. The one-sided barrier has its own suite in
+ * api_barrier_test.cc.
  */
 
 #include <gtest/gtest.h>
@@ -11,7 +12,6 @@
 #include <numeric>
 #include <vector>
 
-#include "api/barrier.hh"
 #include "api/messaging.hh"
 #include "api/session.hh"
 #include "node/cluster.hh"
@@ -20,7 +20,6 @@
 namespace {
 
 using namespace sonuma;
-using api::Barrier;
 using api::MsgEndpoint;
 using api::MsgParams;
 using api::RmcSession;
@@ -226,97 +225,6 @@ TEST_F(MsgFixture, PingPongLatencyIsSubMicrosecond)
     // Paper: minimal half-duplex latency 340 ns on simulated hardware.
     EXPECT_GT(sim::ticksToNs(oneWay), 100.0);
     EXPECT_LT(sim::ticksToNs(oneWay), 700.0);
-}
-
-struct BarrierFixture : public ::testing::Test
-{
-    sim::Simulation sim{11};
-    std::unique_ptr<node::Cluster> cluster;
-    std::vector<std::unique_ptr<RmcSession>> sessions;
-    std::vector<std::unique_ptr<Barrier>> barriers;
-    static constexpr sim::CtxId kCtx = 1;
-
-    void
-    build(std::uint32_t n)
-    {
-        node::ClusterParams cp;
-        cp.nodes = n;
-        cluster = std::make_unique<node::Cluster>(sim, cp);
-        cluster->createSharedContext(kCtx);
-        const auto segBytes = Barrier::regionBytes(n);
-        std::vector<sim::NodeId> all(n);
-        std::iota(all.begin(), all.end(), 0);
-        for (std::uint32_t i = 0; i < n; ++i) {
-            auto &node = cluster->node(i);
-            auto &proc = node.os().createProcess(0);
-            const auto seg = proc.alloc(segBytes);
-            node.driver().openContext(proc, kCtx);
-            node.driver().registerSegment(proc, kCtx, seg, segBytes);
-            sessions.push_back(std::make_unique<RmcSession>(
-                node.core(0), node.driver(), proc, kCtx));
-            barriers.push_back(std::make_unique<Barrier>(
-                *sessions.back(), all, seg, 0));
-        }
-    }
-};
-
-TEST_F(BarrierFixture, NoNodeEscapesEarly)
-{
-    build(4);
-    std::vector<sim::Tick> exitTimes(4, 0);
-    sim::Tick lastArrival = 0;
-    for (std::uint32_t i = 0; i < 4; ++i) {
-        sim.spawn([](BarrierFixture *f, std::uint32_t i,
-                     sim::Tick *lastArrival,
-                     std::vector<sim::Tick> *exits) -> sim::Task {
-            // Stagger arrivals: node i arrives at i * 10 us.
-            co_await sim::Delay(f->sim.eq(),
-                                sim::usToTicks(10) * i);
-            *lastArrival = std::max(*lastArrival, f->sim.now());
-            co_await f->barriers[i]->arrive();
-            (*exits)[i] = f->sim.now();
-        }(this, i, &lastArrival, &exitTimes));
-    }
-    sim.run();
-    for (std::uint32_t i = 0; i < 4; ++i)
-        EXPECT_GE(exitTimes[i], lastArrival) << "node " << i;
-}
-
-TEST_F(BarrierFixture, ReusableAcrossGenerations)
-{
-    build(3);
-    std::vector<int> rounds(3, 0);
-    for (std::uint32_t i = 0; i < 3; ++i) {
-        sim.spawn([](BarrierFixture *f, std::uint32_t i,
-                     std::vector<int> *rounds) -> sim::Task {
-            for (int r = 0; r < 5; ++r) {
-                co_await f->barriers[i]->arrive();
-                // All nodes must be in the same round after each barrier.
-                for (int n = 0; n < 3; ++n)
-                    EXPECT_GE((*rounds)[static_cast<std::size_t>(n)] + 1,
-                              r);
-                ++(*rounds)[i];
-            }
-        }(this, i, &rounds));
-    }
-    sim.run();
-    EXPECT_EQ(rounds, (std::vector<int>{5, 5, 5}));
-}
-
-TEST_F(BarrierFixture, TwoNodeBarrierFast)
-{
-    build(2);
-    sim::Tick done = 0;
-    for (std::uint32_t i = 0; i < 2; ++i) {
-        sim.spawn([](BarrierFixture *f, std::uint32_t i,
-                     sim::Tick *done) -> sim::Task {
-            co_await f->barriers[i]->arrive();
-            *done = std::max(*done, f->sim.now());
-        }(this, i, &done));
-    }
-    sim.run();
-    // One remote write each way + local polling: ~hundreds of ns.
-    EXPECT_LT(sim::ticksToNs(done), 2000.0);
 }
 
 } // namespace

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -105,7 +106,6 @@ runFuzz(std::uint64_t seed, int ops)
                    vm::VAddr buf, std::uint64_t seed, int ops,
                    bool *mismatch) -> sim::Task {
         sim::Rng rng(seed * 77 + 1);
-        rmc::CqStatus st;
         for (int i = 0; i < ops; ++i) {
             // Line-aligned offset and size (the RMC's granularity).
             const std::uint32_t lines =
@@ -119,12 +119,14 @@ runFuzz(std::uint64_t seed, int ops)
                 for (auto &b : data)
                     b = static_cast<std::uint8_t>(rng.next());
                 w->client->addressSpace().write(buf, data.data(), len);
-                co_await s->writeSync(0, off, buf, len, &st);
-                EXPECT_EQ(st, rmc::CqStatus::kOk);
+                const api::OpResult r =
+                    co_await s->write(0, off, buf, len);
+                EXPECT_TRUE(r.ok());
                 golden->write(off, data.data(), len);
             } else if (kind == 1) { // remote read, compare to golden
-                co_await s->readSync(0, off, buf, len, &st);
-                EXPECT_EQ(st, rmc::CqStatus::kOk);
+                const api::OpResult r =
+                    co_await s->read(0, off, buf, len);
+                EXPECT_TRUE(r.ok());
                 std::vector<std::uint8_t> got(len), want(len);
                 w->client->addressSpace().read(buf, got.data(), len);
                 golden->read(off, want.data(), len);
@@ -132,13 +134,13 @@ runFuzz(std::uint64_t seed, int ops)
                     *mismatch = true;
             } else if (kind == 2) { // fetch-add on an aligned word
                 const std::uint64_t woff = off & ~std::uint64_t(7);
-                std::uint64_t old = 0;
-                co_await s->fetchAddSync(0, woff, i + 1, &old, &st);
-                EXPECT_EQ(st, rmc::CqStatus::kOk);
+                const api::OpResult r =
+                    co_await s->fetchAdd(0, woff, i + 1);
+                EXPECT_TRUE(r.ok());
                 const std::uint64_t wantOld =
                     golden->fetchAdd(woff, static_cast<std::uint64_t>(
                                                i + 1));
-                if (old != wantOld)
+                if (r.oldValue != wantOld)
                     *mismatch = true;
             } else { // local (server-side) functional write
                 std::uint64_t v = rng.next();
@@ -176,10 +178,9 @@ TEST(Determinism, SameSeedSameTimeline)
                      w.cluster->node(1).driver(), *w.client, kCtx);
         const vm::VAddr buf = s.allocBuffer(4096);
         w.sim.spawn([](RmcSession *s, vm::VAddr buf) -> sim::Task {
-            rmc::CqStatus st;
             for (int i = 0; i < 100; ++i)
-                co_await s->readSync(0, (std::uint64_t(i) * 640) % 65536,
-                                     buf, 64 * (1 + i % 4), &st);
+                co_await s->read(0, (std::uint64_t(i) * 640) % 65536,
+                                 buf, 64 * (1 + i % 4));
         }(&s, buf));
         return w.sim.run();
     };
@@ -209,15 +210,14 @@ TEST_P(ReadSizes, DataIntactAndLatencyOrdered)
     w.sim.spawn([](sim::Simulation *sim, RmcSession *s, vm::VAddr buf,
                    std::uint32_t size, sim::Tick *small,
                    sim::Tick *measured) -> sim::Task {
-        rmc::CqStatus st;
-        co_await s->readSync(0, 4096, buf, 64, &st); // warm
+        co_await s->read(0, 4096, buf, 64); // warm
         sim::Tick t0 = sim->now();
-        co_await s->readSync(0, 4096, buf, 64, &st);
+        co_await s->read(0, 4096, buf, 64);
         *small = sim->now() - t0;
         t0 = sim->now();
-        co_await s->readSync(0, 4096, buf, size, &st);
+        const api::OpResult r = co_await s->read(0, 4096, buf, size);
         *measured = sim->now() - t0;
-        EXPECT_EQ(st, rmc::CqStatus::kOk);
+        EXPECT_TRUE(r.ok());
     }(&w.sim, &s, buf, size, &small, &measured));
     w.sim.run();
 
@@ -246,17 +246,27 @@ TEST_P(MaqDepths, PipelinedReadsCompleteAtAnyDepth)
     const vm::VAddr buf = s.allocBuffer(64ull * 64);
     int done = 0;
     w.sim.spawn([](RmcSession *s, vm::VAddr buf, int *done) -> sim::Task {
-        auto cb = [done](std::uint32_t, rmc::CqStatus st) {
-            EXPECT_EQ(st, rmc::CqStatus::kOk);
-            ++*done;
-        };
+        std::deque<api::OpHandle> window;
         for (int i = 0; i < 300; ++i) {
-            std::uint32_t slot = 0;
-            co_await s->waitForSlot(cb, &slot);
-            co_await s->postRead(slot, 0, (std::uint64_t(i) % 512) * 64,
-                                 buf + (std::uint64_t(i) % 64) * 64, 64);
+            while (window.size() >= s->queueDepth()) {
+                EXPECT_TRUE((co_await window.front()).ok());
+                window.pop_front();
+                ++*done;
+            }
+            window.push_back(co_await s->readAsync(
+                0, (std::uint64_t(i) % 512) * 64,
+                buf + (std::uint64_t(i) % 64) * 64, 64));
+            while (!window.empty() && window.front().done()) {
+                EXPECT_TRUE((co_await window.front()).ok());
+                window.pop_front();
+                ++*done;
+            }
         }
-        co_await s->drainCq(cb);
+        while (!window.empty()) {
+            EXPECT_TRUE((co_await window.front()).ok());
+            window.pop_front();
+            ++*done;
+        }
     }(&s, buf, &done));
     w.sim.run();
     EXPECT_EQ(done, 300);
@@ -279,12 +289,11 @@ TEST(EmulationPlatform, SameSemanticsSlowerClock)
         sim::Tick rtt = 0;
         w.sim.spawn([](sim::Simulation *sim, RmcSession *s, vm::VAddr buf,
                        sim::Tick *rtt) -> sim::Task {
-            rmc::CqStatus st;
-            co_await s->readSync(0, 0, buf, 64, &st); // warm
+            co_await s->read(0, 0, buf, 64); // warm
             const sim::Tick t0 = sim->now();
-            co_await s->readSync(0, 0, buf, 64, &st);
+            const api::OpResult r = co_await s->read(0, 0, buf, 64);
             *rtt = sim->now() - t0;
-            EXPECT_EQ(st, rmc::CqStatus::kOk);
+            EXPECT_TRUE(r.ok());
         }(&w.sim, &s, buf, &rtt));
         w.sim.run();
         std::uint64_t got = 0;
@@ -323,13 +332,14 @@ TEST(TorusCluster, RemoteReadsAcrossHops)
     RmcSession s(cluster.node(0).core(0), cluster.node(0).driver(),
                  client, kCtx);
     const vm::VAddr buf = s.allocBuffer(64);
-    rmc::CqStatus st = rmc::CqStatus::kFabricError;
+    api::OpResult result;
+    result.status = rmc::CqStatus::kFabricError;
     sim.spawn([](RmcSession *s, vm::VAddr buf,
-                 rmc::CqStatus *st) -> sim::Task {
-        co_await s->readSync(3, 128, buf, 64, st);
-    }(&s, buf, &st));
+                 api::OpResult *r) -> sim::Task {
+        *r = co_await s->read(3, 128, buf, 64);
+    }(&s, buf, &result));
     sim.run();
-    EXPECT_EQ(st, rmc::CqStatus::kOk);
+    EXPECT_TRUE(result.ok());
     EXPECT_EQ(client.addressSpace().readT<std::uint64_t>(buf), 0x70517051ULL);
 }
 
