@@ -29,7 +29,8 @@ BUILD_DIR="${1:-$REPO_ROOT/build-release}"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DSONUMA_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-      --target bench_sim_core bench_fig7_remote_read bench_sweep >/dev/null
+      --target bench_sim_core bench_fig7_remote_read bench_sweep \
+               bench_table2_comparison >/dev/null
 
 cd "$REPO_ROOT"
 
@@ -41,18 +42,23 @@ if [[ "$SMOKE" == 1 ]]; then
         --binary "$BUILD_DIR/bench_sim_core" \
         --baseline "$REPO_ROOT/BENCH_sim_core.json" \
         --threshold 0.10 --events 400000
-    echo "== smoke: sweep (2-cell quick matrix, JSON schema check) =="
-    "$BUILD_DIR/bench_sweep" --quick --out-dir="$SMOKE_DIR" >/dev/null
+    echo "== smoke: sweep (quick matrix incl. qpCount cell, JSON schema check) =="
+    "$BUILD_DIR/bench_sweep" --quick --qps=1,2 --batching=1 \
+        --out-dir="$SMOKE_DIR" >/dev/null
     python3 - "$SMOKE_DIR" <<'PY'
 import json, pathlib, sys
 cells = list(pathlib.Path(sys.argv[1]).glob("SWEEP_*.json"))
 assert cells, "sweep wrote no cells"
+qp_counts = set()
 for c in cells:
     d = json.loads(c.read_text())
     for key in ("bench", "schema", "nodes", "topology", "request_bytes",
-                "qp_depth", "mops", "mean_latency_ns"):
+                "qp_depth", "qp_count", "doorbell_batching", "mops",
+                "mean_latency_ns"):
         assert key in d, f"{c}: missing {key}"
-print(f"{len(cells)} sweep cell(s) OK")
+    qp_counts.add(d["qp_count"])
+assert qp_counts == {1, 2}, f"expected qp_count cells 1 and 2, got {qp_counts}"
+print(f"{len(cells)} sweep cell(s) OK (qp_counts {sorted(qp_counts)})")
 PY
     echo "== smoke: fig7 (hw side only, binary runs) =="
     "$BUILD_DIR/bench_fig7_remote_read" --platform=hw >/dev/null
@@ -67,6 +73,10 @@ echo "== sweep (64-node torus fig9-style matrix) =="
 mkdir -p "$REPO_ROOT/BENCH_sweep"
 "$BUILD_DIR/bench_sweep" --nodes=64 --topologies=torus \
     --sizes=64,512 --depths=16,64 --ops=64 \
+    --out-dir="$REPO_ROOT/BENCH_sweep"
+
+echo "== table2 IOPS-vs-qpCount curve (Table 2 QP axis) =="
+"$BUILD_DIR/bench_table2_comparison" --curve-only \
     --out-dir="$REPO_ROOT/BENCH_sweep"
 
 echo "== fig7_remote_read =="

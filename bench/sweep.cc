@@ -67,8 +67,8 @@ int
 main(int argc, char **argv)
 {
     bench::Args args(argc, argv, {"nodes", "topologies", "sizes",
-                                  "depths", "ops", "seed", "out-dir",
-                                  "quick"});
+                                  "depths", "qps", "batching", "ops",
+                                  "seed", "out-dir", "quick"});
     const bool quick = args.has("quick");
 
     api::SweepConfig cfg;
@@ -78,6 +78,8 @@ main(int argc, char **argv)
         "sizes", args.get("sizes", quick ? "64" : "64,512,4096"));
     cfg.qpDepths =
         parseList("depths", args.get("depths", quick ? "16" : "16,64"));
+    cfg.qpCounts = parseList("qps", args.get("qps", "1"));
+    cfg.doorbellBatching = args.getU64("batching", 0) != 0;
     cfg.opsPerNode = static_cast<std::uint32_t>(
         args.getU64("ops", quick ? 32 : 128));
     cfg.seed = args.getU64("seed", 1);
@@ -114,12 +116,15 @@ main(int argc, char **argv)
     }
 
     std::printf("# sweep: %zu nodes x %zu topologies x %zu sizes x %zu "
-                "depths = %zu cells (ops/node=%u)\n",
+                "depths x %zu qps = %zu cells (ops/node=%u%s)\n",
                 cfg.nodeCounts.size(), cfg.topologies.size(),
                 cfg.requestSizes.size(), cfg.qpDepths.size(),
+                cfg.qpCounts.size(),
                 cfg.nodeCounts.size() * cfg.topologies.size() *
-                    cfg.requestSizes.size() * cfg.qpDepths.size(),
-                cfg.opsPerNode);
+                    cfg.requestSizes.size() * cfg.qpDepths.size() *
+                    cfg.qpCounts.size(),
+                cfg.opsPerNode,
+                cfg.doorbellBatching ? ", doorbell batching" : "");
 
     api::SweepDriver driver(cfg);
     try {

@@ -8,9 +8,18 @@
  *   Read RTT |   1.5 us   |     0.3 us      | 1.19 us
  *   F&A      |   1.5 us   |     0.3 us      | 1.15 us
  *   IOPS     |   1.97 M   |     10.9 M      | 35 M @ 4 QPs (8.75/QP)
+ *
+ * Plus the table's queue-pair axis: IOPS vs qpCount on shallow (8-entry)
+ * rings with doorbell batching, the multi-QP session reproduction of
+ * "IOPS scale with the number of QPs". One JSON artifact per point with
+ * --out-dir=... (checked into BENCH_sweep/); --curve-only skips the
+ * slow three-platform table for CI.
  */
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "baseline/rdma.hh"
 #include "bench/common.hh"
@@ -140,11 +149,93 @@ measureRdma()
     return m;
 }
 
+/**
+ * One point of the IOPS-vs-qpCount curve: pipelined 64 B reads from a
+ * single session whose in-flight window is qpCount shallow rings. The
+ * ring depth (8) is the deliberate bottleneck — adding QPs widens the
+ * window until the RMC pipelines saturate, which is exactly the axis
+ * Table 2 reports per-QP IOPS on.
+ */
+double
+measureIopsAtQps(std::uint32_t qpCount)
+{
+    auto params = sonuma::rmc::RmcParams::simulatedHardware();
+    params.qpEntries = 8;
+    params.qpCount = qpCount;
+
+    TestBed bed(api::ClusterSpec{}
+                    .nodes(2)
+                    .rmc(params)
+                    .segmentPerNode(64ull << 20)
+                    .doorbellBatching(true));
+    auto &s = bed.session(1);
+    const auto buf =
+        s.allocBuffer(std::uint64_t(s.queueDepth()) * 64);
+    double mops = 0;
+    bed.spawn([](sim::Simulation *sim, api::RmcSession *s, vm::VAddr buf,
+                 std::uint64_t segBytes, double *out) -> sim::Task {
+        const std::uint64_t span = segBytes / 2;
+        const int warm = 256, ops = 20000;
+        for (int i = 0; i < warm; ++i) {
+            co_await s->readAsync(0, (std::uint64_t(i) * 64) % span,
+                                  buf + std::uint64_t(s->nextSlot()) * 64,
+                                  64);
+        }
+        co_await s->drain();
+        const sim::Tick t0 = sim->now();
+        for (int i = 0; i < ops; ++i) {
+            co_await s->readAsync(0, (std::uint64_t(i) * 64) % span,
+                                  buf + std::uint64_t(s->nextSlot()) * 64,
+                                  64);
+        }
+        co_await s->drain();
+        const double secs = sim::ticksToNs(sim->now() - t0) * 1e-9;
+        *out = ops / secs / 1e6;
+    }(&bed.sim(), &s, buf, bed.segBytes(), &mops));
+    bed.run();
+    return mops;
+}
+
+void
+runQpCurve(const std::string &outDir)
+{
+    const std::vector<std::uint32_t> qps{1, 2, 4, 8};
+    std::printf("\n# IOPS vs queue pairs (64 B reads, 8-entry rings, "
+                "doorbell batching)\n");
+    std::printf("%-8s %14s %14s\n", "QPs", "Mops/s", "Mops/s-per-QP");
+    for (const auto n : qps) {
+        const double mops = measureIopsAtQps(n);
+        std::printf("%-8u %14.2f %14.2f\n", n, mops, mops / n);
+        if (outDir.empty())
+            continue;
+        const std::string path =
+            outDir + "/TABLE2_iops_qp" + std::to_string(n) + ".json";
+        std::ofstream f(path);
+        if (!f) {
+            std::fprintf(stderr, "table2: cannot write %s\n",
+                         path.c_str());
+            std::exit(2);
+        }
+        f << "{\"bench\": \"table2_iops_vs_qps\", \"schema\": 1"
+          << ", \"qp_count\": " << n << ", \"qp_depth\": 8"
+          << ", \"doorbell_batching\": 1, \"request_bytes\": 64"
+          << ", \"mops\": " << mops << "}\n";
+    }
+    std::printf("# paper Table 2: IOPS scale with the number of QPs "
+                "(IB: ~8.75 Mops per QP)\n");
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Args args(argc, argv, {"out-dir", "curve-only"});
+    const std::string outDir = args.get("out-dir", "");
+    if (args.has("curve-only")) {
+        runQpCurve(outDir);
+        return 0;
+    }
     std::printf("# Table 2: soNUMA vs RDMA/InfiniBand\n");
     std::printf("# measuring soNUMA (dev platform)...\n");
     const Metrics dev =
@@ -169,5 +260,7 @@ main()
                 "1.5 / 0.3 / 1.19 us ;\n");
     std::printf("#                      1.5 / 0.3 / 1.15 us ; "
                 "1.97 / 10.9 / ~8.75-per-QP Mops\n");
+
+    runQpCurve(outDir);
     return 0;
 }

@@ -41,6 +41,11 @@ Barrier::arrive()
         co_await session_.writeAsync(peer, mySlotOff, announceLine_,
                                      sim::kCacheLineBytes);
     }
+    // The announcements are never awaited and the wait below is on
+    // remoteWriteEvent, so a doorbell-batched session must ring now
+    // (Workload pins batching off for its barriers, but a Barrier can
+    // ride any session).
+    session_.flush();
 
     // Poll locally until every participant announced this generation.
     for (sim::NodeId peer : participants_) {

@@ -91,6 +91,11 @@ MsgEndpoint::postSlot(const Slot &slot)
     co_await session_.writeAsync(
         peer_, peerRingOff_ + std::uint64_t(idx) * sim::kCacheLineBytes,
         lineVa, sim::kCacheLineBytes);
+    // Fire-and-forget on a possibly doorbell-batched session: the
+    // endpoint later blocks on remoteWriteEvent (not on a session
+    // completion), so the automatic flush-on-block never runs. Ring
+    // now or the peer never sees the slot.
+    session_.flush();
 
     sendCursor_.advance();
     ++slotsSent_;
@@ -207,6 +212,7 @@ MsgEndpoint::returnCreditsIfDue()
     as.writeT<std::uint64_t>(creditLine_, slotsConsumed_);
     co_await session_.writeAsync(peer_, peerCreditsOff_, creditLine_,
                                  sim::kCacheLineBytes);
+    session_.flush(); // fire-and-forget credit return (see postSlot)
 }
 
 sim::Task
@@ -258,6 +264,7 @@ MsgEndpoint::receive(std::vector<std::uint8_t> *out)
         as.writeT<std::uint64_t>(ackLine_, pulledBytes_);
         co_await session_.writeAsync(peer_, peerPullAckOff_, ackLine_,
                                      sim::kCacheLineBytes);
+        session_.flush(); // fire-and-forget pull ack (see postSlot)
     }
 
     co_await returnCreditsIfDue();

@@ -1,6 +1,6 @@
 /**
  * @file
- * Access-library implementation (v2 awaitable surface).
+ * Access-library implementation (v2 awaitable surface, multi-QP).
  */
 
 #include "api/session.hh"
@@ -36,28 +36,44 @@ RmcSession::RmcSession(node::Core &core, os::RmcDriver &driver,
                        os::Process &proc, sim::CtxId ctx,
                        const SessionParams &params)
     : core_(core), driver_(driver), proc_(proc), ctx_(ctx), params_(params),
-      qp_(), nid_(driver.rmc().nodeId()), wqCursor_(1), cqCursor_(1),
+      nid_(driver.rmc().nodeId()),
       completionEvent_(core.simulation().eq())
 {
     // Bind the thread's process to its core so timed loads/stores
     // translate in the right address space.
     core_.attachProcess(proc_);
     driver_.openContext(proc_, ctx_);
-    qp_ = driver_.createQueuePair(proc_, ctx_);
-    wqCursor_ = rmc::RingCursor(qp_.entries);
-    cqCursor_ = rmc::RingCursor(qp_.entries);
-    slotBusy_.assign(qp_.entries, false);
-    records_.assign(qp_.entries, SlotRecord{});
-    driver_.rmc().setCompletionHook(ctx_, qp_.qpIndex,
-                                    [this] { completionEvent_.notifyAll(); });
+
+    std::uint32_t n = params_.qpCount != 0 ? params_.qpCount
+                                           : driver_.rmc().params().qpCount;
+    if (n == 0)
+        sim::fatal("RmcSession: resolved qpCount is 0 (RmcParams was not "
+                   "validated?)");
+    qps_.resize(n);
+    for (std::uint32_t q = 0; q < n; ++q) {
+        QpState &qp = qps_[q];
+        qp.handle = driver_.createQueuePair(proc_, ctx_);
+        qp.wq = rmc::RingCursor(qp.handle.entries);
+        qp.cq = rmc::RingCursor(qp.handle.entries);
+        driver_.rmc().setCompletionHook(
+            ctx_, qp.handle.qpIndex,
+            [this] { completionEvent_.notifyAll(); });
+        if (q == 0)
+            qpEntries_ = qp.handle.entries;
+        else if (qp.handle.entries != qpEntries_)
+            sim::fatal("RmcSession: queue pairs of one session must share "
+                       "one ring depth");
+    }
+    slotBusy_.assign(std::size_t(qpEntries_) * n, false);
+    records_.assign(std::size_t(qpEntries_) * n, SlotRecord{});
 }
 
 vm::VAddr
 RmcSession::scratchFor(std::uint32_t slot)
 {
     if (atomicScratch_ == 0)
-        atomicScratch_ =
-            proc_.alloc(std::uint64_t(qp_.entries) * sim::kCacheLineBytes);
+        atomicScratch_ = proc_.alloc(std::uint64_t(queueDepth()) *
+                                     sim::kCacheLineBytes);
     return atomicScratch_ + std::uint64_t(slot) * sim::kCacheLineBytes;
 }
 
@@ -68,37 +84,89 @@ RmcSession::completionVisible(std::uint32_t slot, std::uint64_t token) const
     return r.token == token && r.completed;
 }
 
+std::uint32_t
+RmcSession::nextSlot(std::uint32_t qp) const
+{
+    const std::uint32_t q = qp == kAnyQp ? rrNext_ : qp;
+    if (q >= qpCount())
+        sim::fatal("RmcSession::nextSlot: qp " + std::to_string(q) +
+                   " out of range (session has " +
+                   std::to_string(qpCount()) + " queue pairs)");
+    return gslot(q, qps_[q].wq.index());
+}
+
+void
+RmcSession::flush()
+{
+    if (pendingDoorbells_ == 0)
+        return;
+    for (QpState &q : qps_) {
+        if (!q.doorbellPending)
+            continue;
+        q.doorbellPending = false;
+        driver_.rmc().doorbell(ctx_, q.handle.qpIndex);
+    }
+    pendingDoorbells_ = 0;
+}
+
+void
+RmcSession::setDoorbellBatching(bool on)
+{
+    if (!on)
+        flush();
+    params_.doorbellBatching = on;
+}
+
 sim::Task
 RmcSession::reapAvailable(std::uint32_t *reaped)
 {
     std::uint32_t n = 0;
-    while (true) {
-        const vm::VAddr entryVa = qp_.cqEntryVa(cqCursor_.index());
-        rmc::CqEntry entry;
-        proc_.addressSpace().read(entryVa, &entry, sizeof(entry));
-        if (entry.phase != cqCursor_.expectedPhase())
-            break;
+    for (std::uint32_t q = 0; q < qpCount(); ++q) {
+        QpState &qp = qps_[q];
+        while (true) {
+            const vm::VAddr entryVa = qp.handle.cqEntryVa(qp.cq.index());
+            rmc::CqEntry entry;
+            proc_.addressSpace().read(entryVa, &entry, sizeof(entry));
+            if (entry.phase != qp.cq.expectedPhase())
+                break;
 
-        // Timed load of the CQ line + per-completion software cost.
-        co_await core_.load(entryVa);
-        co_await core_.compute(params_.completionOverheadCycles);
+            // Timed load of the CQ line + per-completion software cost.
+            co_await core_.load(entryVa);
+            co_await core_.compute(params_.completionOverheadCycles);
 
-        const std::uint32_t slot = entry.wqIndex;
-        const auto status = static_cast<rmc::CqStatus>(entry.status);
-        assert(slot < qp_.entries && slotBusy_[slot]);
-        slotBusy_[slot] = false;
-        assert(outstanding_ > 0);
-        --outstanding_;
-        cqCursor_.advance();
-        ++n;
+            const std::uint32_t slot = entry.wqIndex;
+            const auto status = static_cast<rmc::CqStatus>(entry.status);
+            if (slot >= qpEntries_)
+                sim::fatal("CQ entry names WQ slot " +
+                           std::to_string(slot) + " beyond the " +
+                           std::to_string(qpEntries_) + "-entry ring");
+            const std::uint32_t g = gslot(q, slot);
+            // Always-on invariant (not an assert: NDEBUG builds must
+            // keep the net): a completion for an idle slot means the
+            // RMC completed one WQ entry twice.
+            if (!slotBusy_[g])
+                sim::fatal("CQ completion for idle WQ slot " +
+                           std::to_string(slot) + " on qp " +
+                           std::to_string(q) +
+                           " (double completion?)");
+            slotBusy_[g] = false;
+            if (outstanding_ == 0)
+                sim::fatal("CQ completion with no outstanding ops");
+            --outstanding_;
+            qp.cq.advance();
+            ++n;
 
-        SlotRecord &r = records_[slot];
-        r.completed = true;
-        r.status = status;
-        r.completedAt = core_.simulation().now();
-        if (r.atomic && status == rmc::CqStatus::kOk)
-            r.oldValue =
-                proc_.addressSpace().readT<std::uint64_t>(r.bufVa);
+            SlotRecord &r = records_[g];
+            if (r.completed)
+                sim::fatal("completion for an already-completed slot "
+                           "record (double completion?)");
+            r.completed = true;
+            r.status = status;
+            r.completedAt = core_.simulation().now();
+            if (r.atomic && status == rmc::CqStatus::kOk)
+                r.oldValue =
+                    proc_.addressSpace().readT<std::uint64_t>(r.bufVa);
+        }
     }
     if (reaped)
         *reaped = n;
@@ -107,18 +175,26 @@ RmcSession::reapAvailable(std::uint32_t *reaped)
 bool
 RmcSession::cqEntryVisible() const
 {
-    rmc::CqEntry entry;
-    proc_.addressSpace().read(qp_.cqEntryVa(cqCursor_.index()), &entry,
-                              sizeof(entry));
-    return entry.phase == cqCursor_.expectedPhase();
+    for (const QpState &qp : qps_) {
+        rmc::CqEntry entry;
+        proc_.addressSpace().read(qp.handle.cqEntryVa(qp.cq.index()),
+                                  &entry, sizeof(entry));
+        if (entry.phase == qp.cq.expectedPhase())
+            return true;
+    }
+    return false;
 }
 
 sim::Task
 RmcSession::pollWait()
 {
+    // Batched posts must reach the RMC before this session sleeps on
+    // their completions (deadlock otherwise); this is the "automatic at
+    // suspension" half of the doorbell-batching contract.
+    flush();
     co_await core_.compute(params_.syncPollOverheadCycles);
     // A completion may have landed during the compute charge, with its
-    // hook firing while no waiter was registered. Re-check the CQ head
+    // hook firing while no waiter was registered. Re-check the CQ heads
     // before sleeping: the check and the wait registration execute in
     // one event-loop step, so nothing can slip between them.
     if (!cqEntryVisible())
@@ -126,47 +202,74 @@ RmcSession::pollWait()
 }
 
 sim::Task
-RmcSession::acquireSlot(std::uint32_t *slot)
+RmcSession::acquireSlot(std::uint32_t qpHint, std::uint32_t *qp,
+                        std::uint32_t *slot)
 {
-    const std::uint32_t next = wqCursor_.index();
-    while (slotBusy_[next]) {
+    std::uint32_t q;
+    if (qpHint == kAnyQp) {
+        q = rrNext_;
+        rrNext_ = (rrNext_ + 1) % qpCount();
+    } else {
+        if (qpHint >= qpCount())
+            sim::fatal("RmcSession: qp hint " + std::to_string(qpHint) +
+                       " out of range (session has " +
+                       std::to_string(qpCount()) + " queue pairs)");
+        q = qpHint;
+    }
+    const std::uint32_t next = qps_[q].wq.index();
+    while (slotBusy_[gslot(q, next)]) {
         std::uint32_t reaped = 0;
         co_await reapAvailable(&reaped);
-        if (slotBusy_[next] && reaped == 0)
+        if (slotBusy_[gslot(q, next)] && reaped == 0)
             co_await pollWait();
     }
+    *qp = q;
     *slot = next;
 }
 
 sim::ValueTask<OpHandle>
-RmcSession::postOp(rmc::WqEntry entry, bool atomic)
+RmcSession::postOp(rmc::WqEntry entry, bool atomic, std::uint32_t qpHint)
 {
-    std::uint32_t slot = 0;
-    co_await acquireSlot(&slot);
-    assert(slot == wqCursor_.index() && !slotBusy_[slot]);
+    std::uint32_t q = 0, slot = 0;
+    co_await acquireSlot(qpHint, &q, &slot);
+    QpState &qp = qps_[q];
+    const std::uint32_t g = gslot(q, slot);
+    assert(slot == qp.wq.index() && !slotBusy_[g]);
 
-    entry.phase = wqCursor_.expectedPhase();
+    // Atomics land their old value in a per-slot scratch line; the slot
+    // is only known now that the queue pair is chosen.
+    if (atomic)
+        entry.bufVa = scratchFor(g);
+    entry.phase = qp.wq.expectedPhase();
 
     // Inline-function overhead + the producing store (one cache line).
     co_await core_.compute(params_.issueOverheadCycles);
-    const vm::VAddr entryVa = qp_.wqEntryVa(slot);
+    const vm::VAddr entryVa = qp.handle.wqEntryVa(slot);
     co_await core_.store(entryVa);
     proc_.addressSpace().write(entryVa, &entry, sizeof(entry));
 
-    SlotRecord &r = records_[slot];
+    SlotRecord &r = records_[g];
     r.token = ++nextToken_;
     r.completed = false;
     r.atomic = atomic;
     r.status = rmc::CqStatus::kOk;
     r.postedAt = core_.simulation().now();
+    r.completedAt = 0;
     r.bufVa = entry.bufVa;
     r.oldValue = 0;
 
-    slotBusy_[slot] = true;
+    slotBusy_[g] = true;
     ++outstanding_;
-    wqCursor_.advance();
-    driver_.rmc().doorbell(ctx_, qp_.qpIndex);
-    co_return OpHandle(this, slot, r.token);
+    qp.wq.advance();
+    if (params_.doorbellBatching) {
+        if (!qp.doorbellPending) {
+            qp.doorbellPending = true;
+            ++pendingDoorbells_;
+        }
+    } else {
+        driver_.rmc().doorbell(ctx_, qp.handle.qpIndex);
+    }
+    co_return OpHandle(this, g, r.token);
 }
 
 sim::ValueTask<OpResult>
@@ -188,6 +291,7 @@ RmcSession::awaitCompletion(std::uint32_t slot, std::uint64_t token)
     OpResult res;
     res.status = r.status;
     res.latency = r.completedAt - r.postedAt;
+    res.completedAt = r.completedAt;
     res.oldValue = r.oldValue;
     co_return res;
 }
@@ -198,42 +302,42 @@ RmcSession::awaitCompletion(std::uint32_t slot, std::uint64_t token)
 
 sim::ValueTask<OpHandle>
 RmcSession::readAsync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
-                      std::uint32_t len)
+                      std::uint32_t len, std::uint32_t qp)
 {
     co_return co_await postOp(
         makeEntry(rmc::WqOp::kRead, nid, offset, buf, len),
-        /*atomic=*/false);
+        /*atomic=*/false, qp);
 }
 
 sim::ValueTask<OpHandle>
 RmcSession::writeAsync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
-                       std::uint32_t len)
+                       std::uint32_t len, std::uint32_t qp)
 {
     co_return co_await postOp(
         makeEntry(rmc::WqOp::kWrite, nid, offset, buf, len),
-        /*atomic=*/false);
+        /*atomic=*/false, qp);
 }
 
 sim::ValueTask<OpHandle>
 RmcSession::fetchAddAsync(sim::NodeId nid, std::uint64_t offset,
-                          std::uint64_t addend)
+                          std::uint64_t addend, std::uint32_t qp)
 {
-    const vm::VAddr buf = scratchFor(wqCursor_.index());
+    // bufVa is filled in by postOp once the landing slot is known.
     co_return co_await postOp(
-        makeEntry(rmc::WqOp::kFetchAdd, nid, offset, buf,
+        makeEntry(rmc::WqOp::kFetchAdd, nid, offset, /*buf=*/0,
                   sizeof(std::uint64_t), addend),
-        /*atomic=*/true);
+        /*atomic=*/true, qp);
 }
 
 sim::ValueTask<OpHandle>
 RmcSession::compareSwapAsync(sim::NodeId nid, std::uint64_t offset,
-                             std::uint64_t expected, std::uint64_t desired)
+                             std::uint64_t expected, std::uint64_t desired,
+                             std::uint32_t qp)
 {
-    const vm::VAddr buf = scratchFor(wqCursor_.index());
     co_return co_await postOp(
-        makeEntry(rmc::WqOp::kCas, nid, offset, buf,
+        makeEntry(rmc::WqOp::kCas, nid, offset, /*buf=*/0,
                   sizeof(std::uint64_t), expected, desired),
-        /*atomic=*/true);
+        /*atomic=*/true, qp);
 }
 
 //
@@ -279,6 +383,7 @@ RmcSession::compareSwap(sim::NodeId nid, std::uint64_t offset,
 sim::ValueTask<std::uint32_t>
 RmcSession::poll()
 {
+    flush(); // batched posts become visible before their CQs are read
     std::uint32_t reaped = 0;
     co_await reapAvailable(&reaped);
     co_return reaped;
@@ -287,6 +392,7 @@ RmcSession::poll()
 sim::Task
 RmcSession::drain()
 {
+    flush();
     while (outstanding_ > 0) {
         std::uint32_t reaped = 0;
         co_await reapAvailable(&reaped);

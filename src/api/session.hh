@@ -26,6 +26,17 @@
  *   drain                   ~ rmc_drain_cq
  *   fetchAdd / compareSwap  ~ the atomic operations of §5.2
  *
+ * Multi-QP sessions (paper Table 2, IOPS vs queue pairs): a session
+ * owns RmcParams::qpCount independent WQ/CQ pairs. Async posts are
+ * distributed round-robin, or pinned with an explicit `qp` argument;
+ * completions are demultiplexed back to the owning OpHandle regardless
+ * of which queue pair carried the operation. Doorbell batching
+ * (SessionParams::doorbellBatching) defers the per-post RMC doorbell:
+ * posts accumulate per queue pair and the doorbell rings once per QP at
+ * flush() — or automatically at the point the session would block
+ * waiting for a completion — amortizing the RGP's WQ poll per the
+ * paper's pipelined-CP discussion.
+ *
  * All methods are coroutines executing "on" a Core: they charge API
  * instruction overhead on the core's compute resource and perform timed
  * loads/stores on the core's L1 for every WQ/CQ interaction, which is
@@ -61,6 +72,7 @@ struct OpResult
 {
     rmc::CqStatus status = rmc::CqStatus::kOk;
     sim::Tick latency = 0;        //!< WQ post -> CQ completion observed
+    sim::Tick completedAt = 0;    //!< tick the completion was reaped
     std::uint64_t oldValue = 0;   //!< atomics: memory value before the op
 
     bool ok() const { return status == rmc::CqStatus::kOk; }
@@ -73,8 +85,10 @@ struct OpResult
  * its completion is reaped by a later session call.
  *
  * A handle's result stays readable until its WQ slot is reused, i.e.
- * for at least one full ring lap (queueDepth() subsequent posts).
- * Awaiting a handle after that is a programming error and aborts.
+ * for at least one full lap of its queue pair's ring — with round-robin
+ * posting that is queueDepth() (total slots across all QPs) subsequent
+ * posts. Awaiting a handle after that is a programming error and
+ * aborts.
  */
 class OpHandle
 {
@@ -87,7 +101,10 @@ class OpHandle
     /** True once the completion has been observed (non-blocking). */
     bool done() const;
 
-    /** The WQ slot this operation occupies (e.g. to index buffers). */
+    /**
+     * The session-global slot this operation occupies (queue pair *
+     * perQpDepth + ring index; e.g. to index per-slot buffers).
+     */
     std::uint32_t slot() const { return slot_; }
 
     struct Awaiter; // defined below; owns the rendezvous coroutine
@@ -112,27 +129,46 @@ struct SessionParams
     std::uint32_t issueOverheadCycles = 120;     //!< per posted op
     std::uint32_t completionOverheadCycles = 70; //!< per reaped completion
     std::uint32_t syncPollOverheadCycles = 10;   //!< per empty poll
+
+    /**
+     * Queue pairs this session registers; 0 means "use the node's
+     * RmcParams::qpCount". Software layers that only ever need one QP
+     * (e.g. a Barrier) pin this to 1 regardless of the node default.
+     */
+    std::uint32_t qpCount = 0;
+
+    /**
+     * Defer the per-post RMC doorbell: posts accumulate per queue pair
+     * and ring once at flush() or automatically when the session blocks
+     * waiting for a completion (the paper's pipelined-CP amortization).
+     */
+    bool doorbellBatching = false;
 };
 
 /**
- * One application thread's handle on a queue pair within a global
- * address space (context).
+ * One application thread's handle on a set of queue pairs within a
+ * global address space (context).
  *
  * Concurrency contract (matches the paper's one-QP-per-thread model,
- * §4.2): a session belongs to ONE application coroutine. Its methods
- * suspend internally, so two coroutines interleaving posts on the same
- * session would corrupt the WQ ring. Software layers (Barrier,
- * MsgEndpoint) may share their caller's session only because the
- * caller invokes them sequentially from that one coroutine; coroutines
- * that run concurrently need sessions of their own (TestBed::
- * newSession).
+ * §4.2, generalized to one *session* per thread): a session belongs to
+ * ONE application coroutine. Its methods suspend internally, so two
+ * coroutines interleaving posts on the same session would corrupt the
+ * WQ rings — multi-QP fan-out happens *inside* the session, not by
+ * sharing it. Software layers (Barrier, MsgEndpoint) may share their
+ * caller's session only because the caller invokes them sequentially
+ * from that one coroutine; coroutines that run concurrently need
+ * sessions of their own (TestBed::newSession).
  */
 class RmcSession
 {
   public:
+    /** "No preference" queue-pair argument: distribute round-robin. */
+    static constexpr std::uint32_t kAnyQp = 0xffffffffu;
+
     /**
-     * Open @p ctx for @p proc (driver permission check) and register a
-     * fresh queue pair. @p core is the core this thread runs on.
+     * Open @p ctx for @p proc (driver permission check) and register
+     * the session's queue pairs. @p core is the core this thread runs
+     * on.
      */
     RmcSession(node::Core &core, os::RmcDriver &driver, os::Process &proc,
                sim::CtxId ctx, const SessionParams &params = {});
@@ -168,26 +204,27 @@ class RmcSession
 
     //
     // Asynchronous operations: wait for a free WQ slot (reaping
-    // completions meanwhile), post, and return the slot's handle.
+    // completions meanwhile), post, and return the slot's handle. The
+    // trailing @p qp selects a queue pair explicitly (0..qpCount()-1);
+    // kAnyQp distributes round-robin.
     //
 
-    [[nodiscard]] sim::ValueTask<OpHandle> readAsync(sim::NodeId nid,
-                                                     std::uint64_t offset,
-                                                     vm::VAddr buf,
-                                                     std::uint32_t len);
+    [[nodiscard]] sim::ValueTask<OpHandle>
+    readAsync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
+              std::uint32_t len, std::uint32_t qp = kAnyQp);
 
-    [[nodiscard]] sim::ValueTask<OpHandle> writeAsync(sim::NodeId nid,
-                                                      std::uint64_t offset,
-                                                      vm::VAddr buf,
-                                                      std::uint32_t len);
+    [[nodiscard]] sim::ValueTask<OpHandle>
+    writeAsync(sim::NodeId nid, std::uint64_t offset, vm::VAddr buf,
+               std::uint32_t len, std::uint32_t qp = kAnyQp);
 
     [[nodiscard]] sim::ValueTask<OpHandle>
     fetchAddAsync(sim::NodeId nid, std::uint64_t offset,
-                  std::uint64_t addend);
+                  std::uint64_t addend, std::uint32_t qp = kAnyQp);
 
     [[nodiscard]] sim::ValueTask<OpHandle>
     compareSwapAsync(sim::NodeId nid, std::uint64_t offset,
-                     std::uint64_t expected, std::uint64_t desired);
+                     std::uint64_t expected, std::uint64_t desired,
+                     std::uint32_t qp = kAnyQp);
 
     /** Reap available completions without blocking; yields the count. */
     [[nodiscard]] sim::ValueTask<std::uint32_t> poll();
@@ -196,18 +233,56 @@ class RmcSession
     [[nodiscard]] sim::Task drain();
 
     //
+    // Doorbell batching
+    //
+
+    /**
+     * Ring the RMC for every queue pair with batched (unrung) posts.
+     * Functional (no simulated time): the doorbell is the simulation's
+     * stand-in for the RGP's next poll iteration discovering the
+     * entries (see rmc.hh). No-op when batching is off or nothing is
+     * pending.
+     */
+    void flush();
+
+    /** Queue pairs with posts the RMC has not been told about yet. */
+    std::uint32_t pendingDoorbells() const { return pendingDoorbells_; }
+
+    /** Toggle doorbell batching at runtime (flushes when disabling). */
+    void setDoorbellBatching(bool on);
+
+    bool doorbellBatching() const { return params_.doorbellBatching; }
+
+    //
     // Introspection / helpers
     //
 
     std::uint32_t outstanding() const { return outstanding_; }
-    std::uint32_t queueDepth() const { return qp_.entries; }
+
+    /** Queue pairs this session posts across. */
+    std::uint32_t qpCount() const
+    {
+        return static_cast<std::uint32_t>(qps_.size());
+    }
+
+    /** WQ/CQ ring depth of each individual queue pair. */
+    std::uint32_t perQpDepth() const { return qpEntries_; }
 
     /**
-     * The WQ slot the *next* async post will occupy (the paper's
-     * wq_head). Lets callers address per-slot landing buffers before
+     * Total in-flight capacity: perQpDepth() * qpCount(). This is also
+     * the number of subsequent round-robin posts for which an
+     * OpHandle's result is guaranteed to stay readable (one full lap).
+     */
+    std::uint32_t queueDepth() const { return qpEntries_ * qpCount(); }
+
+    /**
+     * The session-global slot the *next* async post will occupy (the
+     * paper's wq_head, on the queue pair the round-robin — or @p qp —
+     * would pick). Lets callers address per-slot landing buffers before
      * posting: `buf + session.nextSlot() * 64`.
      */
-    std::uint32_t nextSlot() const { return wqCursor_.index(); }
+    std::uint32_t nextSlot(std::uint32_t qp = kAnyQp) const;
+
     node::Core &core() { return core_; }
     os::Process &process() { return proc_; }
     sim::NodeId nodeId() const { return nid_; }
@@ -229,13 +304,25 @@ class RmcSession
     os::Process &proc_;
     sim::CtxId ctx_;
     SessionParams params_;
-    os::QpHandle qp_;
     sim::NodeId nid_;
 
-    rmc::RingCursor wqCursor_;  //!< producer side
-    rmc::RingCursor cqCursor_;  //!< consumer side
+    /** One registered queue pair plus its producer/consumer cursors. */
+    struct QpState
+    {
+        os::QpHandle handle;
+        rmc::RingCursor wq;  //!< producer side
+        rmc::RingCursor cq;  //!< consumer side
+        bool doorbellPending = false; //!< batched posts not yet rung
+
+        QpState() : wq(1), cq(1) {}
+    };
+    std::vector<QpState> qps_;
+    std::uint32_t qpEntries_ = 0;
+    std::uint32_t rrNext_ = 0;            //!< next round-robin QP
+    std::uint32_t pendingDoorbells_ = 0;
+
     std::uint32_t outstanding_ = 0;
-    std::vector<bool> slotBusy_;
+    std::vector<bool> slotBusy_;          //!< by session-global slot
 
     /** Completion rendezvous state, one fixed record per WQ slot. */
     struct SlotRecord
@@ -249,30 +336,42 @@ class RmcSession
         vm::VAddr bufVa = 0;
         std::uint64_t oldValue = 0;
     };
-    std::vector<SlotRecord> records_;
+    std::vector<SlotRecord> records_;     //!< by session-global slot
     std::uint64_t nextToken_ = 0;
 
     sim::Condition completionEvent_;
     vm::VAddr atomicScratch_ = 0; //!< per-slot landing lines for atomics
 
-    /** Reap everything currently visible in the CQ. */
+    /** Flat index of entry @p idx on queue pair @p qp. */
+    std::uint32_t
+    gslot(std::uint32_t qp, std::uint32_t idx) const
+    {
+        return rmc::globalSlot(qp, idx, qpEntries_);
+    }
+
+    /** Reap everything currently visible in the CQs (all queue pairs). */
     sim::Task reapAvailable(std::uint32_t *reaped);
 
-    /** Functional peek: does the CQ head hold an unreaped entry? */
+    /** Functional peek: does any CQ head hold an unreaped entry? */
     bool cqEntryVisible() const;
 
     /**
-     * Empty-poll backoff: charge the poll overhead, then block on the
-     * completion event — unless a completion landed during the charge
-     * (lost-wakeup guard).
+     * Empty-poll backoff: flush batched doorbells, charge the poll
+     * overhead, then block on the completion event — unless a
+     * completion landed during the charge (lost-wakeup guard).
      */
     sim::Task pollWait();
 
-    /** Spin (reaping) until the WQ head slot frees; returns it. */
-    sim::Task acquireSlot(std::uint32_t *slot);
+    /**
+     * Pick a queue pair (honoring @p qpHint) and spin (reaping) until
+     * its WQ head slot frees; returns the QP and its head index.
+     */
+    sim::Task acquireSlot(std::uint32_t qpHint, std::uint32_t *qp,
+                          std::uint32_t *slot);
 
     /** Acquire a slot, write + ring one WQ entry, hand out the handle. */
-    sim::ValueTask<OpHandle> postOp(rmc::WqEntry entry, bool atomic);
+    sim::ValueTask<OpHandle> postOp(rmc::WqEntry entry, bool atomic,
+                                    std::uint32_t qpHint);
 
     /** Rendezvous coroutine behind `co_await handle`. */
     sim::ValueTask<OpResult> awaitCompletion(std::uint32_t slot,
@@ -281,7 +380,7 @@ class RmcSession
     /** Non-blocking completion check for OpHandle::done(). */
     bool completionVisible(std::uint32_t slot, std::uint64_t token) const;
 
-    /** Landing line for the old value of an atomic using @p slot. */
+    /** Landing line for the old value of an atomic using global slot. */
     vm::VAddr scratchFor(std::uint32_t slot);
 };
 

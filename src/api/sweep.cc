@@ -38,6 +38,10 @@ SweepCellResult::label() const
     out += "_" + topologyName();
     out += "_rs" + std::to_string(requestBytes);
     out += "_qd" + std::to_string(qpDepth);
+    if (qpCount != 1)
+        out += "_qp" + std::to_string(qpCount);
+    if (doorbellBatching)
+        out += "_db"; // batched runs must not overwrite unbatched cells
     return out;
 }
 
@@ -49,6 +53,8 @@ SweepCellResult::writeJson(std::ostream &os) const
        << ", \"topology\": \"" << topologyName() << "\""
        << ", \"request_bytes\": " << requestBytes
        << ", \"qp_depth\": " << qpDepth
+       << ", \"qp_count\": " << qpCount
+       << ", \"doorbell_batching\": " << (doorbellBatching ? 1 : 0)
        << ", \"ops\": " << ops
        << ", \"mops\": " << mops
        << ", \"gbps\": " << gbps
@@ -72,7 +78,8 @@ SweepDriver::torusDimsFor(std::uint32_t nodes)
 
 SweepCellResult
 SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
-                     std::uint32_t requestBytes, std::uint32_t qpDepth)
+                     std::uint32_t requestBytes, std::uint32_t qpDepth,
+                     std::uint32_t qpCount)
 {
     if (nodes < 2)
         throw std::invalid_argument(
@@ -99,6 +106,8 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
     cell.topology = topo;
     cell.requestBytes = requestBytes;
     cell.qpDepth = qpDepth;
+    cell.qpCount = qpCount;
+    cell.doorbellBatching = cfg_.doorbellBatching;
 
     ClusterSpec spec;
     spec.nodes(nodes)
@@ -106,6 +115,8 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
         .segmentPerNode(cfg_.segmentBytes)
         .rmc(cfg_.rmcParams)
         .qpDepth(qpDepth)
+        .qpCount(qpCount)
+        .doorbellBatching(cfg_.doorbellBatching)
         .seed(cfg_.seed);
     if (topo == node::Topology::kTorus) {
         cell.torusDims = torusDimsFor(nodes);
@@ -231,10 +242,12 @@ SweepDriver::run()
     for (const auto nodes : cfg_.nodeCounts)
         for (const auto topo : cfg_.topologies)
             for (const auto size : cfg_.requestSizes)
-                for (const auto depth : cfg_.qpDepths) {
-                    results.push_back(runCell(nodes, topo, size, depth));
-                    emit(results.back());
-                }
+                for (const auto depth : cfg_.qpDepths)
+                    for (const auto qps : cfg_.qpCounts) {
+                        results.push_back(
+                            runCell(nodes, topo, size, depth, qps));
+                        emit(results.back());
+                    }
     return results;
 }
 

@@ -36,12 +36,14 @@ struct SweepConfig
 {
     std::vector<std::uint32_t> requestSizes{64};
     std::vector<std::uint32_t> qpDepths{64};
+    std::vector<std::uint32_t> qpCounts{1}; //!< QPs per session (Table 2)
     std::vector<std::uint32_t> nodeCounts{4};
     std::vector<node::Topology> topologies{node::Topology::kCrossbar};
 
     std::uint32_t opsPerNode = 128;   //!< async reads issued per node
     std::uint64_t segmentBytes = 1_MiB;
     std::uint64_t seed = 1;
+    bool doorbellBatching = false;    //!< batch WQ doorbells per QP
     rmc::RmcParams rmcParams = rmc::RmcParams::simulatedHardware();
 
     std::string outDir;   //!< write one SWEEP_*.json per cell; "" = skip
@@ -57,6 +59,8 @@ struct SweepCellResult
     std::vector<std::uint32_t> torusDims; //!< empty for crossbar
     std::uint32_t requestBytes = 0;
     std::uint32_t qpDepth = 0;
+    std::uint32_t qpCount = 1;
+    bool doorbellBatching = false;
 
     // Measurements.
     std::uint64_t ops = 0;          //!< total remote reads issued
@@ -67,7 +71,11 @@ struct SweepCellResult
     double simMicros = 0;           //!< aligned region, simulated time
     double hostSeconds = 0;         //!< wall time to simulate the cell
 
-    /** Stable identifier, e.g. "n64_torus_8x8_rs64_qd64". */
+    /**
+     * Stable identifier, e.g. "n64_torus_8x8_rs64_qd64"; multi-QP
+     * cells append "_qp<N>" (single-QP labels keep their pre-qpCount
+     * spelling so existing artifacts stay diffable).
+     */
     std::string label() const;
 
     /** Human-readable topology, e.g. "torus_8x8" or "crossbar". */
@@ -91,7 +99,8 @@ class SweepDriver
     /** Run one cell (used by run() and directly by tests). */
     SweepCellResult runCell(std::uint32_t nodes, node::Topology topo,
                             std::uint32_t requestBytes,
-                            std::uint32_t qpDepth);
+                            std::uint32_t qpDepth,
+                            std::uint32_t qpCount = 1);
 
     /**
      * Near-square torus factorization for @p nodes, e.g. 64 -> {8, 8},

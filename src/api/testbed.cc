@@ -30,6 +30,7 @@ TestBed::TestBed(const ClusterSpec &spec)
     : sim_(spec.seedValue()), ctx_(spec.ctx()),
       segBytes_(spec.segmentBytes())
 {
+    sessionParams_.doorbellBatching = spec.doorbellBatchingValue();
     const node::ClusterParams params = spec.resolve();
     cluster_ = std::make_unique<node::Cluster>(sim_, params);
     nodeCount_ = static_cast<std::uint32_t>(cluster_->nodeCount());
@@ -73,9 +74,16 @@ TestBed::session(std::uint32_t nodeIdx, std::uint32_t core)
 RmcSession &
 TestBed::newSession(std::uint32_t nodeIdx, std::uint32_t core)
 {
+    return newSession(nodeIdx, core, sessionParams_);
+}
+
+RmcSession &
+TestBed::newSession(std::uint32_t nodeIdx, std::uint32_t core,
+                    const SessionParams &params)
+{
     auto &nd = cluster_->node(nodeIdx);
     sessions_.push_back(std::make_unique<RmcSession>(
-        nd.core(core), nd.driver(), *procs_.at(nodeIdx), ctx_));
+        nd.core(core), nd.driver(), *procs_.at(nodeIdx), ctx_, params));
     return *sessions_.back();
 }
 

@@ -142,6 +142,30 @@ class ClusterSpec
         return *this;
     }
 
+    /**
+     * Queue pairs per session (default 1): every application session
+     * registers this many WQ/CQ pairs and distributes posts across
+     * them (paper Table 2's IOPS-vs-QPs axis).
+     */
+    ClusterSpec &
+    qpCount(std::uint32_t n)
+    {
+        params_.node.rmc.qpCount = n;
+        return *this;
+    }
+
+    /**
+     * Enable doorbell batching on every TestBed-created session: async
+     * posts accumulate per queue pair and ring the RMC once per QP at
+     * flush() or when the session blocks (see SessionParams).
+     */
+    ClusterSpec &
+    doorbellBatching(bool on = true)
+    {
+        doorbellBatching_ = on;
+        return *this;
+    }
+
     ClusterSpec &
     l2PerNode(std::uint64_t bytes)
     {
@@ -179,6 +203,7 @@ class ClusterSpec
     std::uint64_t segmentBytes() const { return segBytes_; }
     std::uint64_t seedValue() const { return seed_; }
     os::UserId uidValue() const { return uid_; }
+    bool doorbellBatchingValue() const { return doorbellBatching_; }
 
   private:
     node::ClusterParams params_;
@@ -187,6 +212,7 @@ class ClusterSpec
     std::uint64_t physMemBytes_ = 0; //!< 0 = size from the segment
     std::uint64_t seed_ = 1;
     os::UserId uid_ = 0;
+    bool doorbellBatching_ = false;
 };
 
 /**
@@ -219,11 +245,16 @@ class TestBed
     RmcSession &session(std::uint32_t nodeIdx, std::uint32_t core = 0);
 
     /**
-     * A fresh session (new queue pair) on (node, core) — for software
-     * layers that want a QP of their own, e.g. a Barrier next to
-     * application traffic.
+     * A fresh session (new queue pairs) on (node, core) — for software
+     * layers that want QPs of their own, e.g. a Barrier next to
+     * application traffic. The default SessionParams inherit the
+     * spec's doorbell-batching choice and the node's qpCount.
      */
     RmcSession &newSession(std::uint32_t nodeIdx, std::uint32_t core = 0);
+
+    /** As above with explicit SessionParams (QP fan-out, batching). */
+    RmcSession &newSession(std::uint32_t nodeIdx, std::uint32_t core,
+                           const SessionParams &params);
 
     /** Convenience pass-throughs. */
     void spawn(sim::Task t) { sim_.spawn(std::move(t)); }
@@ -233,6 +264,7 @@ class TestBed
     sim::Simulation sim_;
     std::unique_ptr<node::Cluster> cluster_;
     sim::CtxId ctx_;
+    SessionParams sessionParams_; //!< defaults for created sessions
     std::uint32_t nodeCount_;
     std::uint64_t segBytes_;
     std::vector<os::Process *> procs_;

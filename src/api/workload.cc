@@ -29,8 +29,14 @@ Workload::Workload(TestBed &bed, std::string scope)
         ctxs_[i].node_ = i;
         // The barrier gets a QP of its own so its fire-and-forget
         // announcement writes never contend with application windows.
+        // One QP and no batching regardless of the node defaults: its
+        // announcements are single posts that must reach the wire
+        // immediately, and multi-QP fan-out would only burn CT slots.
+        SessionParams barrierParams;
+        barrierParams.qpCount = 1;
+        barrierParams.doorbellBatching = false;
         barriers_.push_back(std::make_unique<Barrier>(
-            bed_.newSession(i), all, bed_.segBase(i),
+            bed_.newSession(i, 0, barrierParams), all, bed_.segBase(i),
             /*regionOffset=*/0));
     }
 }

@@ -29,7 +29,48 @@ L1Cache::L1Cache(sim::EventQueue &eq, sim::StatRegistry &stats,
     numSets_ = static_cast<std::uint32_t>(lines / params_.assoc);
     assert(numSets_ > 0 && "L1 too small for its associativity");
     sets_.resize(numSets_, std::vector<LineInfo>(params_.assoc));
+    mshrs_.resize(params_.mshrs);
+    // Reserve steady-state capacities up front: waiter lists are
+    // bounded by the concurrent accesses that can merge on one line,
+    // putbacks by the transactions in flight. Exceeding a reservation
+    // still works — it just pays one amortized growth.
+    for (auto &m : mshrs_)
+        m.waiters.reserve(2 * params_.mshrs);
+    fillScratch_.reserve(2 * params_.mshrs);
+    pendingPutbacks_.reserve(params_.mshrs);
     l1Id_ = l2_.registerL1(this);
+}
+
+L1Cache::Mshr *
+L1Cache::findMshr(PAddr line)
+{
+    for (auto &m : mshrs_) {
+        if (m.busy && m.line == line)
+            return &m;
+    }
+    return nullptr;
+}
+
+bool
+L1Cache::pendingPutback(PAddr line) const
+{
+    for (const PAddr p : pendingPutbacks_) {
+        if (p == line)
+            return true;
+    }
+    return false;
+}
+
+void
+L1Cache::erasePendingPutback(PAddr line)
+{
+    for (auto &p : pendingPutbacks_) {
+        if (p == line) {
+            p = pendingPutbacks_.back();
+            pendingPutbacks_.pop_back();
+            return;
+        }
+    }
 }
 
 std::uint32_t
@@ -66,7 +107,7 @@ L1Cache::allocLine(PAddr line)
     if (!victim) {
         for (auto &way : set) {
             // Never victimize a line with an outstanding transaction.
-            if (mshrs_.count(way.tag))
+            if (findMshr(way.tag))
                 continue;
             if (!victim || way.lastUse < victim->lastUse)
                 victim = &way;
@@ -76,7 +117,7 @@ L1Cache::allocLine(PAddr line)
 
     if (victim->valid && victim->state == State::kModified) {
         writebacks_.inc();
-        pendingPutbacks_.insert(victim->tag);
+        pendingPutbacks_.push_back(victim->tag);
         l2_.putback(l1Id_, victim->tag);
     }
     victim->valid = false;
@@ -131,23 +172,30 @@ void
 L1Cache::startMiss(PAddr line, bool write, bool fullLine,
                    sim::Callback done)
 {
-    auto it = mshrs_.find(line);
-    if (it != mshrs_.end()) {
+    if (Mshr *hit = findMshr(line)) {
         // Merge into the outstanding transaction; incompatible waiters
         // (writes joining a read request) are retried after the fill.
-        it->second.waiters.emplace_back(write, std::move(done));
+        hit->waiters.emplace_back(write, std::move(done));
         return;
     }
-    if (mshrs_.size() >= params_.mshrs) {
-        blocked_.push_back(
+    if (mshrsInUse_ >= params_.mshrs) {
+        blocked_.push(
             PendingAccess{line, write, fullLine, std::move(done)});
         return;
     }
-    Mshr &mshr = mshrs_[line];
-    mshr.line = line;
-    mshr.write = write;
-    mshr.issued = true;
-    mshr.waiters.emplace_back(write, std::move(done));
+    Mshr *mshr = nullptr;
+    for (auto &m : mshrs_) {
+        if (!m.busy) {
+            mshr = &m;
+            break;
+        }
+    }
+    assert(mshr && "mshrsInUse_ disagrees with the slot table");
+    mshr->busy = true;
+    mshr->line = line;
+    mshr->write = write;
+    mshr->waiters.emplace_back(write, std::move(done));
+    ++mshrsInUse_;
     l2_.request(l1Id_, line, write, fullLine,
                 [this, line, write] { handleFill(line, write); });
 }
@@ -160,9 +208,19 @@ L1Cache::handleFill(PAddr line, bool grantedWrite)
     info->state = grantedWrite ? State::kModified : State::kShared;
     info->lastUse = eq_.now();
 
-    auto node = mshrs_.extract(line);
-    assert(!node.empty());
-    for (auto &[w, cb] : node.mapped().waiters) {
+    Mshr *mshr = findMshr(line);
+    assert(mshr);
+    // Free the slot before draining its waiters: a waiter retry or
+    // retryBlocked() below may start a fresh transaction on this same
+    // line. Waiters move into a scratch list so both vectors keep
+    // their own (reserved) capacity.
+    fillScratch_.clear();
+    for (auto &w : mshr->waiters)
+        fillScratch_.push_back(std::move(w));
+    mshr->waiters.clear();
+    mshr->busy = false;
+    --mshrsInUse_;
+    for (auto &[w, cb] : fillScratch_) {
         if (!w || grantedWrite) {
             cb();
         } else {
@@ -176,19 +234,22 @@ L1Cache::handleFill(PAddr line, bool grantedWrite)
 void
 L1Cache::retryBlocked()
 {
-    std::deque<PendingAccess> pending;
-    pending.swap(blocked_);
-    for (auto &p : pending)
+    // Retry only the entries present now; anything re-blocked by these
+    // retries lands behind them and keeps its relative order.
+    std::size_t n = blocked_.size();
+    while (n-- > 0) {
+        PendingAccess p = blocked_.popFront();
         startMiss(p.addr, p.write, p.fullLine, std::move(p.done));
+    }
 }
 
 bool
 L1Cache::handleProbe(PAddr line, bool invalidate)
 {
     probes_.inc();
-    if (pendingPutbacks_.count(line)) {
+    if (pendingPutback(line)) {
         // Our PutM is in flight; answer the probe as the dirty owner.
-        pendingPutbacks_.erase(line);
+        erasePendingPutback(line);
         return true;
     }
     LineInfo *info = findLine(line);
@@ -221,6 +282,10 @@ L2Cache::L2Cache(sim::EventQueue &eq, sim::StatRegistry &stats,
     numSets_ = static_cast<std::uint32_t>(lines / params_.assoc);
     assert(numSets_ > 0);
     setFill_.resize(numSets_);
+    // A set's fill list tops out at the associativity; reserving it now
+    // keeps first-touch line installs off the allocator.
+    for (auto &f : setFill_)
+        f.reserve(params_.assoc);
 }
 
 int
@@ -228,6 +293,11 @@ L2Cache::registerL1(L1Cache *l1)
 {
     l1s_.push_back(l1);
     assert(l1s_.size() <= 32 && "directory bitmask limited to 32 L1s");
+    // Grow the lock table past this L1's worst-case contribution to
+    // concurrent transactions (its MSHRs plus in-flight putbacks), so
+    // steady-state locking never constructs a new entry whatever the
+    // core count or MSHR depth.
+    locks_.resize(locks_.size() + 2 * l1->params_.mshrs);
     return static_cast<int>(l1s_.size()) - 1;
 }
 
@@ -238,14 +308,36 @@ L2Cache::setOf(PAddr line) const
                                       numSets_);
 }
 
+L2Cache::LockEntry *
+L2Cache::findLock(PAddr line)
+{
+    for (auto &e : locks_) {
+        if (e.inUse && e.line == line)
+            return &e;
+    }
+    return nullptr;
+}
+
 bool
 L2Cache::lockLine(PAddr line, PendingReq req)
 {
-    if (lockedLines_.count(line)) {
-        waitingReqs_[line].push_back(std::move(req));
+    if (LockEntry *held = findLock(line)) {
+        held->waiting.push(std::move(req));
         return false;
     }
-    lockedLines_.insert(line);
+    LockEntry *free = nullptr;
+    for (auto &e : locks_) {
+        if (!e.inUse) {
+            free = &e;
+            break;
+        }
+    }
+    if (!free) {
+        locks_.emplace_back();
+        free = &locks_.back();
+    }
+    free->inUse = true;
+    free->line = line;
     const std::uint32_t slot =
         reqSlots_.put(ParkedReq{line, std::move(req)});
     eq_.scheduleAfter(params_.latency(),
@@ -263,15 +355,19 @@ L2Cache::fireProcess(std::uint32_t slot)
 void
 L2Cache::unlockLine(PAddr line)
 {
-    lockedLines_.erase(line);
-    auto it = waitingReqs_.find(line);
-    if (it == waitingReqs_.end())
+    LockEntry *held = findLock(line);
+    assert(held && "unlock of a line that was never locked");
+    if (held->waiting.empty()) {
+        held->inUse = false; // slot recycles for the next locked line
         return;
-    PendingReq next = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty())
-        waitingReqs_.erase(it);
-    lockLine(line, std::move(next));
+    }
+    // Hand the lock straight to the next waiter (the entry stays
+    // inUse), scheduling its processing exactly as lockLine would.
+    PendingReq next = held->waiting.popFront();
+    const std::uint32_t slot =
+        reqSlots_.put(ParkedReq{line, std::move(next)});
+    eq_.scheduleAfter(params_.latency(),
+                      [this, slot] { fireProcess(slot); });
 }
 
 void
@@ -291,52 +387,63 @@ L2Cache::putback(int requester, PAddr line)
 void
 L2Cache::process(PAddr line, PendingReq req)
 {
-    auto it = lines_.find(line);
+    DirEntry *entry = lines_.find(line);
 
     if (req.isPutback) {
-        if (it != lines_.end() && it->second.owner == req.requester) {
-            it->second.owner = -1;
-            it->second.sharers |= 1u << req.requester;
-            it->second.dirtyInL2 = true;
-            it->second.lastUse = eq_.now();
+        if (entry && entry->owner == req.requester) {
+            entry->owner = -1;
+            entry->sharers |= 1u << req.requester;
+            entry->dirtyInL2 = true;
+            entry->lastUse = eq_.now();
         }
         // Stale putbacks (owner already changed by a probe) are dropped.
         l1s_[static_cast<std::size_t>(req.requester)]
-            ->pendingPutbacks_.erase(line);
+            ->erasePendingPutback(line);
         unlockLine(line);
         return;
     }
 
-    if (it != lines_.end()) {
+    if (entry) {
         hits_.inc();
         finishRequest(line, req);
         return;
     }
 
     misses_.inc();
-    ensureCapacity(line, [this, line, req = std::move(req)]() mutable {
-        auto install = [this, line, req = std::move(req)]() mutable {
-            DirEntry entry;
-            entry.lastUse = eq_.now();
-            entry.dirtyInL2 = req.fullLine; // write-validate allocation
-            lines_.emplace(line, entry);
-            setFill_[setOf(line)].push_back(line);
-            finishRequest(line, req);
-        };
-        if (req.fullLine && req.write) {
-            // The requester overwrites the entire line: allocate without
-            // fetching stale bytes from DRAM (RMC line-wide interface).
-            install();
-        } else {
-            fetchFromDram(line, std::move(install));
-        }
-    });
+    const std::uint32_t slot =
+        reqSlots_.put(ParkedReq{line, std::move(req)});
+    ensureCapacity(line, slot);
+}
+
+void
+L2Cache::fillMissingLine(PAddr line, std::uint32_t slot)
+{
+    const PendingReq &req = reqSlots_.peek(slot).req;
+    if (req.fullLine && req.write) {
+        // The requester overwrites the entire line: allocate without
+        // fetching stale bytes from DRAM (RMC line-wide interface).
+        installLine(line, slot);
+    } else {
+        fetchFromDram(line, slot);
+    }
+}
+
+void
+L2Cache::installLine(PAddr line, std::uint32_t slot)
+{
+    ParkedReq parked = reqSlots_.take(slot);
+    DirEntry entry;
+    entry.lastUse = eq_.now();
+    entry.dirtyInL2 = parked.req.fullLine; // write-validate allocation
+    lines_.insert(line, entry);
+    setFill_[setOf(line)].push_back(line);
+    finishRequest(line, parked.req);
 }
 
 void
 L2Cache::finishRequest(PAddr line, PendingReq &req)
 {
-    DirEntry &dir = lines_[line];
+    DirEntry &dir = lines_.get(line);
     dir.lastUse = eq_.now();
 
     bool probed = false;
@@ -392,11 +499,11 @@ L2Cache::fireCompletion(std::uint32_t slot)
 }
 
 void
-L2Cache::ensureCapacity(PAddr line, sim::Callback then)
+L2Cache::ensureCapacity(PAddr line, std::uint32_t slot)
 {
     auto &fill = setFill_[setOf(line)];
     if (fill.size() < params_.assoc) {
-        then();
+        fillMissingLine(line, slot);
         return;
     }
 
@@ -405,9 +512,9 @@ L2Cache::ensureCapacity(PAddr line, sim::Callback then)
     bool found = false;
     sim::Tick best = 0;
     for (PAddr cand : fill) {
-        if (lockedLines_.count(cand) || waitingReqs_.count(cand))
+        if (findLock(cand))
             continue;
-        const sim::Tick use = lines_[cand].lastUse;
+        const sim::Tick use = lines_.get(cand).lastUse;
         if (!found || use < best) {
             victim = cand;
             best = use;
@@ -416,15 +523,14 @@ L2Cache::ensureCapacity(PAddr line, sim::Callback then)
     }
     if (!found) {
         // Every line in the set is mid-transaction; retry shortly.
-        eq_.scheduleAfter(params_.latency(),
-                          [this, line, then = std::move(then)]() mutable {
-                              ensureCapacity(line, std::move(then));
-                          });
+        eq_.scheduleAfter(params_.latency(), [this, line, slot] {
+            ensureCapacity(line, slot);
+        });
         return;
     }
 
     evictions_.inc();
-    DirEntry &dir = lines_[victim];
+    DirEntry &dir = lines_.get(victim);
     // Inclusive hierarchy: back-invalidate all L1 copies.
     for (std::size_t i = 0; i < l1s_.size(); ++i) {
         const std::uint32_t bit = 1u << i;
@@ -437,21 +543,22 @@ L2Cache::ensureCapacity(PAddr line, sim::Callback then)
         writebackToDram(victim);
     lines_.erase(victim);
     fill.erase(std::find(fill.begin(), fill.end(), victim));
-    then();
+    fillMissingLine(line, slot);
 }
 
 void
-L2Cache::fetchFromDram(PAddr line, sim::Callback then)
+L2Cache::fetchFromDram(PAddr line, std::uint32_t slot)
 {
     if (dram_.full()) {
         dramRetries_.inc();
-        eq_.scheduleAfter(dram_.params().busTransfer,
-                          [this, line, then = std::move(then)]() mutable {
-                              fetchFromDram(line, std::move(then));
-                          });
+        eq_.scheduleAfter(dram_.params().busTransfer, [this, line, slot] {
+            fetchFromDram(line, slot);
+        });
         return;
     }
-    dram_.access(line, false, std::move(then));
+    dram_.access(line, false, [this, line, slot] {
+        installLine(line, slot);
+    });
 }
 
 void

@@ -18,17 +18,16 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "mem/dram.hh"
 #include "sim/callback.hh"
+#include "sim/flat_map.hh"
 #include "sim/slot_pool.hh"
 #include "mem/phys_mem.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -107,7 +106,7 @@ class L1Cache
     }
 
     /** Number of in-flight MSHRs (for tests). */
-    std::size_t inflight() const { return mshrs_.size(); }
+    std::size_t inflight() const { return mshrsInUse_; }
 
     const std::string &name() const { return name_; }
     std::uint64_t hits() const { return hits_.value(); }
@@ -126,11 +125,17 @@ class L1Cache
         bool valid = false;
     };
 
+    /**
+     * Miss-status holding register. Fixed slots (params.mshrs of them,
+     * linear-scanned — the hardware's CAM): an unordered_map here would
+     * allocate a node per miss, and queue-pair polling makes misses the
+     * steady state. The waiters vector keeps its capacity across reuse.
+     */
     struct Mshr
     {
-        PAddr line;
-        bool write;                       //!< permission being requested
-        bool issued = false;
+        bool busy = false;
+        PAddr line = 0;
+        bool write = false;               //!< permission being requested
         std::vector<std::pair<bool, sim::Callback>> waiters;
     };
 
@@ -160,10 +165,16 @@ class L1Cache
 
     std::uint32_t numSets_;
     std::vector<std::vector<LineInfo>> sets_; //!< [set][way]
-    std::unordered_map<PAddr, Mshr> mshrs_;   //!< keyed by line address
+    std::vector<Mshr> mshrs_;                 //!< fixed slots (CAM)
+    std::size_t mshrsInUse_ = 0;
+    // Scratch for draining one MSHR's waiters after its slot is freed
+    // (capacity persists; see handleFill).
+    std::vector<std::pair<bool, sim::Callback>> fillScratch_;
     sim::SlotPool<PendingAccess> accessSlots_;
-    std::deque<PendingAccess> blocked_; //!< retry when an MSHR frees
-    std::unordered_set<PAddr> pendingPutbacks_;
+    sim::RingBuffer<PendingAccess> blocked_; //!< retry when an MSHR frees
+    // PutMs in flight to the L2. A handful at most: linear vector, no
+    // per-insert heap node.
+    std::vector<PAddr> pendingPutbacks_;
 
     sim::Counter hits_;
     sim::Counter misses_;
@@ -175,6 +186,10 @@ class L1Cache
     std::uint32_t setOf(PAddr line) const;
     LineInfo *findLine(PAddr line);
     LineInfo *allocLine(PAddr line); //!< may trigger victim writeback
+
+    Mshr *findMshr(PAddr line);
+    bool pendingPutback(PAddr line) const;
+    void erasePendingPutback(PAddr line);
 
     void startMiss(PAddr line, bool write, bool fullLine,
                    sim::Callback done);
@@ -277,11 +292,27 @@ class L2Cache
     std::uint32_t numSets_;
     // Inclusive tag+directory state, keyed by line address. A line present
     // here is present in the L2; set occupancy enforced via setFill_.
-    std::unordered_map<PAddr, DirEntry> lines_;
+    // Flat map, not unordered_map: directory inserts happen on every
+    // cold line and must not churn heap nodes once the working set is
+    // resident.
+    sim::FlatMap<PAddr, DirEntry> lines_;
     std::vector<std::vector<PAddr>> setFill_; //!< lines per set (for LRU)
 
-    std::unordered_set<PAddr> lockedLines_;
-    std::unordered_map<PAddr, std::deque<PendingReq>> waitingReqs_;
+    /**
+     * Per-line transaction serialization. Concurrently locked lines are
+     * bounded by in-flight transactions (MSHRs x L1s), so a compact
+     * linear-scanned table replaces the old unordered set+map pair,
+     * whose node churn allocated on every single transaction. Freed
+     * entries (inUse = false) are recycled; each waiting ring keeps its
+     * capacity.
+     */
+    struct LockEntry
+    {
+        bool inUse = false;
+        PAddr line = 0;
+        sim::RingBuffer<PendingReq> waiting{2};
+    };
+    std::vector<LockEntry> locks_;
 
     sim::Counter hits_;
     sim::Counter misses_;
@@ -303,14 +334,25 @@ class L2Cache
     sim::SlotPool<ParkedReq> reqSlots_;
 
     std::uint32_t setOf(PAddr line) const;
+    LockEntry *findLock(PAddr line);
     bool lockLine(PAddr line, PendingReq req);
     void unlockLine(PAddr line);
     void process(PAddr line, PendingReq req);
     void fireProcess(std::uint32_t slot);
     void fireCompletion(std::uint32_t slot);
     void finishRequest(PAddr line, PendingReq &req);
-    void ensureCapacity(PAddr line, sim::Callback then);
-    void fetchFromDram(PAddr line, sim::Callback then);
+
+    //
+    // L2 miss path. The missing request is parked in reqSlots_ and only
+    // {this, line, slot} travels through the continuations — parking
+    // keeps every capture inside sim::Callback's inline buffer (the
+    // PendingReq itself holds a Callback and would overflow it).
+    //
+    void ensureCapacity(PAddr line, std::uint32_t slot);
+    void fillMissingLine(PAddr line, std::uint32_t slot);
+    void fetchFromDram(PAddr line, std::uint32_t slot);
+    void installLine(PAddr line, std::uint32_t slot);
+
     void writebackToDram(PAddr line);
 };
 

@@ -18,6 +18,7 @@ validate(const ClusterParams &params)
     if (params.nodes == 0)
         throw std::invalid_argument(
             "ClusterParams: nodes must be >= 1 (got 0)");
+    rmc::validate(params.node.rmc);
     if (params.topology == Topology::kTorus) {
         if (params.torus.dims.empty())
             throw std::invalid_argument(

@@ -5,6 +5,8 @@
 
 #include "os/rmc_driver.hh"
 
+#include <stdexcept>
+
 #include "sim/log.hh"
 
 namespace sonuma::os {
@@ -87,7 +89,14 @@ RmcDriver::createQueuePair(Process &proc, sim::CtxId ctx)
         entry = rmc_.contextTable().entryMutable(ctx);
     }
     if (entry->qps.size() >= rmc_.params().maxQpsPerContext)
-        sim::fatal("QP limit reached for ctx " + std::to_string(ctx));
+        throw std::invalid_argument(
+            "createQueuePair: ctx " + std::to_string(ctx) +
+            " already holds " + std::to_string(entry->qps.size()) +
+            " of maxQpsPerContext=" +
+            std::to_string(rmc_.params().maxQpsPerContext) +
+            " queue pairs; note each RmcSession registers qpCount QPs "
+            "and Workload adds a one-QP barrier session per node — "
+            "raise RmcParams::maxQpsPerContext or lower the fan-out");
 
     const std::uint32_t entries = rmc_.params().qpEntries;
     rmc::QpDescriptor qp;

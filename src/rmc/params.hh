@@ -15,6 +15,8 @@
 #define SONUMA_RMC_PARAMS_HH
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 #include "sim/types.hh"
 
@@ -39,8 +41,24 @@ struct RmcParams
     std::uint32_t maqEntries = 32;     //!< Memory Access Queue (Table 1)
     std::uint32_t ctCacheEntries = 8;  //!< CT$ (recently used CT entries)
     std::uint32_t maxContexts = 16;
-    std::uint32_t maxQpsPerContext = 4;
+    std::uint32_t maxQpsPerContext = 16;
     std::uint32_t qpEntries = 64;      //!< WQ/CQ ring depth per queue pair
+
+    //
+    // Session-level queue-pair fan-out (paper Table 2: IOPS scale with
+    // the number of QPs). Each RmcSession registers this many
+    // independent WQ/CQ pairs and distributes posts across them; 1
+    // reproduces the classic one-QP-per-thread model of §4.2.
+    //
+    std::uint32_t qpCount = 1;
+
+    //
+    // RGP arbitration: WQ entries one armed QP may consume before the
+    // pipeline rotates to the next armed QP. Bounds how long one
+    // streaming QP can hold the (single, shared) request pipeline when
+    // several QPs have work — the multi-QP fairness knob.
+    //
+    std::uint32_t rgpQpBurst = 8;
 
     //
     // Hardwired-pipeline stage costs, in core cycles (the 'L' states of
@@ -98,6 +116,43 @@ struct RmcParams
         return p;
     }
 };
+
+/**
+ * Eager configuration check (the ClusterParams convention): throws
+ * std::invalid_argument with a precise message instead of misbehaving
+ * deep inside a ring cursor or the RGP. Called by node::validate for
+ * every cluster build; also usable directly.
+ */
+inline void
+validate(const RmcParams &params)
+{
+    if (params.qpEntries == 0)
+        throw std::invalid_argument(
+            "RmcParams: qpEntries must be >= 1 (got 0); each queue pair "
+            "needs at least one WQ/CQ ring slot");
+    if (params.qpEntries > 65536)
+        throw std::invalid_argument(
+            "RmcParams: qpEntries " + std::to_string(params.qpEntries) +
+            " exceeds 65536, the largest ring a CQ entry's 16-bit "
+            "wqIndex can address");
+    if (params.qpCount == 0)
+        throw std::invalid_argument(
+            "RmcParams: qpCount must be >= 1 (got 0); a session cannot "
+            "operate without a queue pair");
+    if (params.qpCount > params.maxQpsPerContext)
+        throw std::invalid_argument(
+            "RmcParams: qpCount " + std::to_string(params.qpCount) +
+            " exceeds maxQpsPerContext " +
+            std::to_string(params.maxQpsPerContext) +
+            "; raise maxQpsPerContext or lower the per-session fan-out");
+    if (params.maxQpsPerContext == 0)
+        throw std::invalid_argument(
+            "RmcParams: maxQpsPerContext must be >= 1 (got 0)");
+    if (params.rgpQpBurst == 0)
+        throw std::invalid_argument(
+            "RmcParams: rgpQpBurst must be >= 1 (got 0); the RGP must "
+            "consume at least one WQ entry per arbitration turn");
+}
 
 
 } // namespace sonuma::rmc

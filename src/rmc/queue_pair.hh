@@ -106,6 +106,35 @@ phaseForLap(std::uint64_t lap)
     return static_cast<std::uint8_t>(1 - (lap & 1));
 }
 
+//
+// Global slot numbering for multi-QP sessions: a session owning N queue
+// pairs of E entries each addresses its per-slot state (records, busy
+// bits, landing buffers) with one flat index `qp * E + idx`. The CQ
+// wire format still carries the per-QP wqIndex; these helpers are the
+// session-side (de)multiplexing arithmetic.
+//
+
+/** Flat slot index for entry @p idx of queue pair @p qp. */
+constexpr std::uint32_t
+globalSlot(std::uint32_t qp, std::uint32_t idx, std::uint32_t entries)
+{
+    return qp * entries + idx;
+}
+
+/** Queue pair owning flat slot @p g. */
+constexpr std::uint32_t
+slotQp(std::uint32_t g, std::uint32_t entries)
+{
+    return g / entries;
+}
+
+/** Per-QP ring index of flat slot @p g. */
+constexpr std::uint32_t
+slotIndex(std::uint32_t g, std::uint32_t entries)
+{
+    return g % entries;
+}
+
 /**
  * Ring cursor: index + current lap phase. Used by the producing and
  * consuming sides of both queues.

@@ -19,6 +19,11 @@ namespace sonuma::rmc {
 sim::FireAndForget
 Rmc::rcpLoop()
 {
+    // Completion-side arbitration across queue pairs is implicit:
+    // replies are absorbed in NI arrival order, so no single QP's
+    // transfers can monopolize the RCP beyond the share of reply
+    // traffic the fabric actually delivered for them. rcpSlots_ bounds
+    // total reply concurrency exactly like the hardware's buffer pool.
     const auto lane = static_cast<std::size_t>(fab::Lane::kReply);
     while (true) {
         co_await rcpSlots_.acquire();
@@ -49,6 +54,15 @@ Rmc::processReply(fab::Message msg)
     co_await chargeFrontend(params_.cycles(params_.rcpStageCycles),
                             params_.emuPerReply);
 
+    // The charges above suspend; a reset() may have aborted this
+    // transfer and freed (epoch-bumped) its tid meanwhile. Re-check
+    // before reading buffer coordinates out of the entry — the slot may
+    // already belong to a new transfer.
+    if (!itt.active || itt.epoch != ep) {
+        rcpSlots_.release();
+        co_return;
+    }
+
     const CtEntry *ce = ct_.entry(itt.ctx);
 
     if (msg.op == fab::Op::kErrorReply || !msg.payloadLenValid()) {
@@ -62,6 +76,13 @@ Rmc::processReply(fab::Message msg)
         const vm::VAddr dst = itt.bufVa + (msg.offset - itt.baseOffset);
         std::optional<mem::PAddr> pa;
         co_await translate(itt.ctx, dst, ce->ptRoot, &pa);
+        // Translation suspends too: re-check before writing the error
+        // flag (or payload bookkeeping) into an entry a reset may have
+        // handed to a new transfer.
+        if (!itt.active || itt.epoch != ep) {
+            rcpSlots_.release();
+            co_return;
+        }
         if (!pa) {
             itt.error = true; // local buffer unmapped (app bug)
         } else if (msg.op == fab::Op::kReadReply) {
@@ -76,7 +97,20 @@ Rmc::processReply(fab::Message msg)
 
     // Update the ITT ("Update ITT", a memory write through the MAQ).
     co_await maq_.write(ittAddr(tidIndex));
-    assert(itt.remaining > 0);
+    // The payload/ITT writes suspend too — same reset window as above.
+    // Decrementing a freed entry would post a duplicate completion for
+    // whatever transfer reuses the slot.
+    if (!itt.active || itt.epoch != ep) {
+        rcpSlots_.release();
+        co_return;
+    }
+    // Always-on invariant (NDEBUG builds keep the net): a reply for a
+    // live transfer with no lines outstanding means a stale reply
+    // slipped the epoch check — the double-completion precursor.
+    if (itt.remaining == 0)
+        sim::fatal("RCP: reply for tid " + std::to_string(tidIndex) +
+                   " with no outstanding lines (stale reply slipped the "
+                   "epoch check?)");
     --itt.remaining;
 
     if (itt.remaining == 0)

@@ -20,8 +20,7 @@ Rmc::rgpLoop()
     while (true) {
         while (armedQps_.empty())
             co_await rgpWork_.wait();
-        const QpRef ref = armedQps_.front();
-        armedQps_.pop_front();
+        const QpRef ref = armedQps_.popFront();
         // Disarm before scanning: a doorbell during the scan re-arms the
         // QP and forces another scan, so no wake-up is lost.
         qpArmed_[ref.ctx][ref.qpIndex] = false;
@@ -38,6 +37,13 @@ Rmc::processWq(sim::CtxId ctx, std::uint32_t qpIndex)
     const QpDescriptor qp = ce->qps[qpIndex];
     RingCursor &cursor = wqCursor_[ctx][qpIndex];
 
+    // Per-QP arbitration: one turn consumes at most rgpQpBurst entries,
+    // then the QP re-arms behind the other armed QPs. A re-armed QP's
+    // next turn resumes with exactly the timed WQ read the continuing
+    // loop would have issued, so a lone QP's timing is unchanged; with
+    // several armed QPs the single request pipeline round-robins at
+    // burst granularity instead of draining one ring to exhaustion.
+    std::uint32_t burst = 0;
     while (true) {
         // Poll: timed read of the WQ entry's cache line. After a producer
         // store this misses in the RMC L1 and transfers cache-to-cache.
@@ -57,6 +63,10 @@ Rmc::processWq(sim::CtxId ctx, std::uint32_t qpIndex)
         const std::uint32_t wqIndex = cursor.index();
         cursor.advance();
         co_await generateRequests(ctx, qpIndex, wqIndex, entry);
+        if (++burst >= params_.rgpQpBurst) {
+            armQp(ctx, qpIndex); // yield the pipeline, keep the claim
+            co_return;
+        }
     }
 }
 
@@ -88,6 +98,7 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
     itt.error = false;
     itt.bufVa = entry.bufVa;
     itt.baseOffset = entry.offset;
+    const std::uint16_t myEpoch = itt.epoch;
     co_await maq_.write(ittAddr(tidIndex));
 
     // Per-WQ-entry front-end cost (parse/schedule).
@@ -95,6 +106,13 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
                             params_.emuPerWqEntry);
 
     for (std::uint32_t i = 0; i < numLines; ++i) {
+        // Every iteration suspends (charges, MAQ reads, NI back-
+        // pressure); a reset() in one of those windows aborts this
+        // transfer and frees its tid. Stop unrolling: the remaining
+        // lines belong to a transfer that no longer exists, and the
+        // slot may already carry a new one.
+        if (!itt.active || itt.epoch != myEpoch)
+            co_return;
         fab::Message msg;
         msg.srcNid = nid_;
         msg.dstNid = entry.dstNid;
@@ -113,6 +131,8 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
                 entry.bufVa + std::uint64_t(i) * sim::kCacheLineBytes;
             std::optional<mem::PAddr> pa;
             co_await translate(ctx, lineVa, ce->ptRoot, &pa);
+            if (!itt.active || itt.epoch != myEpoch)
+                co_return; // aborted during the translation
             if (!pa) {
                 // Unmapped local buffer: stop unrolling and complete the
                 // WQ entry with an error. Lines already injected will

@@ -25,6 +25,7 @@ Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
       ittBasePa_(ittBasePa),
       itt_(params.maxTids),
       tidAvailable_(eq),
+      armedQps_(std::size_t(params.maxContexts) * params.maxQpsPerContext),
       qpArmed_(params.maxContexts,
                std::vector<bool>(params.maxQpsPerContext, false)),
       rgpWork_(eq),
@@ -33,6 +34,8 @@ Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
       remoteWriteEvent_(eq),
       rrppSlots_(eq, params.maqEntries),
       rcpSlots_(eq, params.maqEntries),
+      doorbellsRung_(stats, name + ".rgp.doorbells",
+                     "software doorbells (WQ poll wake-ups)"),
       wqEntriesProcessed_(stats, name + ".rgp.wqEntries",
                           "WQ entries consumed"),
       requestPacketsSent_(stats, name + ".rgp.requestPackets",
@@ -91,14 +94,21 @@ Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
 }
 
 void
-Rmc::doorbell(sim::CtxId ctx, std::uint32_t qpIndex)
+Rmc::armQp(sim::CtxId ctx, std::uint32_t qpIndex)
 {
     assert(ctx < params_.maxContexts && qpIndex < params_.maxQpsPerContext);
     if (!qpArmed_[ctx][qpIndex]) {
         qpArmed_[ctx][qpIndex] = true;
-        armedQps_.push_back(QpRef{ctx, qpIndex});
+        armedQps_.push(QpRef{ctx, qpIndex});
         rgpWork_.notifyAll();
     }
+}
+
+void
+Rmc::doorbell(sim::CtxId ctx, std::uint32_t qpIndex)
+{
+    doorbellsRung_.inc();
+    armQp(ctx, qpIndex);
 }
 
 void

@@ -34,7 +34,6 @@
 #define SONUMA_RMC_RMC_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -51,6 +50,7 @@
 #include "rmc/tlb.hh"
 #include "sim/callback.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/service.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
@@ -161,13 +161,17 @@ class Rmc
     sim::Condition tidAvailable_;
     bool sweepScheduled_ = false;
 
-    // RGP scheduling state.
+    // RGP scheduling state. Armed QPs rotate through a fixed ring
+    // (each QP appears at most once, so capacity is bounded by
+    // maxContexts * maxQpsPerContext and the steady state never
+    // allocates); processWq consumes at most rgpQpBurst WQ entries per
+    // turn before the QP re-queues behind its peers.
     struct QpRef
     {
-        sim::CtxId ctx;
-        std::uint32_t qpIndex;
+        sim::CtxId ctx = 0;
+        std::uint32_t qpIndex = 0;
     };
-    std::deque<QpRef> armedQps_;
+    sim::RingBuffer<QpRef> armedQps_;
     std::vector<std::vector<bool>> qpArmed_;     //!< [ctx][qp]
     std::vector<std::vector<RingCursor>> wqCursor_;
     std::vector<std::vector<RingCursor>> cqCursor_;
@@ -191,6 +195,7 @@ class Rmc
     sim::Callback failureHook_;
 
     // Stats.
+    sim::Counter doorbellsRung_;
     sim::Counter wqEntriesProcessed_;
     sim::Counter requestPacketsSent_;
     sim::Counter requestsServiced_;
@@ -234,6 +239,9 @@ class Rmc
     /** Allocate a transfer id, waiting if the ITT is full. */
     sim::Task allocTid(std::uint32_t *out);
     void freeTid(std::uint32_t tidIndex);
+
+    /** Arm (ctx, qp) for the RGP if it is not already queued. */
+    void armQp(sim::CtxId ctx, std::uint32_t qpIndex);
 
     /** Abort one transfer with a (functional) error completion. */
     void abortTransfer(std::uint32_t tidIndex, CqStatus status);

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Open-addressed hash map over flat vector storage.
+ *
+ * Replaces std::unordered_map on simulation hot paths: a node-based map
+ * allocates (and frees) one heap node per insert (erase), so structures
+ * that track a growing-then-stable working set — the L2 directory being
+ * the canonical case — would keep touching the allocator in steady
+ * state. This map stores slots inline, probes linearly, and allocates
+ * only when it grows past its load factor: an amortized warm-up cost,
+ * zero in steady state, exactly like sim::RingBuffer and sim::SlotPool.
+ *
+ * Erase uses tombstones (reclaimed by the next growth rehash), which
+ * keeps deletion O(1) without backward-shifting. Iteration order is
+ * deliberately not exposed: the simulator must never depend on hash
+ * order for determinism.
+ */
+
+#ifndef SONUMA_SIM_FLAT_MAP_HH
+#define SONUMA_SIM_FLAT_MAP_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sonuma::sim {
+
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    explicit FlatMap(std::size_t initialCapacity = 16)
+    {
+        std::size_t cap = 16;
+        while (cap < initialCapacity)
+            cap *= 2;
+        slots_.resize(cap);
+    }
+
+    std::size_t size() const { return full_; }
+    bool empty() const { return full_ == 0; }
+
+    /** Pointer to the mapped value, or nullptr. */
+    V *
+    find(const K &key)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+            Slot &s = slots_[i];
+            if (s.state == State::kEmpty)
+                return nullptr;
+            if (s.state == State::kFull && s.key == key)
+                return &s.val;
+        }
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    /** Mapped value of a key that must be present. */
+    V &
+    get(const K &key)
+    {
+        V *v = find(key);
+        assert(v && "FlatMap::get of an absent key");
+        return *v;
+    }
+
+    /**
+     * Insert @p key -> @p val; replaces the value if the key exists.
+     * @return reference to the mapped value.
+     */
+    V &
+    insert(const K &key, V val)
+    {
+        maybeGrow();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t firstTomb = slots_.size();
+        for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+            Slot &s = slots_[i];
+            if (s.state == State::kFull && s.key == key) {
+                s.val = std::move(val);
+                return s.val;
+            }
+            if (s.state == State::kTomb && firstTomb == slots_.size()) {
+                firstTomb = i;
+                continue;
+            }
+            if (s.state == State::kEmpty) {
+                Slot &dst =
+                    firstTomb != slots_.size() ? slots_[firstTomb] : s;
+                if (dst.state != State::kTomb)
+                    ++used_;
+                dst.state = State::kFull;
+                dst.key = key;
+                dst.val = std::move(val);
+                ++full_;
+                return dst.val;
+            }
+        }
+    }
+
+    /** @retval true if the key was present and removed. */
+    bool
+    erase(const K &key)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = hash(key) & mask;; i = (i + 1) & mask) {
+            Slot &s = slots_[i];
+            if (s.state == State::kEmpty)
+                return false;
+            if (s.state == State::kFull && s.key == key) {
+                s.state = State::kTomb;
+                s.val = V{}; // release held resources eagerly
+                --full_;
+                return true;
+            }
+        }
+    }
+
+  private:
+    enum class State : std::uint8_t { kEmpty, kFull, kTomb };
+
+    struct Slot
+    {
+        State state = State::kEmpty;
+        K key{};
+        V val{};
+    };
+
+    std::vector<Slot> slots_;
+    std::size_t full_ = 0; //!< live entries
+    std::size_t used_ = 0; //!< live + tombstoned slots
+
+    static std::size_t
+    hash(const K &key)
+    {
+        // splitmix64 finalizer: line addresses are highly regular, so
+        // spread them before masking.
+        auto x = static_cast<std::uint64_t>(key);
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+
+    void
+    maybeGrow()
+    {
+        if ((used_ + 1) * 10 < slots_.size() * 7)
+            return;
+        std::vector<Slot> old(slots_.size() * 2);
+        old.swap(slots_);
+        full_ = 0;
+        used_ = 0;
+        for (Slot &s : old) {
+            if (s.state == State::kFull)
+                insert(s.key, std::move(s.val));
+        }
+    }
+};
+
+} // namespace sonuma::sim
+
+#endif // SONUMA_SIM_FLAT_MAP_HH

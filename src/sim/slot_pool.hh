@@ -51,6 +51,13 @@ class SlotPool
         return v;
     }
 
+    /** Read a parked value without reclaiming its slot. */
+    T &
+    peek(std::uint32_t slot)
+    {
+        return slots_[slot];
+    }
+
     std::size_t capacity() const { return slots_.size(); }
 
   private:

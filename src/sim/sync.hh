@@ -12,10 +12,10 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/ring_buffer.hh"
 #include "sim/task.hh"
 #include "sim/types.hh"
 
@@ -91,8 +91,7 @@ class Semaphore
         count_ += n;
         while (count_ > 0 && !waiters_.empty()) {
             --count_;
-            auto h = waiters_.front();
-            waiters_.pop_front();
+            auto h = waiters_.popFront();
             eq_.scheduleAfter(0, [h] { h.resume(); });
         }
     }
@@ -133,7 +132,7 @@ class Semaphore
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                sem.waiters_.push_back(h);
+                sem.waiters_.push(h);
             }
 
             void await_resume() const noexcept {}
@@ -144,7 +143,9 @@ class Semaphore
   private:
     EventQueue &eq_;
     std::uint64_t count_;
-    std::deque<std::coroutine_handle<>> waiters_;
+    // Ring, not deque: a deque churns 512-byte map nodes as waiters
+    // cycle through it, which shows up under the alloc-counting hook.
+    RingBuffer<std::coroutine_handle<>> waiters_;
 };
 
 /**

@@ -58,6 +58,99 @@ TEST(ClusterParamsValidation, ZeroRadixAndEmptyDimsRejected)
     EXPECT_THROW(node::validate(p), std::invalid_argument);
 }
 
+TEST(RmcParamsValidation, ZeroAndAbsurdQpConfigsRejectedEagerly)
+{
+    // qpCount = 0: no queue pair to post on.
+    rmc::RmcParams p;
+    p.qpCount = 0;
+    try {
+        rmc::validate(p);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("qpCount"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // qpCount beyond the Context Table's per-context capacity.
+    p = rmc::RmcParams{};
+    p.qpCount = p.maxQpsPerContext + 1;
+    try {
+        rmc::validate(p);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("maxQpsPerContext"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(std::to_string(p.qpCount)), std::string::npos)
+            << msg;
+    }
+
+    // qpEntries = 0 and qpEntries beyond the CQ's 16-bit wqIndex.
+    p = rmc::RmcParams{};
+    p.qpEntries = 0;
+    EXPECT_THROW(rmc::validate(p), std::invalid_argument);
+    p.qpEntries = 65537;
+    try {
+        rmc::validate(p);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("65536"), std::string::npos)
+            << e.what();
+    }
+
+    // rgpQpBurst = 0 would stall the arbitration rotation forever.
+    p = rmc::RmcParams{};
+    p.rgpQpBurst = 0;
+    EXPECT_THROW(rmc::validate(p), std::invalid_argument);
+
+    // The defaults and both presets are valid.
+    EXPECT_NO_THROW(rmc::validate(rmc::RmcParams{}));
+    EXPECT_NO_THROW(rmc::validate(rmc::RmcParams::simulatedHardware()));
+    EXPECT_NO_THROW(rmc::validate(rmc::RmcParams::emulationPlatform()));
+}
+
+TEST(RmcParamsValidation, ClusterBuildChecksRmcParams)
+{
+    // The check fires on every cluster construction path, TestBed
+    // included, before any node is built.
+    sim::Simulation sim(1);
+    node::ClusterParams p;
+    p.node.rmc.qpCount = 0;
+    EXPECT_THROW(node::Cluster cluster(sim, p), std::invalid_argument);
+    EXPECT_THROW(TestBed bed(ClusterSpec{}.nodes(2).qpCount(0)),
+                 std::invalid_argument);
+}
+
+TEST(ClusterSpecTest, QpCountReachesTheSession)
+{
+    TestBed bed(ClusterSpec{}
+                    .nodes(2)
+                    .qpDepth(8)
+                    .qpCount(4)
+                    .segmentPerNode(64_KiB));
+    auto &s = bed.session(1);
+    EXPECT_EQ(s.qpCount(), 4u);
+    EXPECT_EQ(s.perQpDepth(), 8u);
+    EXPECT_EQ(s.queueDepth(), 32u);
+    EXPECT_FALSE(s.doorbellBatching());
+
+    TestBed batched(ClusterSpec{}
+                        .nodes(2)
+                        .qpCount(2)
+                        .doorbellBatching()
+                        .segmentPerNode(64_KiB));
+    EXPECT_TRUE(batched.session(1).doorbellBatching());
+
+    // Per-session override: a software layer pins one QP regardless of
+    // the node default (the Workload barrier convention).
+    api::SessionParams one;
+    one.qpCount = 1;
+    one.doorbellBatching = false;
+    auto &pinned = batched.newSession(1, 0, one);
+    EXPECT_EQ(pinned.qpCount(), 1u);
+    EXPECT_FALSE(pinned.doorbellBatching());
+}
+
 TEST(ClusterSpecTest, BuildFailsEagerlyOnBadTorus)
 {
     EXPECT_THROW(TestBed bed(ClusterSpec{}.nodes(6).torus(2, 2)),

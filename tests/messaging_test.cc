@@ -34,10 +34,13 @@ struct MsgFixture : public ::testing::Test
     static constexpr sim::CtxId kCtx = 1;
 
     void
-    buildEndpoints(const MsgParams &params)
+    buildEndpoints(const MsgParams &params,
+                   const api::SessionParams &sp = {},
+                   const rmc::RmcParams &rp = {})
     {
         node::ClusterParams cp;
         cp.nodes = 2;
+        cp.node.rmc = rp;
         cluster = std::make_unique<node::Cluster>(sim, cp);
         cluster->createSharedContext(kCtx);
 
@@ -54,10 +57,10 @@ struct MsgFixture : public ::testing::Test
         }
         s0 = std::make_unique<RmcSession>(cluster->node(0).core(0),
                                           cluster->node(0).driver(),
-                                          *procs[0], kCtx);
+                                          *procs[0], kCtx, sp);
         s1 = std::make_unique<RmcSession>(cluster->node(1).core(0),
                                           cluster->node(1).driver(),
-                                          *procs[1], kCtx);
+                                          *procs[1], kCtx, sp);
         e0 = std::make_unique<MsgEndpoint>(*s0, 1, segBase[0], 0, 0,
                                            params);
         e1 = std::make_unique<MsgEndpoint>(*s1, 0, segBase[1], 0, 0,
@@ -87,6 +90,43 @@ TEST_F(MsgFixture, SmallMessageViaPush)
                                                              &got));
     sim.run();
     EXPECT_EQ(got, msg);
+}
+
+/**
+ * Regression: the endpoint's announcement writes are fire-and-forget
+ * and its waits ride remoteWriteEvent, so on a doorbell-batched
+ * multi-QP session it must flush explicitly — without that, both sides
+ * sleep forever on doorbells that never rang.
+ */
+TEST_F(MsgFixture, PushAndPullWorkOnBatchedMultiQpSessions)
+{
+    api::SessionParams sp;
+    sp.doorbellBatching = true;
+    auto rp = rmc::RmcParams::simulatedHardware();
+    rp.qpCount = 2;
+    buildEndpoints(MsgParams{}, sp, rp);
+    const auto small = pattern(32, 5);
+    const auto large = pattern(8 * 1024, 11);
+    std::vector<std::uint8_t> got0, got1;
+    sim.spawn([](MsgEndpoint *e, const std::vector<std::uint8_t> *a,
+                 const std::vector<std::uint8_t> *b) -> sim::Task {
+        co_await e->send(a->data(),
+                         static_cast<std::uint32_t>(a->size()));
+        co_await e->send(b->data(),
+                         static_cast<std::uint32_t>(b->size()));
+    }(e0.get(), &small, &large));
+    sim.spawn([](MsgEndpoint *e, std::vector<std::uint8_t> *o0,
+                 std::vector<std::uint8_t> *o1) -> sim::Task {
+        co_await e->receive(o0);
+        co_await e->receive(o1);
+    }(e1.get(), &got0, &got1));
+    sim.run();
+    EXPECT_EQ(got0, small);
+    EXPECT_EQ(got1, large);
+    // Unreaped fire-and-forget completions may remain, but no doorbell
+    // may still be pending — every post must have reached the RMC.
+    EXPECT_EQ(s0->pendingDoorbells(), 0u);
+    EXPECT_EQ(s1->pendingDoorbells(), 0u);
 }
 
 TEST_F(MsgFixture, LargeMessageViaPull)

@@ -275,6 +275,209 @@ TEST_P(MaqDepths, PipelinedReadsCompleteAtAnyDepth)
 INSTANTIATE_TEST_SUITE_P(Sweep, MaqDepths,
                          ::testing::Values(1, 2, 4, 8, 16, 32));
 
+//
+// Multi-QP WQ/CQ invariants: every posted slot completes exactly once,
+// completion order within one QP is FIFO for uniform ops, cross-QP
+// order is unconstrained, and batched doorbells never lose a post.
+//
+
+/** Per-seed fuzz of the multi-QP async path with full accounting. */
+class MultiQpSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MultiQpSeeds, EveryPostedSlotCompletesExactlyOnce)
+{
+    const std::uint64_t seed = GetParam();
+    auto rp = rmc::RmcParams::simulatedHardware();
+    rp.qpCount = 4;
+    rp.qpEntries = 8;
+    World w(seed, rp);
+    api::SessionParams sp;
+    sp.doorbellBatching = (seed % 2) == 1; // both modes across seeds
+    RmcSession s(w.cluster->node(1).core(0), w.cluster->node(1).driver(),
+                 *w.client, kCtx, sp);
+    ASSERT_EQ(s.qpCount(), 4u);
+    ASSERT_EQ(s.perQpDepth(), 8u);
+    ASSERT_EQ(s.queueDepth(), 32u);
+    const vm::VAddr buf =
+        s.allocBuffer(std::uint64_t(s.queueDepth()) * 64);
+
+    struct Tracking
+    {
+        int completions = 0;
+        int posts = 0;
+        bool badStatus = false;
+        std::vector<int> perQp; //!< completions per queue pair
+    } t;
+    t.perQp.resize(4, 0);
+
+    w.sim.spawn([](RmcSession *s, vm::VAddr buf, std::uint64_t seed,
+                   Tracking *t) -> sim::Task {
+        sim::Rng rng(seed * 131 + 7);
+        // Windows are per queue pair: with explicit pins a single QP
+        // can lap its own ring long before queueDepth() global posts,
+        // so retire-before-post must be enforced per QP (the general
+        // form of the one-ring-lap rule).
+        std::vector<std::deque<api::OpHandle>> window(s->qpCount());
+        auto retire = [&](std::uint32_t qp) -> sim::ValueTask<std::uint8_t> {
+            api::OpHandle h = window[qp].front();
+            window[qp].pop_front();
+            const api::OpResult r = co_await h;
+            ++t->completions;
+            if (!r.ok())
+                t->badStatus = true;
+            ++t->perQp[qp];
+            co_return 0;
+        };
+        for (int i = 0; i < 400; ++i) {
+            // Mix explicit QP pins and round-robin picks.
+            const bool pin = rng.chance(0.5);
+            const std::uint32_t hint =
+                pin ? static_cast<std::uint32_t>(rng.below(s->qpCount()))
+                    : RmcSession::kAnyQp;
+            const std::uint32_t g = s->nextSlot(hint);
+            const std::uint32_t qp = g / s->perQpDepth();
+            while (window[qp].size() >= s->perQpDepth())
+                co_await retire(qp);
+            api::OpHandle h = co_await s->readAsync(
+                0, rng.below((kSegBytes - 64) / 64) * 64,
+                buf + std::uint64_t(g) * 64, 64, hint);
+            EXPECT_EQ(h.slot(), g); // nextSlot() predicted the slot
+            ++t->posts;
+            window[qp].push_back(h);
+            for (std::uint32_t q = 0; q < s->qpCount(); ++q)
+                while (!window[q].empty() && window[q].front().done())
+                    co_await retire(q);
+        }
+        for (std::uint32_t q = 0; q < s->qpCount(); ++q)
+            while (!window[q].empty())
+                co_await retire(q);
+    }(&s, buf, seed, &t));
+    w.sim.run();
+
+    // Exactly once: one completion per post, nothing left in flight,
+    // and the RMC's CQ-write count agrees with the session's view.
+    EXPECT_EQ(t.posts, 400);
+    EXPECT_EQ(t.completions, 400);
+    EXPECT_EQ(s.outstanding(), 0u);
+    EXPECT_EQ(s.pendingDoorbells(), 0u);
+    EXPECT_FALSE(t.badStatus);
+
+    // Round-robin + random pins must exercise every queue pair.
+    int total = 0;
+    for (const int n : t.perQp) {
+        EXPECT_GT(n, 0) << "a QP was starved";
+        total += n;
+    }
+    EXPECT_EQ(total, 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, MultiQpSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+/**
+ * Per-QP FIFO: with uniform service latency (warm TLBs, single-line
+ * reads of one warm page), completions on one queue pair are observed
+ * in post order. Cross-QP completion order is deliberately left
+ * unconstrained — nothing ties one QP's ticks to another's.
+ */
+TEST(MultiQp, PerQpFifoCompletionOrderForUniformOps)
+{
+    auto rp = rmc::RmcParams::simulatedHardware();
+    rp.qpCount = 4;
+    rp.qpEntries = 8;
+    World w(23, rp);
+    RmcSession s(w.cluster->node(1).core(0), w.cluster->node(1).driver(),
+                 *w.client, kCtx);
+    const vm::VAddr buf =
+        s.allocBuffer(std::uint64_t(s.queueDepth()) * 64);
+
+    std::vector<std::vector<sim::Tick>> perQp(4);
+    w.sim.spawn([](RmcSession *s, vm::VAddr buf,
+                   std::vector<std::vector<sim::Tick>> *perQp)
+                    -> sim::Task {
+        // Warm every TLB/CT$/cache involved: one full lap of sync
+        // reads (round-robin covers each QP's slots).
+        for (std::uint32_t i = 0; i < s->queueDepth(); ++i)
+            EXPECT_TRUE((co_await s->read(0, std::uint64_t(i % 8) * 64,
+                                          buf + std::uint64_t(i) * 64,
+                                          64))
+                            .ok());
+        // Measured laps: a full window on each QP, pinned explicitly.
+        std::deque<std::pair<api::OpHandle, std::uint32_t>> window;
+        for (int lap = 0; lap < 3; ++lap) {
+            for (std::uint32_t q = 0; q < s->qpCount(); ++q)
+                for (std::uint32_t i = 0; i < s->perQpDepth(); ++i) {
+                    const std::uint32_t g = s->nextSlot(q);
+                    window.emplace_back(
+                        co_await s->readAsync(0,
+                                              std::uint64_t(i % 8) * 64,
+                                              buf + std::uint64_t(g) * 64,
+                                              64, q),
+                        q);
+                }
+            for (auto &[h, q] : window) {
+                const api::OpResult r = co_await h;
+                EXPECT_TRUE(r.ok());
+                (*perQp)[q].push_back(r.completedAt);
+            }
+            window.clear();
+        }
+    }(&s, buf, &perQp));
+    w.sim.run();
+
+    for (const auto &ticks : perQp) {
+        ASSERT_EQ(ticks.size(), 3u * 8u);
+        for (std::size_t i = 1; i < ticks.size(); ++i)
+            EXPECT_GE(ticks[i], ticks[i - 1])
+                << "same-QP uniform reads completed out of post order";
+    }
+}
+
+/** Batched doorbells: posts stay invisible until flush, none lost. */
+TEST(MultiQp, DoorbellBatchingFlushReleasesAllPosts)
+{
+    auto rp = rmc::RmcParams::simulatedHardware();
+    rp.qpCount = 4;
+    rp.qpEntries = 8;
+    World w(17, rp);
+    api::SessionParams sp;
+    sp.doorbellBatching = true;
+    RmcSession s(w.cluster->node(1).core(0), w.cluster->node(1).driver(),
+                 *w.client, kCtx, sp);
+    const vm::VAddr buf = s.allocBuffer(64ull * 64);
+
+    bool sawAll = false;
+    w.sim.spawn([](RmcSession *s, vm::VAddr buf, bool *sawAll)
+                    -> sim::Task {
+        // One post per QP, round-robin: four pending doorbells.
+        std::vector<api::OpHandle> hs;
+        for (int i = 0; i < 4; ++i)
+            hs.push_back(co_await s->readAsync(
+                0, std::uint64_t(i) * 64, buf + std::uint64_t(i) * 64,
+                64));
+        EXPECT_EQ(s->pendingDoorbells(), 4u);
+        EXPECT_EQ(s->outstanding(), 4u);
+        s->flush();
+        EXPECT_EQ(s->pendingDoorbells(), 0u);
+        for (auto &h : hs)
+            EXPECT_TRUE((co_await h).ok());
+        *sawAll = true;
+
+        // Without an explicit flush the blocking rendezvous flushes
+        // automatically — a sync op after batched posts cannot hang.
+        api::OpHandle h = co_await s->readAsync(0, 0, buf, 64);
+        EXPECT_TRUE(h.valid());
+        EXPECT_EQ(s->pendingDoorbells(), 1u);
+        EXPECT_TRUE((co_await h).ok());
+        EXPECT_EQ(s->pendingDoorbells(), 0u);
+    }(&s, buf, &sawAll));
+    w.sim.run();
+    EXPECT_TRUE(sawAll);
+    EXPECT_EQ(s.outstanding(), 0u);
+}
+
 /** The emulation platform preserves semantics, only timing changes. */
 TEST(EmulationPlatform, SameSemanticsSlowerClock)
 {

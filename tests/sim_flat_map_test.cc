@@ -1,0 +1,85 @@
+/**
+ * @file
+ * sim::FlatMap unit tests: the open-addressed map behind the L2
+ * directory. Correctness across insert/find/erase/tombstone reuse and
+ * growth, plus the steady-state no-allocation contract it exists for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/flat_map.hh"
+
+namespace {
+
+using sonuma::sim::FlatMap;
+
+TEST(FlatMap, InsertFindEraseBasics)
+{
+    FlatMap<std::uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(42), nullptr);
+
+    m.insert(42, 7);
+    ASSERT_NE(m.find(42), nullptr);
+    EXPECT_EQ(*m.find(42), 7);
+    EXPECT_EQ(m.size(), 1u);
+
+    // Insert on an existing key replaces the value, not the count.
+    m.insert(42, 9);
+    EXPECT_EQ(*m.find(42), 9);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_EQ(m.get(42), 9);
+
+    EXPECT_TRUE(m.erase(42));
+    EXPECT_FALSE(m.erase(42));
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, GrowthAndTombstonesAgreeWithReferenceMap)
+{
+    FlatMap<std::uint64_t, std::uint64_t> m(4);
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+    // Cache-line-like keys (64-byte strides) with interleaved erases:
+    // the exact pattern that exercises tombstone reuse under probing.
+    for (std::uint64_t i = 0; i < 4000; ++i) {
+        const std::uint64_t key = (i * 64) ^ ((i % 7) << 20);
+        m.insert(key, i);
+        ref[key] = i;
+        if (i % 3 == 0) {
+            const std::uint64_t victim = ((i / 2) * 64) ^
+                                         (((i / 2) % 7) << 20);
+            EXPECT_EQ(m.erase(victim), ref.erase(victim) == 1);
+        }
+    }
+    EXPECT_EQ(m.size(), ref.size());
+    for (const auto &[k, v] : ref) {
+        ASSERT_NE(m.find(k), nullptr) << k;
+        EXPECT_EQ(*m.find(k), v);
+    }
+}
+
+TEST(FlatMap, SteadyStateChurnDoesNotGrowStorage)
+{
+    FlatMap<std::uint64_t, int> m;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        m.insert(i * 64, 1);
+    // Erase/insert churn over a fixed working set must stabilize: the
+    // map's job is exactly to absorb this without touching the
+    // allocator (verified end-to-end under the alloc-counting hook in
+    // session_stress_test; here we pin the size bookkeeping).
+    for (int round = 0; round < 1000; ++round) {
+        const std::uint64_t k = std::uint64_t(round % 64) * 64;
+        EXPECT_TRUE(m.erase(k));
+        m.insert(k, round);
+        EXPECT_EQ(m.size(), 64u);
+    }
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_NE(m.find(i * 64), nullptr);
+}
+
+} // namespace
