@@ -112,8 +112,159 @@ class Args
         return s.empty() ? def : std::stoull(s);
     }
 
+    /**
+     * Parse a comma-separated uint32 list flag ("--nodes=64,512" ->
+     * {64, 512}), falling back to parsing @p def when absent. Any
+     * non-numeric token (including signs: "-1" must not wrap around)
+     * prints a clear error naming the flag and exits(2).
+     */
+    std::vector<std::uint32_t>
+    getList(const std::string &name, const std::string &def) const
+    {
+        const std::string csv = get(name, def);
+        std::vector<std::uint32_t> out;
+        std::size_t pos = 0;
+        while (pos < csv.size()) {
+            const std::size_t comma = csv.find(',', pos);
+            const std::string tok =
+                csv.substr(pos, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - pos);
+            if (!tok.empty()) {
+                std::uint32_t v = 0;
+                if (!parseU32(tok, &v)) {
+                    std::fprintf(stderr,
+                                 "--%s: '%s' is not a uint32 (expected a "
+                                 "comma-separated list like 64,512)\n",
+                                 name.c_str(), tok.c_str());
+                    std::exit(2);
+                }
+                out.push_back(v);
+            }
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        return out;
+    }
+
+    /**
+     * Parse a torus-dims flag ("--topo=8x8x8" -> {8, 8, 8}). Returns
+     * the empty vector when the flag is absent; prints the parse error
+     * (with a did-you-mean for malformed axes) and exits(2) otherwise.
+     */
+    std::vector<std::uint32_t>
+    getDims(const std::string &name) const
+    {
+        const auto s = get(name, "");
+        if (s.empty())
+            return {};
+        std::vector<std::uint32_t> dims;
+        std::string error;
+        if (!parseDims(s, &dims, &error)) {
+            std::fprintf(stderr, "--%s: %s\n", name.c_str(),
+                         error.c_str());
+            std::exit(2);
+        }
+        return dims;
+    }
+
+    /**
+     * Strict "AxBxC" dims parsing. Each axis must be a positive
+     * integer; on failure fills @p error with the offending axis and,
+     * when the input still contains digit groups (e.g. "8,8,8" or
+     * "8x8o8"), a canonical did-you-mean spelling. Exposed for tests.
+     */
+    static bool
+    parseDims(const std::string &s, std::vector<std::uint32_t> *out,
+              std::string *error)
+    {
+        std::vector<std::uint32_t> dims;
+        std::string bad;
+        bool failed = s.empty();
+        std::size_t pos = 0;
+        while (!failed && pos <= s.size()) {
+            const std::size_t x = s.find('x', pos);
+            const std::string tok =
+                s.substr(pos, x == std::string::npos ? std::string::npos
+                                                     : x - pos);
+            std::uint32_t v = 0;
+            if (!parseU32(tok, &v) || v == 0) {
+                bad = tok;
+                failed = true;
+                break;
+            }
+            dims.push_back(v);
+            if (x == std::string::npos)
+                break;
+            pos = x + 1;
+        }
+        if (!failed) {
+            if (out)
+                *out = std::move(dims);
+            return true;
+        }
+        if (error) {
+            *error = "malformed axis '" + bad + "' in '" + s +
+                     "' (expected radices like 8x8 or 8x8x8)";
+            const std::string canon = canonicalDims(s);
+            if (!canon.empty() && canon != s)
+                *error += "; did you mean " + canon + "?";
+        }
+        return false;
+    }
+
   private:
     std::vector<std::string> args_;
+
+    /**
+     * Strict uint32 token parse shared by getList and parseDims:
+     * digits only (no signs/whitespace stoul would accept), no
+     * overflow past 2^32-1.
+     */
+    static bool
+    parseU32(const std::string &s, std::uint32_t *out)
+    {
+        if (s.empty())
+            return false;
+        for (const char c : s) {
+            if (c < '0' || c > '9')
+                return false;
+        }
+        unsigned long long v = 0;
+        try {
+            v = std::stoull(s);
+        } catch (const std::exception &) {
+            return false;
+        }
+        if (v > 0xffffffffULL)
+            return false;
+        *out = static_cast<std::uint32_t>(v);
+        return true;
+    }
+
+    /**
+     * Re-spell a near-miss dims string in canonical AxBxC form by
+     * joining its digit groups with 'x' ("8,8,8" / "8x8o8" -> "8x8x8");
+     * "" when the input has no digits at all.
+     */
+    static std::string
+    canonicalDims(const std::string &s)
+    {
+        std::string canon;
+        bool inDigits = false;
+        for (const char c : s) {
+            if (c >= '0' && c <= '9') {
+                if (!inDigits && !canon.empty())
+                    canon += 'x';
+                inDigits = true;
+                canon += c;
+            } else {
+                inDigits = false;
+            }
+        }
+        return canon;
+    }
 
     /** Closest known flag within edit distance 3, or "". */
     static std::string

@@ -7,7 +7,10 @@
 #                                   speedup, allocs/event, peak RSS)
 #   BENCH_fig7_remote_read.json   - written here (wall seconds, peak RSS)
 #   BENCH_sweep/SWEEP_*.json      - one JSON per sweep cell (64-node
-#                                   torus fig9-style matrix)
+#                                   torus uniform-read matrix)
+#   BENCH_sweep/FIG9_*.json       - fig9 PageRank scale study: fine-grain
+#                                   PageRank at 64/256/512 nodes on 3D
+#                                   tori (strong scaling, ranks verified)
 #
 # Usage: bench/run_benches.sh [--smoke] [build-dir]
 #                             (default build dir: build-release)
@@ -30,7 +33,7 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
       -DSONUMA_BUILD_TESTS=OFF >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
       --target bench_sim_core bench_fig7_remote_read bench_sweep \
-               bench_table2_comparison >/dev/null
+               bench_table2_comparison bench_fig9_pagerank >/dev/null
 
 cd "$REPO_ROOT"
 
@@ -60,6 +63,23 @@ for c in cells:
 assert qp_counts == {1, 2}, f"expected qp_count cells 1 and 2, got {qp_counts}"
 print(f"{len(cells)} sweep cell(s) OK (qp_counts {sorted(qp_counts)})")
 PY
+    echo "== smoke: fig9 pagerank workload cell (8 nodes, tiny graph) =="
+    "$BUILD_DIR/bench_sweep" --workload=pagerank --nodes=8 --ndims=3 \
+        --sizes=64 --depths=16 --pr-vertices=1024 --pr-degree=4 \
+        --out-dir="$SMOKE_DIR" >/dev/null
+    python3 - "$SMOKE_DIR" <<'PY'
+import json, pathlib, sys
+cells = list(pathlib.Path(sys.argv[1]).glob("FIG9_*.json"))
+assert cells, "pagerank sweep wrote no FIG9 cells"
+for c in cells:
+    d = json.loads(c.read_text())
+    assert d["workload"] == "pagerank", c
+    for key in ("nodes", "topology", "ops", "mops", "vertices", "edges",
+                "cross_edge_fraction", "sim_us"):
+        assert key in d, f"{c}: missing {key}"
+    assert d["topology"].count("x") == 2, f"{c}: expected a 3D torus"
+print(f"{len(cells)} FIG9 cell(s) OK (ranks verified in-process)")
+PY
     echo "== smoke: fig7 (hw side only, binary runs) =="
     "$BUILD_DIR/bench_fig7_remote_read" --platform=hw >/dev/null
     echo "smoke OK (no repository artifacts touched)"
@@ -77,6 +97,10 @@ mkdir -p "$REPO_ROOT/BENCH_sweep"
 
 echo "== table2 IOPS-vs-qpCount curve (Table 2 QP axis) =="
 "$BUILD_DIR/bench_table2_comparison" --curve-only \
+    --out-dir="$REPO_ROOT/BENCH_sweep"
+
+echo "== fig9 PageRank scale study (64/256/512 nodes, 3D tori) =="
+"$BUILD_DIR/bench_fig9_pagerank" --scale --nodes=64,256,512 \
     --out-dir="$REPO_ROOT/BENCH_sweep"
 
 echo "== fig7_remote_read =="

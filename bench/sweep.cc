@@ -1,17 +1,20 @@
 /**
  * @file
  * Parameter-matrix sweep (ROADMAP "workload sweeps" / paper §7.6 scale
- * projection): request size x QP depth x node count x topology, one
- * JSON blob per cell on stdout (and per-cell SWEEP_*.json files with
- * --out-dir=...).
+ * projection): workload x request size x QP depth x QP count x node
+ * count x topology, one JSON blob per cell on stdout (and per-cell
+ * SWEEP_*.json / FIG9_*.json files with --out-dir=...).
  *
  *   $ ./bench_sweep                         # 64-node torus fig9-style
  *   $ ./bench_sweep --nodes=4,16,64 --topologies=crossbar,torus \
  *                   --sizes=64,512,4096 --depths=16,64 --ops=256
+ *   $ ./bench_sweep --workload=pagerank --nodes=64,256,512 --ndims=3
+ *   $ ./bench_sweep --workload=pagerank --nodes=512 --topo=8x8x8
  *   $ ./bench_sweep --quick                 # smoke-sized matrix
  *
  * The whole driver is ClusterSpec + SweepDriver; scaling the study to
- * 512 nodes is a flag, not a new harness.
+ * 512 nodes — or swapping the uniform-read kernel for the Fig. 9
+ * PageRank application — is a flag, not a new harness.
  */
 
 #include <cstdio>
@@ -19,71 +22,60 @@
 #include <vector>
 
 #include "api/sweep.hh"
+#include "app/pagerank.hh"
 #include "bench/common.hh"
 
-namespace {
-
 using namespace sonuma;
-
-/** Parse "64,512,..." strictly: any non-numeric token is a clear
- *  error, not a silent default or an unhandled exception. */
-std::vector<std::uint32_t>
-parseList(const char *flag, const std::string &csv)
-{
-    std::vector<std::uint32_t> out;
-    std::size_t pos = 0;
-    while (pos < csv.size()) {
-        const std::size_t comma = csv.find(',', pos);
-        const std::string tok =
-            csv.substr(pos, comma == std::string::npos ? std::string::npos
-                                                       : comma - pos);
-        if (!tok.empty()) {
-            std::size_t used = 0;
-            unsigned long v = 0;
-            try {
-                v = std::stoul(tok, &used);
-            } catch (const std::exception &) {
-                used = 0;
-            }
-            if (used != tok.size()) {
-                std::fprintf(stderr,
-                             "--%s: '%s' is not a number (expected a "
-                             "comma-separated list like 64,512)\n",
-                             flag, tok.c_str());
-                std::exit(2);
-            }
-            out.push_back(static_cast<std::uint32_t>(v));
-        }
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    return out;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv, {"nodes", "topologies", "sizes",
-                                  "depths", "qps", "batching", "ops",
-                                  "seed", "out-dir", "quick"});
+    bench::Args args(argc, argv,
+                     {"workload", "nodes", "topologies", "topo", "ndims",
+                      "sizes", "depths", "qps", "batching", "ops", "seed",
+                      "out-dir", "quick", "pr-vertices", "pr-degree",
+                      "pr-supersteps", "pr-warmup", "pr-verify"});
     const bool quick = args.has("quick");
+    app::registerPageRankSweepWorkload();
 
     api::SweepConfig cfg;
+    cfg.workload = args.get("workload", "uniform");
+    if (!api::SweepDriver::workloadRegistered(cfg.workload)) {
+        std::string names;
+        for (const auto &n : api::SweepDriver::registeredWorkloads())
+            names += " " + n;
+        std::fprintf(stderr, "--workload: unknown workload '%s'; valid:%s\n",
+                     cfg.workload.c_str(), names.c_str());
+        return 2;
+    }
+    const bool pagerank = cfg.workload == "pagerank";
+
     cfg.nodeCounts =
-        parseList("nodes", args.get("nodes", quick ? "4" : "64"));
-    cfg.requestSizes = parseList(
-        "sizes", args.get("sizes", quick ? "64" : "64,512,4096"));
-    cfg.qpDepths =
-        parseList("depths", args.get("depths", quick ? "16" : "16,64"));
-    cfg.qpCounts = parseList("qps", args.get("qps", "1"));
+        args.getList("nodes", quick ? (pagerank ? "8" : "4") : "64");
+    cfg.requestSizes = args.getList(
+        "sizes", quick || pagerank ? "64" : "64,512,4096");
+    cfg.qpDepths = args.getList("depths", quick ? "16" : "16,64");
+    cfg.qpCounts = args.getList("qps", "1");
     cfg.doorbellBatching = args.getU64("batching", 0) != 0;
     cfg.opsPerNode = static_cast<std::uint32_t>(
         args.getU64("ops", quick ? 32 : 128));
     cfg.seed = args.getU64("seed", 1);
     cfg.outDir = args.get("out-dir", "");
+    cfg.torusDims = args.getDims("topo");
+    cfg.torusNdims = static_cast<std::uint32_t>(
+        args.getU64("ndims", cfg.torusDims.empty() ? 2
+                                                   : cfg.torusDims.size()));
+
+    // PageRank axis (paper Fig. 9; see src/app/README.md).
+    cfg.pagerank.vertices = static_cast<std::uint32_t>(
+        args.getU64("pr-vertices", quick ? 1024 : 16384));
+    cfg.pagerank.degree = static_cast<std::uint32_t>(
+        args.getU64("pr-degree", quick ? 4 : 8));
+    cfg.pagerank.supersteps = static_cast<std::uint32_t>(
+        args.getU64("pr-supersteps", 1));
+    cfg.pagerank.warmupSupersteps = static_cast<std::uint32_t>(
+        args.getU64("pr-warmup", 0));
+    cfg.pagerank.verifyRanks = args.getU64("pr-verify", 1) != 0;
 
     cfg.topologies.clear();
     const std::string topos = args.get("topologies", "torus");
@@ -115,16 +107,24 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::printf("# sweep: %zu nodes x %zu topologies x %zu sizes x %zu "
-                "depths x %zu qps = %zu cells (ops/node=%u%s)\n",
-                cfg.nodeCounts.size(), cfg.topologies.size(),
-                cfg.requestSizes.size(), cfg.qpDepths.size(),
-                cfg.qpCounts.size(),
+    std::printf("# sweep: workload=%s, %zu nodes x %zu topologies x %zu "
+                "sizes x %zu depths x %zu qps = %zu cells (ops/node=%u%s)\n",
+                cfg.workload.c_str(), cfg.nodeCounts.size(),
+                cfg.topologies.size(), cfg.requestSizes.size(),
+                cfg.qpDepths.size(), cfg.qpCounts.size(),
                 cfg.nodeCounts.size() * cfg.topologies.size() *
                     cfg.requestSizes.size() * cfg.qpDepths.size() *
                     cfg.qpCounts.size(),
                 cfg.opsPerNode,
                 cfg.doorbellBatching ? ", doorbell batching" : "");
+    if (pagerank)
+        std::printf("# pagerank: V=%u, degree=%u, supersteps=%u (+%u "
+                    "warm-up), ranks %s\n",
+                    cfg.pagerank.vertices, cfg.pagerank.degree,
+                    cfg.pagerank.supersteps,
+                    cfg.pagerank.warmupSupersteps,
+                    cfg.pagerank.verifyRanks ? "verified vs host reference"
+                                             : "unverified");
 
     api::SweepDriver driver(cfg);
     try {

@@ -1,18 +1,19 @@
 /**
  * @file
- * SweepDriver implementation.
+ * SweepDriver implementation plus the built-in "uniform" workload.
  */
 
 #include "api/sweep.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <stdexcept>
 
-#include "api/workload.hh"
 #include "sim/log.hh"
 
 namespace sonuma::api {
@@ -42,6 +43,8 @@ SweepCellResult::label() const
         out += "_qp" + std::to_string(qpCount);
     if (doorbellBatching)
         out += "_db"; // batched runs must not overwrite unbatched cells
+    if (workload != "uniform")
+        out += "_" + workload;
     return out;
 }
 
@@ -49,6 +52,7 @@ void
 SweepCellResult::writeJson(std::ostream &os) const
 {
     os << "{\"bench\": \"sweep\", \"schema\": 1"
+       << ", \"workload\": \"" << workload << "\""
        << ", \"nodes\": " << nodes
        << ", \"topology\": \"" << topologyName() << "\""
        << ", \"request_bytes\": " << requestBytes
@@ -59,22 +63,196 @@ SweepCellResult::writeJson(std::ostream &os) const
        << ", \"mops\": " << mops
        << ", \"gbps\": " << gbps
        << ", \"mean_latency_ns\": " << meanLatencyNs
-       << ", \"p99_latency_ns\": " << p99LatencyNs
-       << ", \"sim_us\": " << simMicros
+       << ", \"p99_latency_ns\": " << p99LatencyNs;
+    for (const auto &[key, value] : extra) {
+        os << ", \"" << key << "\": ";
+        // Exact counts (vertices, edges) must never be rounded by the
+        // default 6-significant-digit double formatting.
+        if (value == std::floor(value) && std::abs(value) < 1e15)
+            os << static_cast<long long>(value);
+        else
+            os << value;
+    }
+    os << ", \"sim_us\": " << simMicros
        << ", \"host_seconds\": " << hostSeconds << "}";
 }
+
+//
+// ------------------------- workload registry ---------------------------
+//
+
+namespace {
+
+/**
+ * The built-in uniform remote-read kernel: node i streams a
+ * full-window pipeline of requestBytes reads round-robin over its
+ * peers, sampling per-op latency as handles complete (fig9's
+ * fine-grain access pattern reduced to its fabric-facing core).
+ */
+class UniformReadWorkload : public SweepWorkload
+{
+  public:
+    void
+    configure(ClusterSpec &spec, const SweepCellResult &cell,
+              const SweepConfig &cfg) override
+    {
+        const std::uint64_t dataOff = Barrier::regionBytes(cell.nodes);
+        if (cfg.segmentBytes < dataOff + 2ull * cell.requestBytes)
+            throw std::invalid_argument(
+                "SweepDriver: segmentBytes " +
+                std::to_string(cfg.segmentBytes) +
+                " too small for the barrier region plus " +
+                std::to_string(cell.requestBytes) + "-byte reads at " +
+                std::to_string(cell.nodes) + " nodes");
+        (void)spec;
+    }
+
+    void
+    install(TestBed &bed, Workload &wl, const SweepCellResult &cell,
+            const SweepConfig &cfg) override
+    {
+        (void)bed;
+        const std::uint32_t ops = cfg.opsPerNode;
+        const std::uint32_t requestBytes = cell.requestBytes;
+        const std::uint64_t segBytes = cfg.segmentBytes;
+        const std::uint32_t nodes = cell.nodes;
+        ops_ = std::uint64_t(nodes) * ops;
+
+        wl.onEachNode([ops, requestBytes, segBytes,
+                       nodes](Workload::NodeCtx &ctx) -> sim::Task {
+            auto &s = ctx.session();
+            auto &issued = ctx.counter("ops");
+            auto &lat = ctx.histogram("opLatencyNs");
+
+            const std::uint32_t depth = s.queueDepth();
+            const vm::VAddr buf =
+                s.allocBuffer(std::uint64_t(depth) * requestBytes);
+            const std::uint64_t dataOff = ctx.dataOffset();
+            const std::uint64_t span =
+                (segBytes - dataOff) / 2 / requestBytes * requestBytes;
+
+            std::deque<OpHandle> window;
+            auto retireFront =
+                [&window, &lat]() -> sim::ValueTask<OpResult> {
+                OpHandle h = window.front();
+                window.pop_front();
+                OpResult r = co_await h;
+                if (!r.ok())
+                    sim::fatal("sweep read failed");
+                lat.sample(sim::ticksToNs(r.latency));
+                co_return r;
+            };
+            for (std::uint32_t i = 0; i < ops; ++i) {
+                const auto peer = static_cast<sim::NodeId>(
+                    (ctx.nodeId() + 1 + i % (nodes - 1)) % nodes);
+                const std::uint64_t off =
+                    dataOff + (std::uint64_t(i) * requestBytes) % span;
+                // Full window: retire the oldest handle before its WQ
+                // slot can be recycled by the next post (session.hh).
+                while (window.size() >= depth)
+                    co_await retireFront();
+                const std::uint32_t slot = s.nextSlot();
+                OpHandle h = co_await s.readAsync(
+                    peer, off, buf + std::uint64_t(slot) * requestBytes,
+                    requestBytes);
+                issued.inc();
+                window.push_back(h);
+                // Opportunistically retire completed ops as they pass.
+                while (!window.empty() && window.front().done())
+                    co_await retireFront();
+            }
+            while (!window.empty())
+                co_await retireFront();
+        });
+    }
+
+    Outcome
+    finish(TestBed &bed, const SweepCellResult &cell,
+           const SweepConfig &cfg) override
+    {
+        (void)bed;
+        (void)cell;
+        (void)cfg;
+        return Outcome{ops_, 0};
+    }
+
+  private:
+    std::uint64_t ops_ = 0;
+};
+
+using Registry = std::map<std::string, SweepDriver::WorkloadFactory>;
+
+Registry &
+registry()
+{
+    static Registry r = {
+        {"uniform", [] { return std::make_unique<UniformReadWorkload>(); }},
+    };
+    return r;
+}
+
+} // namespace
+
+void
+SweepDriver::registerWorkload(const std::string &name,
+                              WorkloadFactory factory)
+{
+    registry()[name] = std::move(factory);
+}
+
+bool
+SweepDriver::workloadRegistered(const std::string &name)
+{
+    return registry().count(name) != 0;
+}
+
+std::vector<std::string>
+SweepDriver::registeredWorkloads()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, factory] : registry())
+        names.push_back(name);
+    return names;
+}
+
+//
+// ------------------------- torus factorization -------------------------
+//
 
 std::vector<std::uint32_t>
 SweepDriver::torusDimsFor(std::uint32_t nodes)
 {
-    std::uint32_t a =
-        static_cast<std::uint32_t>(std::sqrt(static_cast<double>(nodes)));
-    while (a > 1 && nodes % a != 0)
-        --a;
-    if (a == 0)
-        a = 1;
-    return {a, nodes / a};
+    return torusDimsFor(nodes, 2);
 }
+
+std::vector<std::uint32_t>
+SweepDriver::torusDimsFor(std::uint32_t nodes, std::uint32_t ndims)
+{
+    // Peel off the largest divisor <= nodes^(1/remaining) each round:
+    // radices come out ascending and as near-equal as the node count's
+    // factorization allows (primes degrade to {1, ..., n}).
+    std::vector<std::uint32_t> dims;
+    std::uint32_t rest = nodes;
+    for (std::uint32_t d = ndims; d >= 1; --d) {
+        if (d == 1) {
+            dims.push_back(rest);
+            break;
+        }
+        auto a = static_cast<std::uint32_t>(std::floor(
+            std::pow(static_cast<double>(rest), 1.0 / d) + 1e-9));
+        while (a > 1 && rest % a != 0)
+            --a;
+        if (a == 0)
+            a = 1;
+        dims.push_back(a);
+        rest /= a;
+    }
+    return dims;
+}
+
+//
+// ----------------------------- cell runs -------------------------------
+//
 
 SweepCellResult
 SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
@@ -90,24 +268,31 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
             "SweepDriver: request size must be a positive multiple of " +
             std::to_string(sim::kCacheLineBytes) + " bytes (got " +
             std::to_string(requestBytes) + ")");
-    {
-        const std::uint64_t dataOff = Barrier::regionBytes(nodes);
-        if (cfg_.segmentBytes < dataOff + 2ull * requestBytes)
-            throw std::invalid_argument(
-                "SweepDriver: segmentBytes " +
-                std::to_string(cfg_.segmentBytes) +
-                " too small for the barrier region plus " +
-                std::to_string(requestBytes) + "-byte reads at " +
-                std::to_string(nodes) + " nodes");
+
+    const auto it = registry().find(cfg_.workload);
+    if (it == registry().end()) {
+        std::string names;
+        for (const auto &n : registeredWorkloads())
+            names += " " + n;
+        throw std::invalid_argument("SweepDriver: unknown workload '" +
+                                    cfg_.workload + "'; registered:" +
+                                    names);
     }
+    std::unique_ptr<SweepWorkload> body = it->second();
 
     SweepCellResult cell;
+    cell.workload = cfg_.workload;
     cell.nodes = nodes;
     cell.topology = topo;
     cell.requestBytes = requestBytes;
     cell.qpDepth = qpDepth;
     cell.qpCount = qpCount;
     cell.doorbellBatching = cfg_.doorbellBatching;
+    if (topo == node::Topology::kTorus) {
+        cell.torusDims = cfg_.torusDims.empty()
+                             ? torusDimsFor(nodes, cfg_.torusNdims)
+                             : cfg_.torusDims;
+    }
 
     ClusterSpec spec;
     spec.nodes(nodes)
@@ -118,75 +303,23 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
         .qpCount(qpCount)
         .doorbellBatching(cfg_.doorbellBatching)
         .seed(cfg_.seed);
-    if (topo == node::Topology::kTorus) {
-        cell.torusDims = torusDimsFor(nodes);
-        spec.torus({cell.torusDims[0], cell.torusDims[1]});
-    }
+    if (topo == node::Topology::kTorus)
+        spec.torus(cell.torusDims);
+    body->configure(spec, cell, cfg_);
 
     const auto t0 = std::chrono::steady_clock::now();
     TestBed bed(spec);
     Workload wl(bed, "sweep");
-
-    const std::uint32_t ops = cfg_.opsPerNode;
-    const std::uint64_t segBytes = cfg_.segmentBytes;
-
-    // Uniform remote reads: node i streams a full-window pipeline of
-    // requestBytes reads round-robin over its peers, sampling per-op
-    // latency as handles complete (fig9's fine-grain access pattern
-    // reduced to its fabric-facing core).
-    wl.onEachNode([ops, requestBytes, segBytes,
-                   nodes](Workload::NodeCtx &ctx) -> sim::Task {
-        auto &s = ctx.session();
-        auto &issued = ctx.counter("readsIssued");
-        auto &lat = ctx.histogram("readLatencyNs");
-
-        const std::uint32_t depth = s.queueDepth();
-        const vm::VAddr buf =
-            s.allocBuffer(std::uint64_t(depth) * requestBytes);
-        const std::uint64_t dataOff = ctx.dataOffset();
-        const std::uint64_t span =
-            (segBytes - dataOff) / 2 / requestBytes * requestBytes;
-
-        std::deque<OpHandle> window;
-        auto retireFront =
-            [&window, &lat]() -> sim::ValueTask<OpResult> {
-            OpHandle h = window.front();
-            window.pop_front();
-            OpResult r = co_await h;
-            if (!r.ok())
-                sim::fatal("sweep read failed");
-            lat.sample(sim::ticksToNs(r.latency));
-            co_return r;
-        };
-        for (std::uint32_t i = 0; i < ops; ++i) {
-            const auto peer = static_cast<sim::NodeId>(
-                (ctx.nodeId() + 1 + i % (nodes - 1)) % nodes);
-            const std::uint64_t off =
-                dataOff + (std::uint64_t(i) * requestBytes) % span;
-            // Full window: retire the oldest handle before its WQ slot
-            // can be recycled by the next post (see session.hh).
-            while (window.size() >= depth)
-                co_await retireFront();
-            const std::uint32_t slot = s.nextSlot();
-            OpHandle h = co_await s.readAsync(
-                peer, off, buf + std::uint64_t(slot) * requestBytes,
-                requestBytes);
-            issued.inc();
-            window.push_back(h);
-            // Opportunistically retire completed ops as they pass.
-            while (!window.empty() && window.front().done())
-                co_await retireFront();
-        }
-        while (!window.empty())
-            co_await retireFront();
-    });
+    body->install(bed, wl, cell, cfg_);
     wl.run();
 
     cell.hostSeconds = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count();
-    cell.ops = std::uint64_t(nodes) * ops;
-    cell.simMicros = sim::ticksToUs(wl.elapsed());
+    const auto outcome = body->finish(bed, cell, cfg_);
+    cell.ops = outcome.ops;
+    cell.simMicros =
+        sim::ticksToUs(outcome.measured ? outcome.measured : wl.elapsed());
     const double secs = cell.simMicros * 1e-6;
     cell.mops = static_cast<double>(cell.ops) / secs / 1e6;
     cell.gbps = static_cast<double>(cell.ops) * requestBytes * 8.0 /
@@ -199,7 +332,7 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
     std::vector<std::uint64_t> pooled;
     for (std::uint32_t i = 0; i < nodes; ++i) {
         const auto *h = bed.sim().stats().histogram(
-            "sweep.node" + std::to_string(i) + ".readLatencyNs");
+            "sweep.node" + std::to_string(i) + ".opLatencyNs");
         if (!h)
             continue;
         latSum += h->sum();
@@ -214,11 +347,13 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
     cell.meanLatencyNs = latCount ? latSum / latCount : 0.0;
     cell.p99LatencyNs = sim::Histogram::percentileFromBuckets(
         pooled, latCount, 99.0, latMaxSample);
+    body->annotate(cell);
     return cell;
 }
 
 void
-SweepDriver::emit(const SweepCellResult &cell) const
+SweepDriver::emit(const SweepCellResult &cell,
+                  const std::string &prefix) const
 {
     if (cfg_.echo) {
         cell.writeJson(std::cout);
@@ -226,7 +361,7 @@ SweepDriver::emit(const SweepCellResult &cell) const
     }
     if (!cfg_.outDir.empty()) {
         const std::string path =
-            cfg_.outDir + "/SWEEP_" + cell.label() + ".json";
+            cfg_.outDir + "/" + prefix + cell.label() + ".json";
         std::ofstream f(path);
         if (!f)
             sim::fatal("sweep: cannot write " + path);
@@ -238,6 +373,13 @@ SweepDriver::emit(const SweepCellResult &cell) const
 std::vector<SweepCellResult>
 SweepDriver::run()
 {
+    // The artifact prefix is a property of the (sweep-wide) workload;
+    // ask a fresh instance rather than carrying state out of runCell.
+    std::string prefix = "SWEEP_";
+    if (const auto it = registry().find(cfg_.workload);
+        it != registry().end())
+        prefix = it->second()->artifactPrefix();
+
     std::vector<SweepCellResult> results;
     for (const auto nodes : cfg_.nodeCounts)
         for (const auto topo : cfg_.topologies)
@@ -246,7 +388,7 @@ SweepDriver::run()
                     for (const auto qps : cfg_.qpCounts) {
                         results.push_back(
                             runCell(nodes, topo, size, depth, qps));
-                        emit(results.back());
+                        emit(results.back(), prefix);
                     }
     return results;
 }

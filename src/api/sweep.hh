@@ -1,31 +1,51 @@
 /**
  * @file
- * Parameter-matrix sweep driver.
+ * Parameter-matrix sweep driver with pluggable workloads.
  *
- * Runs a fig9-style uniform remote-read workload over the full cross
- * product of request size x QP depth x node count x topology, one
- * freshly-built TestBed + Workload per cell, and emits one JSON blob
- * per cell in the flat BENCH_sim_core.json schema so regression
- * tooling can diff runs:
+ * Runs a registered workload over the full cross product of request
+ * size x QP depth x QP count x node count x topology, one freshly-built
+ * TestBed + Workload per cell, and emits one JSON blob per cell in the
+ * flat BENCH_sim_core.json schema so regression tooling can diff runs:
  *
- *   {"bench": "sweep", "schema": 1, "nodes": 64,
+ *   {"bench": "sweep", "schema": 1, "workload": "uniform", "nodes": 64,
  *    "topology": "torus_8x8", "request_bytes": 64, "qp_depth": 64,
  *    "ops": 8192, "mops": ..., "gbps": ..., "mean_latency_ns": ...,
  *    "p99_latency_ns": ..., "sim_us": ..., "host_seconds": ...}
  *
- * This is the ROADMAP's "workload sweeps" driver: a 64-512 node
- * scaling study is a SweepConfig literal, not a new harness.
+ * Two workloads ship registered:
+ *
+ *  - "uniform" (built in): the fig9-style uniform remote-read kernel,
+ *    every node streaming a full-window pipeline of reads round-robin
+ *    over its peers. Artifacts are SWEEP_<label>.json.
+ *  - "pagerank" (src/app/pagerank.cc, enabled by calling
+ *    app::registerPageRankSweepWorkload()): the paper's Fig. 9
+ *    application itself — fine-grain BSP PageRank, one remote read per
+ *    cross-partition edge. Artifacts are FIG9_<label>.json.
+ *
+ * New workloads implement SweepWorkload and register a factory; the
+ * driver owns cell construction, metric pooling and JSON rendering, so
+ * a 64-512 node scaling study of any workload is a SweepConfig
+ * literal, not a new harness. Bodies sample per-op latency into the
+ * standard per-node histogram "sweep.node<i>.opLatencyNs" (pooled
+ * cluster-wide into mean/p99) and keep a per-node "sweep.node<i>.ops"
+ * counter for the stats dump; the cell's total ops (the mops
+ * numerator) comes from SweepWorkload::finish so it always covers
+ * exactly the measured region.
  */
 
 #ifndef SONUMA_API_SWEEP_HH
 #define SONUMA_API_SWEEP_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/testbed.hh"
+#include "api/workload.hh"
 #include "node/cluster.hh"
 #include "rmc/params.hh"
 
@@ -40,13 +60,44 @@ struct SweepConfig
     std::vector<std::uint32_t> nodeCounts{4};
     std::vector<node::Topology> topologies{node::Topology::kCrossbar};
 
+    /** Registered workload driven in every cell. */
+    std::string workload = "uniform";
+
+    /**
+     * Torus shape. Explicit dims (e.g. {8, 8, 8} from --topo=8x8x8)
+     * apply to every torus cell and must multiply to its node count;
+     * when empty, cells auto-factorize their node count into
+     * torusNdims near-equal radices (64 -> {8,8} in 2D, {4,4,4} in 3D).
+     */
+    std::vector<std::uint32_t> torusDims;
+    std::uint32_t torusNdims = 2;
+
     std::uint32_t opsPerNode = 128;   //!< async reads issued per node
     std::uint64_t segmentBytes = 1_MiB;
     std::uint64_t seed = 1;
     bool doorbellBatching = false;    //!< batch WQ doorbells per QP
     rmc::RmcParams rmcParams = rmc::RmcParams::simulatedHardware();
 
-    std::string outDir;   //!< write one SWEEP_*.json per cell; "" = skip
+    /** PageRank workload axis (used when workload == "pagerank"). */
+    struct PageRankAxis
+    {
+        std::uint32_t vertices = 16384; //!< fixed graph: strong scaling
+        std::uint32_t degree = 8;       //!< average in-degree
+        std::uint32_t supersteps = 1;   //!< measured BSP supersteps
+        std::uint32_t warmupSupersteps = 0; //!< untimed warm-up
+        std::uint64_t graphSeed = 7;
+        bool verifyRanks = true; //!< check vs host reference, fatal on drift
+
+        /**
+         * LLC per node, scaled down with the scaled-down graph so the
+         * cache-to-dataset ratio matches the paper's (see
+         * bench/fig9_pagerank.cc); 0 keeps the Table 1 default.
+         */
+        std::uint64_t l2PerNodeBytes = 256 * 1024;
+    };
+    PageRankAxis pagerank;
+
+    std::string outDir;   //!< write one <prefix><label>.json per cell
     bool echo = true;     //!< print each cell's JSON line to stdout
 };
 
@@ -54,6 +105,7 @@ struct SweepConfig
 struct SweepCellResult
 {
     // Coordinates.
+    std::string workload = "uniform";
     std::uint32_t nodes = 0;
     node::Topology topology = node::Topology::kCrossbar;
     std::vector<std::uint32_t> torusDims; //!< empty for crossbar
@@ -63,31 +115,88 @@ struct SweepCellResult
     bool doorbellBatching = false;
 
     // Measurements.
-    std::uint64_t ops = 0;          //!< total remote reads issued
+    std::uint64_t ops = 0;          //!< total remote ops issued
     double mops = 0;                //!< million ops per simulated second
     double gbps = 0;                //!< payload Gbit per simulated second
     double meanLatencyNs = 0;       //!< post -> completion, per op
     double p99LatencyNs = 0;
-    double simMicros = 0;           //!< aligned region, simulated time
+    double simMicros = 0;           //!< measured region, simulated time
     double hostSeconds = 0;         //!< wall time to simulate the cell
+
+    /** Workload-specific JSON fields, appended in order. */
+    std::vector<std::pair<std::string, double>> extra;
 
     /**
      * Stable identifier, e.g. "n64_torus_8x8_rs64_qd64"; multi-QP
-     * cells append "_qp<N>" (single-QP labels keep their pre-qpCount
-     * spelling so existing artifacts stay diffable).
+     * cells append "_qp<N>", batched cells "_db", and non-uniform
+     * workloads "_<workload>" (single-QP uniform labels keep their
+     * original spelling so existing artifacts stay diffable).
      */
     std::string label() const;
 
-    /** Human-readable topology, e.g. "torus_8x8" or "crossbar". */
+    /** Human-readable topology, e.g. "torus_8x8x8" or "crossbar". */
     std::string topologyName() const;
 
     /** Render the flat JSON blob (BENCH_sim_core.json schema style). */
     void writeJson(std::ostream &os) const;
 };
 
+/**
+ * One registered sweep workload, instantiated per cell. The driver
+ * calls, in order: configure (adjust the cell's ClusterSpec — segment
+ * sizing, L2, ...), install (set the Workload body), run, finish
+ * (report ops + the measured region), annotate (extra JSON fields).
+ */
+class SweepWorkload
+{
+  public:
+    virtual ~SweepWorkload() = default;
+
+    /** Adjust the cell's ClusterSpec before the TestBed is built. */
+    virtual void
+    configure(ClusterSpec &spec, const SweepCellResult &cell,
+              const SweepConfig &cfg)
+    {
+        (void)spec;
+        (void)cell;
+        (void)cfg;
+    }
+
+    /** Install the per-node body (and any functional pre-run state). */
+    virtual void install(TestBed &bed, Workload &wl,
+                         const SweepCellResult &cell,
+                         const SweepConfig &cfg) = 0;
+
+    struct Outcome
+    {
+        std::uint64_t ops = 0;    //!< total remote ops issued
+        sim::Tick measured = 0;   //!< measured region; 0 = wl.elapsed()
+    };
+
+    /** Called after the workload ran; verify and report. */
+    virtual Outcome finish(TestBed &bed, const SweepCellResult &cell,
+                           const SweepConfig &cfg) = 0;
+
+    /** Append workload-specific JSON fields to the cell. */
+    virtual void
+    annotate(SweepCellResult &cell) const
+    {
+        (void)cell;
+    }
+
+    /** Artifact file prefix ("SWEEP_", or "FIG9_" for pagerank). */
+    virtual const char *
+    artifactPrefix() const
+    {
+        return "SWEEP_";
+    }
+};
+
 class SweepDriver
 {
   public:
+    using WorkloadFactory = std::function<std::unique_ptr<SweepWorkload>()>;
+
     explicit SweepDriver(SweepConfig cfg) : cfg_(std::move(cfg)) {}
 
     /**
@@ -103,15 +212,36 @@ class SweepDriver
                             std::uint32_t qpCount = 1);
 
     /**
-     * Near-square torus factorization for @p nodes, e.g. 64 -> {8, 8},
-     * 32 -> {4, 8}. Falls back to {1, n} for primes.
+     * Register (or replace) a workload under @p name. "uniform" is
+     * pre-registered; app::registerPageRankSweepWorkload() adds
+     * "pagerank".
+     */
+    static void registerWorkload(const std::string &name,
+                                 WorkloadFactory factory);
+
+    static bool workloadRegistered(const std::string &name);
+
+    /** Registered names, sorted (for error messages / --help). */
+    static std::vector<std::string> registeredWorkloads();
+
+    /**
+     * Near-square 2D torus factorization for @p nodes, e.g. 64 ->
+     * {8, 8}, 32 -> {4, 8}. Falls back to {1, n} for primes.
      */
     static std::vector<std::uint32_t> torusDimsFor(std::uint32_t nodes);
+
+    /**
+     * Near-cubic factorization into @p ndims radices, largest last:
+     * 64 -> {4, 4, 4}, 256 -> {4, 8, 8}, 512 -> {8, 8, 8}.
+     */
+    static std::vector<std::uint32_t> torusDimsFor(std::uint32_t nodes,
+                                                   std::uint32_t ndims);
 
   private:
     SweepConfig cfg_;
 
-    void emit(const SweepCellResult &cell) const;
+    void emit(const SweepCellResult &cell,
+              const std::string &prefix) const;
 };
 
 } // namespace sonuma::api

@@ -85,7 +85,10 @@ class ClusterSpec
         return *this;
     }
 
-    /** k-ary n-cube fabric; radix per dimension, e.g. torus(8, 8). */
+    /**
+     * k-ary n-cube fabric; radix per dimension, e.g. torus({8, 8}) for
+     * a 64-node 2D torus or torus({8, 8, 8}) for a 512-node 3D torus.
+     */
     ClusterSpec &
     torus(std::initializer_list<std::uint32_t> dims)
     {
@@ -94,10 +97,25 @@ class ClusterSpec
         return *this;
     }
 
+    /** As above with a runtime-built dims vector (e.g. --topo=8x8x8). */
+    ClusterSpec &
+    torus(std::vector<std::uint32_t> dims)
+    {
+        params_.topology = node::Topology::kTorus;
+        params_.torus.dims = std::move(dims);
+        return *this;
+    }
+
     ClusterSpec &
     torus(std::uint32_t x, std::uint32_t y)
     {
         return torus({x, y});
+    }
+
+    ClusterSpec &
+    torus(std::uint32_t x, std::uint32_t y, std::uint32_t z)
+    {
+        return torus({x, y, z});
     }
 
     /** Context id every node joins (default 1). */

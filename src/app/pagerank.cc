@@ -1,16 +1,27 @@
 /**
  * @file
  * PageRank runners (SHM, soNUMA bulk, soNUMA fine-grain).
+ *
+ * The soNUMA sides run on the API-v2 Workload runtime: one coroutine
+ * per node on a declaratively-built TestBed, §5.3 barrier alignment
+ * via Workload's NodeCtx, per-node stats under the workload scope.
+ * PageRankFineWorkload is the shared core the SweepDriver "pagerank"
+ * workload drives at 64-512 nodes (FIG9 artifacts).
  */
 
 #include "app/pagerank.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <deque>
 #include <memory>
+#include <stdexcept>
 
 #include "api/barrier.hh"
 #include "api/session.hh"
+#include "api/sweep.hh"
+#include "api/workload.hh"
 #include "node/cluster.hh"
 #include "sim/simulation.hh"
 #include "sim/sync.hh"
@@ -161,243 +172,147 @@ runPageRankShm(const Graph &g, std::uint32_t threads,
 }
 
 //
-// ---------------------- shared soNUMA scaffolding ----------------------
+// ---------------- shared soNUMA scaffolding (Workload runtime) ---------
 //
 
 namespace {
 
-/** Everything one soNUMA PageRank node needs. */
-struct PrNode
+/** The P-node soNUMA deployment both runners use (paper §7.5(i)). */
+api::ClusterSpec
+soNumaSpec(const PageRankConfig &cfg, const rmc::RmcParams &rmcParams,
+           std::uint32_t parts, std::uint64_t segBytes)
 {
-    os::Process *proc = nullptr;
-    vm::VAddr segBase = 0;
-    vm::VAddr vtxVa = 0;          //!< owned vertex array (in segment)
-    std::uint64_t vtxOff = 0;     //!< its offset within the segment
-    std::unique_ptr<api::RmcSession> session;
-    std::unique_ptr<api::RmcSession> barrierSession; //!< own QP: barrier
-    std::unique_ptr<api::Barrier> barrier;
-    NodeGraph ng;
-};
+    return api::ClusterSpec{}
+        .nodes(parts)
+        .coresPerNode(1)
+        .l2PerNode(cfg.l2PerUnitBytes)
+        .rmc(rmcParams)
+        .segmentPerNode(segBytes)
+        .seed(cfg.seed);
+}
 
-/** Build cluster + per-node state shared by bulk and fine-grain. */
-struct PrSetup
+/** Largest per-node vertex count (partitions differ by at most one). */
+std::uint64_t
+maxOwnedVertices(const Partition &part)
 {
-    std::unique_ptr<node::Cluster> cluster;
-    std::vector<PrNode> nodes;
-    static constexpr sim::CtxId kCtx = 1;
+    std::uint64_t owned = 0;
+    for (const auto &members : part.members)
+        owned = std::max<std::uint64_t>(owned, members.size());
+    return owned;
+}
 
-    PrSetup(sim::Simulation &sim, const Graph &g, const Partition &part,
-            const PageRankConfig &cfg, const rmc::RmcParams &rmcParams,
-            std::uint64_t extraSegBytes)
-    {
-        const std::uint32_t P = part.parts;
-        node::ClusterParams cp;
-        cp.nodes = P;
-        cp.node.cores = 1;
-        cp.node.l2.sizeBytes = cfg.l2PerUnitBytes;
-        cp.node.rmc = rmcParams;
-        cluster = std::make_unique<node::Cluster>(sim, cp);
-        cluster->createSharedContext(kCtx);
-
-        const std::uint64_t barBytes = api::Barrier::regionBytes(P);
-        std::vector<sim::NodeId> all(P);
-        for (std::uint32_t i = 0; i < P; ++i)
-            all[i] = static_cast<sim::NodeId>(i);
-
-        nodes.resize(P);
-        for (std::uint32_t p = 0; p < P; ++p) {
-            auto &nd = cluster->node(p);
-            PrNode &n = nodes[p];
-            n.proc = &nd.os().createProcess(0);
-            const std::uint64_t owned =
-                part.members[p].size() * sizeof(VertexData);
-            n.segBase =
-                n.proc->alloc(barBytes + owned + extraSegBytes);
-            nd.driver().openContext(*n.proc, kCtx);
-            nd.driver().registerSegment(*n.proc, kCtx, n.segBase,
-                                        barBytes + owned + extraSegBytes);
-            n.vtxOff = barBytes;
-            n.vtxVa = n.segBase + barBytes;
-            initVertexArray(n.proc->addressSpace(), n.vtxVa,
-                            part.members[p], g);
-            n.session = std::make_unique<api::RmcSession>(
-                nd.core(0), nd.driver(), *n.proc, kCtx);
-            // The barrier owns a separate QP: completions of its
-            // announcement writes must never surface through the
-            // application QP's callbacks.
-            n.barrierSession = std::make_unique<api::RmcSession>(
-                nd.core(0), nd.driver(), *n.proc, kCtx);
-            n.barrier = std::make_unique<api::Barrier>(
-                *n.barrierSession, all, n.segBase, 0);
-            n.ng = buildNodeGraph(g, part, p);
+/** Gather final ranks out of the TestBed's simulated memories. */
+std::vector<double>
+gatherRanks(api::TestBed &bed, const Graph &g, const Partition &part,
+            std::uint64_t vtxOff, int finalPar)
+{
+    std::vector<double> ranks(g.numVertices);
+    for (std::uint32_t p = 0; p < part.parts; ++p) {
+        auto &as = bed.process(p).addressSpace();
+        const vm::VAddr vtxVa = bed.segBase(p) + vtxOff;
+        for (std::size_t i = 0; i < part.members[p].size(); ++i) {
+            VertexData vd;
+            as.read(vtxVa + i * sizeof(VertexData), &vd, sizeof(vd));
+            ranks[part.members[p][i]] = vd.rank[finalPar];
         }
     }
+    return ranks;
+}
 
-    /** Gather final ranks out of simulated memory. */
-    std::vector<double>
-    gather(const Graph &g, const Partition &part, int finalPar) const
-    {
-        std::vector<double> ranks(g.numVertices);
-        for (std::uint32_t p = 0; p < part.parts; ++p) {
-            const PrNode &n = nodes[p];
-            for (std::size_t i = 0; i < part.members[p].size(); ++i) {
-                VertexData vd;
-                n.proc->addressSpace().read(n.vtxVa + i * 64, &vd,
-                                            sizeof(vd));
-                ranks[part.members[p][i]] = vd.rank[finalPar];
-            }
-        }
-        return ranks;
-    }
-};
-
-} // namespace
-
-//
-// --------------------------- soNUMA (bulk) -----------------------------
-//
-
-PageRankRun
-runPageRankBulk(const Graph &g, const Partition &part,
-                const PageRankConfig &cfg, const rmc::RmcParams &rmcParams)
+/** Sum the per-node RMC abort/error counters into @p run. */
+void
+collectRmcErrors(sim::Simulation &sim, std::uint32_t parts,
+                 PageRankRun *run)
 {
-    sim::Simulation sim(cfg.seed);
-    PrSetup setup(sim, g, part, cfg, rmcParams, 0);
-    const std::uint32_t P = part.parts;
-
-    // Local mirror of every peer's vertex array; seeded functionally
-    // (the paper's setup phase is not part of the timed supersteps).
-    std::vector<std::vector<vm::VAddr>> mirror(P,
-                                               std::vector<vm::VAddr>(P));
-    for (std::uint32_t p = 0; p < P; ++p) {
-        for (std::uint32_t q = 0; q < P; ++q) {
-            if (q == p)
-                continue;
-            const std::uint64_t bytes =
-                part.members[q].size() * sizeof(VertexData);
-            mirror[p][q] = setup.nodes[p].proc->alloc(bytes);
-            initVertexArray(setup.nodes[p].proc->addressSpace(),
-                            mirror[p][q], part.members[q], g);
-        }
-    }
-
-    sim::Tick start = 0, end = 0;
-    std::uint64_t remoteOps = 0;
-
-    auto worker = [&](std::uint32_t p) -> sim::Task {
-        PrNode &n = setup.nodes[p];
-        auto &core = setup.cluster->node(p).core(0);
-        auto &as = n.proc->addressSpace();
-
-        co_await n.barrier->arrive();
-
-        const std::uint32_t total =
-            cfg.warmupSupersteps + cfg.supersteps;
-        for (std::uint32_t step = 0; step < total; ++step) {
-            if (p == 0 && step == cfg.warmupSupersteps)
-                start = sim.now();
-            const int readPar = static_cast<int>(step % 2);
-            const int writePar = 1 - readPar;
-
-            // Compute phase: local + mirrored data only.
-            const auto &mine = part.members[p];
-            for (std::uint32_t i = 0;
-                 i < static_cast<std::uint32_t>(mine.size()); ++i) {
-                co_await core.compute(cfg.vertexComputeCycles);
-                double acc = (1.0 - cfg.damping) / g.numVertices;
-                for (std::uint32_t e = n.ng.rowPtr[i];
-                     e < n.ng.rowPtr[i + 1]; ++e) {
-                    const auto &ref = n.ng.refs[e];
-                    const vm::VAddr ua =
-                        (ref.part == p ? n.vtxVa : mirror[p][ref.part]) +
-                        std::uint64_t(ref.localIdx) * 64;
-                    co_await core.load(ua);
-                    co_await core.compute(cfg.edgeComputeCycles);
-                    VertexData ud;
-                    as.read(ua, &ud, sizeof(ud));
-                    acc += cfg.damping * ud.rank[readPar] /
-                           static_cast<double>(ud.outDegree);
-                }
-                const vm::VAddr va = n.vtxVa + std::uint64_t(i) * 64;
-                co_await core.store(va);
-                VertexData vd;
-                as.read(va, &vd, sizeof(vd));
-                vd.rank[writePar] = acc;
-                as.write(va, &vd, sizeof(vd));
-            }
-
-            co_await n.barrier->arrive();
-
-            // Shuffle phase: pull every peer's vertex array in wide
-            // multi-line reads (one WQ entry per chunk).
-            for (std::uint32_t q = 0; q < P; ++q) {
-                if (q == p)
-                    continue;
-                const std::uint64_t bytes =
-                    part.members[q].size() * sizeof(VertexData);
-                std::uint64_t off = 0;
-                while (off < bytes) {
-                    const auto chunk = static_cast<std::uint32_t>(
-                        std::min<std::uint64_t>(cfg.bulkChunkBytes,
-                                                bytes - off));
-                    co_await n.session->readAsync(
-                        static_cast<sim::NodeId>(q),
-                        setup.nodes[q].vtxOff + off, mirror[p][q] + off,
-                        chunk);
-                    ++remoteOps;
-                    off += chunk;
-                }
-            }
-            co_await n.session->drain();
-            co_await n.barrier->arrive();
-        }
-        if (p == 0)
-            end = sim.now();
-    };
-
-    for (std::uint32_t p = 0; p < P; ++p)
-        setup.cluster->node(p).core(0).run(worker(p));
-    sim.run();
-
-    PageRankRun run;
-    run.elapsed = end - start;
-    run.remoteOps = remoteOps;
-    for (std::uint32_t p = 0; p < P; ++p) {
+    for (std::uint32_t p = 0; p < parts; ++p) {
         const std::string prefix = "node" + std::to_string(p) + ".rmc.";
         if (const auto *c = sim.stats().counter(prefix + "failureAborts"))
-            run.aborts += c->value();
+            run->aborts += c->value();
         if (const auto *c =
                 sim.stats().counter(prefix + "rrpp.boundsErrors"))
-            run.errors += c->value();
+            run->errors += c->value();
         if (const auto *c = sim.stats().counter(prefix + "rrpp.badContext"))
-            run.errors += c->value();
+            run->errors += c->value();
     }
-    run.ranks = setup.gather(
-        g, part,
-        static_cast<int>((cfg.warmupSupersteps + cfg.supersteps) % 2));
-    return run;
 }
+
+} // namespace
 
 //
 // ------------------------ soNUMA (fine-grain) --------------------------
 //
 
-PageRankRun
-runPageRankFine(const Graph &g, const Partition &part,
-                const PageRankConfig &cfg, const rmc::RmcParams &rmcParams)
+struct PageRankFineWorkload::State
 {
-    sim::Simulation sim(cfg.seed);
-    PrSetup setup(sim, g, part, cfg, rmcParams, 0);
-    const std::uint32_t P = part.parts;
+    const Graph &g;
+    const Partition &part;
+    PageRankConfig cfg;
+    std::vector<NodeGraph> ng;    //!< per node
+    std::uint64_t vtxOff;         //!< barrier region bytes
+    sim::Tick start = 0, end = 0; //!< measured region (node 0)
+    std::uint64_t remoteOps = 0;  //!< all supersteps (incl. warm-up)
+    std::uint64_t measuredRemoteOps = 0; //!< post-warm-up only
 
-    sim::Tick start = 0, end = 0;
-    std::uint64_t remoteOps = 0;
+    State(const Graph &graph, const Partition &partition,
+          const PageRankConfig &config)
+        : g(graph), part(partition), cfg(config),
+          vtxOff(api::Barrier::regionBytes(partition.parts))
+    {
+        ng.reserve(part.parts);
+        for (std::uint32_t p = 0; p < part.parts; ++p)
+            ng.push_back(buildNodeGraph(g, part, p));
+    }
+};
 
-    auto worker = [&](std::uint32_t p) -> sim::Task {
-        PrNode &n = setup.nodes[p];
-        auto &core = setup.cluster->node(p).core(0);
-        auto &as = n.proc->addressSpace();
-        auto &session = *n.session;
+PageRankFineWorkload::PageRankFineWorkload(const Graph &g,
+                                           const Partition &part,
+                                           const PageRankConfig &cfg)
+    : st_(std::make_unique<State>(g, part, cfg))
+{}
+
+PageRankFineWorkload::~PageRankFineWorkload() = default;
+
+std::uint64_t
+PageRankFineWorkload::segmentBytesNeeded() const
+{
+    return st_->vtxOff +
+           maxOwnedVertices(st_->part) * sizeof(VertexData);
+}
+
+void
+PageRankFineWorkload::install(api::TestBed &bed, api::Workload &wl)
+{
+    State *st = st_.get();
+    if (bed.nodes() != st->part.parts)
+        throw std::invalid_argument(
+            "PageRankFineWorkload: TestBed has " +
+            std::to_string(bed.nodes()) + " nodes but the partition has " +
+            std::to_string(st->part.parts) + " parts");
+    if (bed.segBytes() < segmentBytesNeeded())
+        throw std::invalid_argument(
+            "PageRankFineWorkload: segmentPerNode " +
+            std::to_string(bed.segBytes()) + " < " +
+            std::to_string(segmentBytesNeeded()) +
+            " bytes needed for the barrier region plus owned vertices");
+
+    // Seed every node's owned vertex array (functional: the paper's
+    // setup phase is not part of the timed supersteps).
+    for (std::uint32_t p = 0; p < st->part.parts; ++p)
+        initVertexArray(bed.process(p).addressSpace(),
+                        bed.segBase(p) + st->vtxOff, st->part.members[p],
+                        st->g);
+
+    wl.onEachNode([st](api::Workload::NodeCtx &ctx) -> sim::Task {
+        const std::uint32_t p = ctx.nodeId();
+        auto &session = ctx.session();
+        auto &core = session.core();
+        auto &as = session.process().addressSpace();
+        auto &ops = ctx.counter("ops");
+        auto &lat = ctx.histogram("opLatencyNs");
+        const NodeGraph &ng = st->ng[p];
+        const PageRankConfig &cfg = st->cfg;
+        const Graph &g = st->g;
+        const vm::VAddr vtxVa = ctx.segBase() + st->vtxOff;
 
         // Per-slot landing lines + a FIFO of pending reads carrying the
         // paper's async_dest_addr context alongside each OpHandle.
@@ -409,41 +324,52 @@ runPageRankFine(const Graph &g, const Partition &part,
             int writePar;
         };
         std::deque<PendingRead> pendingReads;
+        const std::uint32_t depth = session.queueDepth();
         const vm::VAddr lbuf =
-            n.proc->alloc(std::uint64_t(session.queueDepth()) * 64);
+            session.allocBuffer(std::uint64_t(depth) * 64);
+        // Warm-up supersteps are untimed, so their ops and latency
+        // samples must not enter the measured stats either (the
+        // Outcome's ops are divided by the measured region). A posted
+        // read always retires within its own superstep (drain at the
+        // superstep end), so one flag suffices.
+        bool measuring = cfg.warmupSupersteps == 0;
 
-        // Applying one completion runs the paper's pagerank_async:
-        // read the fetched vertex, accumulate into the target's rank.
-        auto applyOne = [&as, &n, &cfg,
-                         this_lbuf = lbuf](const PendingRead &pr) {
-            assert(pr.h.done());
+        // Retiring one read runs the paper's pagerank_async handler:
+        // await the fetched vertex, accumulate into the target's rank.
+        auto retireFront = [&]() -> sim::Task {
+            PendingRead pr = pendingReads.front();
+            pendingReads.pop_front();
+            const api::OpResult r = co_await pr.h;
+            if (!r.ok())
+                sim::fatal("pagerank remote read failed");
+            if (measuring)
+                lat.sample(sim::ticksToNs(r.latency));
             VertexData nb;
-            as.read(this_lbuf + std::uint64_t(pr.h.slot()) * 64, &nb,
+            as.read(lbuf + std::uint64_t(pr.h.slot()) * 64, &nb,
                     sizeof(nb));
             const double contrib = cfg.damping * nb.rank[pr.readPar] /
                                    static_cast<double>(nb.outDegree);
-            const vm::VAddr va = n.vtxVa + std::uint64_t(pr.vLocal) * 64;
+            const vm::VAddr va = vtxVa + std::uint64_t(pr.vLocal) * 64;
             VertexData vd;
             as.read(va, &vd, sizeof(vd));
             vd.rank[pr.writePar] += contrib;
             as.write(va, &vd, sizeof(vd));
         };
 
-        co_await n.barrier->arrive();
-
-        const auto &mine = part.members[p];
+        const auto &mine = st->part.members[p];
         const std::uint32_t total =
             cfg.warmupSupersteps + cfg.supersteps;
         for (std::uint32_t step = 0; step < total; ++step) {
             if (p == 0 && step == cfg.warmupSupersteps)
-                start = sim.now();
+                st->start = ctx.sim().now();
+            measuring = step >= cfg.warmupSupersteps;
             const int readPar = static_cast<int>(step % 2);
             const int writePar = 1 - readPar;
 
             for (std::uint32_t i = 0;
                  i < static_cast<std::uint32_t>(mine.size()); ++i) {
                 co_await core.compute(cfg.vertexComputeCycles);
-                const vm::VAddr va = n.vtxVa + std::uint64_t(i) * 64;
+                const vm::VAddr va = vtxVa + std::uint64_t(i) * 64;
 
                 // Seed the write-parity rank before any async completion
                 // can accumulate into it (Fig. 4's first statement).
@@ -457,13 +383,13 @@ runPageRankFine(const Graph &g, const Partition &part,
                 }
 
                 double acc = 0.0;
-                for (std::uint32_t e = n.ng.rowPtr[i];
-                     e < n.ng.rowPtr[i + 1]; ++e) {
-                    const auto &ref = n.ng.refs[e];
+                for (std::uint32_t e = ng.rowPtr[i]; e < ng.rowPtr[i + 1];
+                     ++e) {
+                    const auto &ref = ng.refs[e];
                     if (ref.part == p) {
                         // Shared-memory path within the node.
                         const vm::VAddr ua =
-                            n.vtxVa + std::uint64_t(ref.localIdx) * 64;
+                            vtxVa + std::uint64_t(ref.localIdx) * 64;
                         co_await core.load(ua);
                         co_await core.compute(cfg.edgeComputeCycles);
                         VertexData ud;
@@ -475,27 +401,27 @@ runPageRankFine(const Graph &g, const Partition &part,
                         // window retires its oldest read before posting
                         // so the WQ slot (and landing line) can be
                         // recycled safely (see session.hh).
-                        while (pendingReads.size() >=
-                               session.queueDepth()) {
-                            co_await pendingReads.front().h;
-                            applyOne(pendingReads.front());
-                            pendingReads.pop_front();
-                        }
+                        while (pendingReads.size() >= depth)
+                            co_await retireFront();
                         const std::uint32_t slot = session.nextSlot();
                         api::OpHandle h = co_await session.readAsync(
                             static_cast<sim::NodeId>(ref.part),
-                            setup.nodes[ref.part].vtxOff +
-                                std::uint64_t(ref.localIdx) * 64,
+                            st->vtxOff + std::uint64_t(ref.localIdx) * 64,
                             lbuf + std::uint64_t(slot) * 64, 64);
                         pendingReads.push_back(
                             PendingRead{h, i, readPar, writePar});
-                        ++remoteOps;
+                        ++st->remoteOps;
+                        if (measuring) {
+                            // Stats cover the measured region only, so
+                            // the pooled counter, the latency sample
+                            // count and the cell's JSON ops all agree.
+                            ops.inc();
+                            ++st->measuredRemoteOps;
+                        }
                         // Absorb completions the post just reaped.
                         while (!pendingReads.empty() &&
-                               pendingReads.front().h.done()) {
-                            applyOne(pendingReads.front());
-                            pendingReads.pop_front();
-                        }
+                               pendingReads.front().h.done())
+                            co_await retireFront();
                     }
                 }
                 if (acc != 0.0) {
@@ -507,37 +433,293 @@ runPageRankFine(const Graph &g, const Partition &part,
                 }
             }
             co_await session.drain();
-            while (!pendingReads.empty()) {
-                applyOne(pendingReads.front());
-                pendingReads.pop_front();
-            }
-            co_await n.barrier->arrive();
+            while (!pendingReads.empty())
+                co_await retireFront();
+            co_await ctx.barrier();
         }
         if (p == 0)
-            end = sim.now();
-    };
+            st->end = ctx.sim().now();
+    });
+}
 
-    for (std::uint32_t p = 0; p < P; ++p)
-        setup.cluster->node(p).core(0).run(worker(p));
-    sim.run();
+PageRankRun
+PageRankFineWorkload::collect(api::TestBed &bed) const
+{
+    PageRankRun run;
+    run.elapsed = st_->end - st_->start;
+    run.remoteOps = st_->remoteOps;
+    run.measuredRemoteOps = st_->measuredRemoteOps;
+    collectRmcErrors(bed.sim(), st_->part.parts, &run);
+    run.ranks = gatherRanks(
+        bed, st_->g, st_->part, st_->vtxOff,
+        static_cast<int>(
+            (st_->cfg.warmupSupersteps + st_->cfg.supersteps) % 2));
+    return run;
+}
+
+PageRankRun
+runPageRankFine(const Graph &g, const Partition &part,
+                const PageRankConfig &cfg, const rmc::RmcParams &rmcParams)
+{
+    PageRankFineWorkload pr(g, part, cfg);
+    api::TestBed bed(soNumaSpec(cfg, rmcParams, part.parts,
+                                pr.segmentBytesNeeded()));
+    api::Workload wl(bed, "pagerank");
+    pr.install(bed, wl);
+    wl.run();
+    return pr.collect(bed);
+}
+
+//
+// --------------------------- soNUMA (bulk) -----------------------------
+//
+
+PageRankRun
+runPageRankBulk(const Graph &g, const Partition &part,
+                const PageRankConfig &cfg, const rmc::RmcParams &rmcParams)
+{
+    const std::uint32_t P = part.parts;
+    const std::uint64_t vtxOff = api::Barrier::regionBytes(P);
+    api::TestBed bed(soNumaSpec(
+        cfg, rmcParams, P,
+        vtxOff + maxOwnedVertices(part) * sizeof(VertexData)));
+
+    std::vector<NodeGraph> ng;
+    ng.reserve(P);
+    for (std::uint32_t p = 0; p < P; ++p) {
+        ng.push_back(buildNodeGraph(g, part, p));
+        initVertexArray(bed.process(p).addressSpace(),
+                        bed.segBase(p) + vtxOff, part.members[p], g);
+    }
+
+    // Local mirror of every peer's vertex array; seeded functionally
+    // (the paper's setup phase is not part of the timed supersteps).
+    std::vector<std::vector<vm::VAddr>> mirror(P,
+                                               std::vector<vm::VAddr>(P));
+    for (std::uint32_t p = 0; p < P; ++p) {
+        for (std::uint32_t q = 0; q < P; ++q) {
+            if (q == p)
+                continue;
+            mirror[p][q] = bed.process(p).alloc(
+                part.members[q].size() * sizeof(VertexData));
+            initVertexArray(bed.process(p).addressSpace(), mirror[p][q],
+                            part.members[q], g);
+        }
+    }
+
+    sim::Tick start = 0, end = 0;
+    std::uint64_t remoteOps = 0, measuredRemoteOps = 0;
+
+    api::Workload wl(bed, "pagerank");
+    wl.onEachNode([&](api::Workload::NodeCtx &ctx) -> sim::Task {
+        const std::uint32_t p = ctx.nodeId();
+        auto &session = ctx.session();
+        auto &core = session.core();
+        auto &as = session.process().addressSpace();
+        auto &ops = ctx.counter("ops");
+        const vm::VAddr vtxVa = ctx.segBase() + vtxOff;
+
+        const auto &mine = part.members[p];
+        const std::uint32_t total =
+            cfg.warmupSupersteps + cfg.supersteps;
+        for (std::uint32_t step = 0; step < total; ++step) {
+            if (p == 0 && step == cfg.warmupSupersteps)
+                start = ctx.sim().now();
+            const int readPar = static_cast<int>(step % 2);
+            const int writePar = 1 - readPar;
+
+            // Compute phase: local + mirrored data only.
+            for (std::uint32_t i = 0;
+                 i < static_cast<std::uint32_t>(mine.size()); ++i) {
+                co_await core.compute(cfg.vertexComputeCycles);
+                double acc = (1.0 - cfg.damping) / g.numVertices;
+                for (std::uint32_t e = ng[p].rowPtr[i];
+                     e < ng[p].rowPtr[i + 1]; ++e) {
+                    const auto &ref = ng[p].refs[e];
+                    const vm::VAddr ua =
+                        (ref.part == p ? vtxVa : mirror[p][ref.part]) +
+                        std::uint64_t(ref.localIdx) * 64;
+                    co_await core.load(ua);
+                    co_await core.compute(cfg.edgeComputeCycles);
+                    VertexData ud;
+                    as.read(ua, &ud, sizeof(ud));
+                    acc += cfg.damping * ud.rank[readPar] /
+                           static_cast<double>(ud.outDegree);
+                }
+                const vm::VAddr va = vtxVa + std::uint64_t(i) * 64;
+                co_await core.store(va);
+                VertexData vd;
+                as.read(va, &vd, sizeof(vd));
+                vd.rank[writePar] = acc;
+                as.write(va, &vd, sizeof(vd));
+            }
+
+            co_await ctx.barrier();
+
+            // Shuffle phase: pull every peer's vertex array in wide
+            // multi-line reads (one WQ entry per chunk).
+            for (std::uint32_t q = 0; q < P; ++q) {
+                if (q == p)
+                    continue;
+                const std::uint64_t bytes =
+                    part.members[q].size() * sizeof(VertexData);
+                std::uint64_t off = 0;
+                while (off < bytes) {
+                    const auto chunk = static_cast<std::uint32_t>(
+                        std::min<std::uint64_t>(cfg.bulkChunkBytes,
+                                                bytes - off));
+                    co_await session.readAsync(
+                        static_cast<sim::NodeId>(q), vtxOff + off,
+                        mirror[p][q] + off, chunk);
+                    ++remoteOps;
+                    if (step >= cfg.warmupSupersteps) {
+                        ops.inc();
+                        ++measuredRemoteOps;
+                    }
+                    off += chunk;
+                }
+            }
+            co_await session.drain();
+            co_await ctx.barrier();
+        }
+        if (p == 0)
+            end = ctx.sim().now();
+    });
+    wl.run();
 
     PageRankRun run;
     run.elapsed = end - start;
     run.remoteOps = remoteOps;
-    for (std::uint32_t p = 0; p < P; ++p) {
-        const std::string prefix = "node" + std::to_string(p) + ".rmc.";
-        if (const auto *c = sim.stats().counter(prefix + "failureAborts"))
-            run.aborts += c->value();
-        if (const auto *c =
-                sim.stats().counter(prefix + "rrpp.boundsErrors"))
-            run.errors += c->value();
-        if (const auto *c = sim.stats().counter(prefix + "rrpp.badContext"))
-            run.errors += c->value();
-    }
-    run.ranks = setup.gather(
-        g, part,
+    run.measuredRemoteOps = measuredRemoteOps;
+    collectRmcErrors(bed.sim(), P, &run);
+    run.ranks = gatherRanks(
+        bed, g, part, vtxOff,
         static_cast<int>((cfg.warmupSupersteps + cfg.supersteps) % 2));
     return run;
+}
+
+//
+// --------------------- SweepDriver "pagerank" workload -----------------
+//
+
+namespace {
+
+/**
+ * The Fig. 9 application as a sweepable workload: graph + partition
+ * built per cell from SweepConfig::pagerank, the fine-grain runner
+ * installed on the driver's TestBed/Workload, ranks verified against
+ * the host reference, FIG9_<label>.json artifacts.
+ */
+class PageRankSweepWorkload : public api::SweepWorkload
+{
+  public:
+    void
+    configure(api::ClusterSpec &spec, const api::SweepCellResult &cell,
+              const api::SweepConfig &cfg) override
+    {
+        const auto &axis = cfg.pagerank;
+        if (cell.requestBytes != sizeof(VertexData))
+            throw std::invalid_argument(
+                "pagerank sweep: request size is fixed at " +
+                std::to_string(sizeof(VertexData)) +
+                " bytes (one vertex record per remote read); got " +
+                std::to_string(cell.requestBytes) +
+                " — run with --sizes=64");
+        if (axis.vertices < cell.nodes)
+            throw std::invalid_argument(
+                "pagerank sweep: " + std::to_string(axis.vertices) +
+                " vertices cannot be partitioned over " +
+                std::to_string(cell.nodes) + " nodes");
+        sim::Rng grng(axis.graphSeed);
+        g_ = generatePowerLaw(grng, axis.vertices, axis.degree);
+        sim::Rng prng(axis.graphSeed + cell.nodes);
+        part_ = randomPartition(prng, g_.numVertices, cell.nodes);
+
+        prCfg_.supersteps = axis.supersteps;
+        prCfg_.warmupSupersteps = axis.warmupSupersteps;
+        prCfg_.seed = cfg.seed;
+        if (axis.l2PerNodeBytes != 0) {
+            prCfg_.l2PerUnitBytes = axis.l2PerNodeBytes;
+            spec.l2PerNode(axis.l2PerNodeBytes);
+        }
+
+        fine_ = std::make_unique<PageRankFineWorkload>(g_, part_, prCfg_);
+        spec.segmentPerNode(fine_->segmentBytesNeeded());
+    }
+
+    void
+    install(api::TestBed &bed, api::Workload &wl,
+            const api::SweepCellResult &cell,
+            const api::SweepConfig &cfg) override
+    {
+        (void)cell;
+        (void)cfg;
+        fine_->install(bed, wl);
+    }
+
+    Outcome
+    finish(api::TestBed &bed, const api::SweepCellResult &cell,
+           const api::SweepConfig &cfg) override
+    {
+        run_ = fine_->collect(bed);
+        if (run_.aborts != 0 || run_.errors != 0)
+            sim::fatal("pagerank sweep cell " + cell.label() + ": " +
+                       std::to_string(run_.aborts) + " aborts, " +
+                       std::to_string(run_.errors) + " RMC errors");
+        if (cfg.pagerank.verifyRanks) {
+            const auto ref = referencePageRank(
+                g_, prCfg_.warmupSupersteps + prCfg_.supersteps,
+                prCfg_.damping);
+            double maxDiff = 0;
+            for (std::size_t v = 0; v < ref.size(); ++v)
+                maxDiff = std::max(maxDiff,
+                                   std::abs(run_.ranks[v] - ref[v]));
+            if (maxDiff > 1e-9)
+                sim::fatal("pagerank sweep cell " + cell.label() +
+                           ": ranks diverge from the host reference "
+                           "(max |diff| = " + std::to_string(maxDiff) +
+                           ")");
+        }
+        // Ops and time base must cover the same region: warm-up
+        // supersteps are excluded from both.
+        return Outcome{run_.measuredRemoteOps, run_.elapsed};
+    }
+
+    void
+    annotate(api::SweepCellResult &cell) const override
+    {
+        cell.extra.emplace_back("vertices",
+                                static_cast<double>(g_.numVertices));
+        cell.extra.emplace_back("edges",
+                                static_cast<double>(g_.numEdges()));
+        cell.extra.emplace_back("supersteps",
+                                static_cast<double>(prCfg_.supersteps));
+        cell.extra.emplace_back("cross_edge_fraction",
+                                part_.crossEdgeFraction(g_));
+    }
+
+    const char *
+    artifactPrefix() const override
+    {
+        return "FIG9_";
+    }
+
+  private:
+    Graph g_;
+    Partition part_;
+    PageRankConfig prCfg_;
+    std::unique_ptr<PageRankFineWorkload> fine_;
+    PageRankRun run_;
+};
+
+} // namespace
+
+void
+registerPageRankSweepWorkload()
+{
+    api::SweepDriver::registerWorkload("pagerank", [] {
+        return std::make_unique<PageRankSweepWorkload>();
+    });
 }
 
 } // namespace sonuma::app

@@ -20,11 +20,17 @@
 #define SONUMA_APP_PAGERANK_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "app/graph.hh"
 #include "rmc/params.hh"
 #include "sim/types.hh"
+
+namespace sonuma::api {
+class TestBed;
+class Workload;
+} // namespace sonuma::api
 
 namespace sonuma::app {
 
@@ -67,8 +73,16 @@ struct PageRankConfig
 struct PageRankRun
 {
     std::vector<double> ranks;  //!< final ranks by global vertex id
-    sim::Tick elapsed = 0;      //!< simulated time of the superstep loop
+    sim::Tick elapsed = 0;      //!< measured supersteps (excl. warm-up)
     std::uint64_t remoteOps = 0; //!< remote reads issued (0 for SHM)
+
+    /**
+     * Remote reads issued during the measured supersteps only — the
+     * numerator that matches `elapsed` for throughput (equals
+     * remoteOps when warmupSupersteps == 0).
+     */
+    std::uint64_t measuredRemoteOps = 0;
+
     std::uint64_t aborts = 0;   //!< timeout/failure-aborted transfers
     std::uint64_t errors = 0;   //!< RRPP-reported request errors
 };
@@ -88,6 +102,57 @@ PageRankRun runPageRankFine(const Graph &g, const Partition &partition,
                             const PageRankConfig &cfg,
                             const rmc::RmcParams &rmcParams =
                                 rmc::RmcParams::simulatedHardware());
+
+/**
+ * Fine-grain PageRank as a Workload body on a caller-owned TestBed —
+ * the piece the soNUMA runners and the SweepDriver "pagerank" workload
+ * share. One coroutine per node (api::Workload), barrier-aligned BSP
+ * supersteps (§5.3), one rmc_read_async per cross-partition edge
+ * (Fig. 4), per-node stats under "<scope>.node<i>.ops" /
+ * ".opLatencyNs". The TestBed must have bed.nodes() == part.parts and
+ * per-node segments of at least segmentBytesNeeded().
+ *
+ * Usage:
+ *   PageRankFineWorkload pr(g, part, cfg);
+ *   TestBed bed(ClusterSpec{}...segmentPerNode(pr.segmentBytesNeeded(P)));
+ *   Workload wl(bed, "pagerank");
+ *   pr.install(bed, wl);
+ *   wl.run();
+ *   PageRankRun run = pr.collect(bed);   // ranks, elapsed, remoteOps
+ */
+class PageRankFineWorkload
+{
+  public:
+    PageRankFineWorkload(const Graph &g, const Partition &part,
+                         const PageRankConfig &cfg);
+    ~PageRankFineWorkload();
+
+    /** Per-node context segment bytes (barrier region + owned array). */
+    std::uint64_t segmentBytesNeeded() const;
+
+    /** Seed vertex arrays in simulated memory and set the node body. */
+    void install(api::TestBed &bed, api::Workload &wl);
+
+    /**
+     * After the workload ran: gather ranks out of simulated memory and
+     * report the measured region (supersteps minus warm-up), remote
+     * ops, and RMC abort/error counters.
+     */
+    PageRankRun collect(api::TestBed &bed) const;
+
+  private:
+    struct State;
+    std::unique_ptr<State> st_;
+};
+
+/**
+ * Register the "pagerank" workload with api::SweepDriver (idempotent):
+ * one PageRankFineWorkload per cell, graph/partition built from
+ * SweepConfig::pagerank, artifacts FIG9_<label>.json, ranks verified
+ * against the host reference when verifyRanks is set. Call once from
+ * bench/test main()s that want `--workload pagerank`.
+ */
+void registerPageRankSweepWorkload();
 
 } // namespace sonuma::app
 

@@ -286,6 +286,14 @@ L2Cache::L2Cache(sim::EventQueue &eq, sim::StatRegistry &stats,
     // keeps first-touch line installs off the allocator.
     for (auto &f : setFill_)
         f.reserve(params_.assoc);
+    // Directory sizing derives from the cache capacity: pre-size the
+    // flat map so a fully resident L2 (at most `lines` tracked entries)
+    // reaches its steady state without rehashing. 2x covers the 0.7
+    // load factor; the clamp bounds host memory for large L2s in
+    // many-hundred-node sweeps (beyond it the map still grows on
+    // demand, an amortized warm-up cost).
+    lines_ = sim::FlatMap<PAddr, DirEntry>(
+        std::min<std::uint64_t>(2 * lines, 65536));
 }
 
 int

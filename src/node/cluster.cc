@@ -12,6 +12,23 @@
 
 namespace sonuma::node {
 
+namespace {
+
+/** Render a dims vector the way users write it: "8x8x8". */
+std::string
+dimsString(const std::vector<std::uint32_t> &dims)
+{
+    std::string out;
+    for (auto d : dims) {
+        if (!out.empty())
+            out += "x";
+        out += std::to_string(d);
+    }
+    return out;
+}
+
+} // namespace
+
 void
 validate(const ClusterParams &params)
 {
@@ -20,49 +37,72 @@ validate(const ClusterParams &params)
             "ClusterParams: nodes must be >= 1 (got 0)");
     rmc::validate(params.node.rmc);
     if (params.topology == Topology::kTorus) {
-        if (params.torus.dims.empty())
+        const auto &dims = params.torus.dims;
+        if (dims.empty())
             throw std::invalid_argument(
                 "ClusterParams: torus dims are empty; give one radix per "
-                "dimension, e.g. {8, 8} for an 8x8 torus");
+                "dimension, e.g. {8, 8} for an 8x8 torus or {8, 8, 8} "
+                "for an 8x8x8 3D torus");
         std::uint64_t cap = 1;
-        std::string dims;
-        for (auto d : params.torus.dims) {
+        for (auto d : dims) {
             if (d == 0)
                 throw std::invalid_argument(
-                    "ClusterParams: torus dimension radix must be >= 1");
+                    "ClusterParams: torus dims " + dimsString(dims) +
+                    " contain a zero radix; every dimension needs "
+                    "radix >= 1");
             cap *= d;
-            if (!dims.empty())
-                dims += "x";
-            dims += std::to_string(d);
         }
         if (cap != params.nodes)
             throw std::invalid_argument(
-                "ClusterParams: torus dims " + dims + " hold " +
-                std::to_string(cap) + " nodes but nodes=" +
+                "ClusterParams: torus dims " + dimsString(dims) +
+                " hold " + std::to_string(cap) + " nodes but nodes=" +
                 std::to_string(params.nodes) +
                 "; dims must multiply to the node count");
     }
 }
 
+void
+deriveCapacities(ClusterParams &params)
+{
+    // ITT: one transfer id per WQ slot of a full session window, so a
+    // qpCount x qpEntries pipeline never blocks in allocTid. Bounded:
+    // 2048 entries is 64 KB of ITT SRAM at 32 B/entry, already beyond
+    // anything the paper's Table 1 contemplates.
+    auto &rmcp = params.node.rmc;
+    const std::uint32_t window = std::min<std::uint32_t>(
+        2048, rmcp.qpEntries * rmcp.qpCount);
+    rmcp.maxTids = std::max(rmcp.maxTids, window);
+
+    // NI eject ring: at rack scale a node can receive request bursts
+    // from every peer at once (the barrier's N-1 announcement writes
+    // are the canonical incast). Deeper eject buffering keeps those
+    // bursts out of the routers; injection stays at its default (a
+    // node only generates its own load).
+    params.node.ni.ejectQueueDepth =
+        std::max<std::size_t>(params.node.ni.ejectQueueDepth,
+                              std::min<std::size_t>(256, params.nodes / 4));
+}
+
 Cluster::Cluster(sim::Simulation &sim, const ClusterParams &params)
     : params_(params), registry_(params.node.rmc.maxContexts)
 {
-    validate(params);
-    switch (params.topology) {
+    validate(params_);
+    deriveCapacities(params_);
+    switch (params_.topology) {
       case Topology::kCrossbar:
         fabric_ = std::make_unique<fab::CrossbarFabric>(
-            sim.eq(), sim.stats(), params.crossbar);
+            sim.eq(), sim.stats(), params_.crossbar);
         break;
       case Topology::kTorus:
         fabric_ = std::make_unique<fab::TorusFabric>(sim.eq(), sim.stats(),
-                                                     params.torus);
+                                                     params_.torus);
         break;
     }
 
-    for (std::uint32_t i = 0; i < params.nodes; ++i) {
+    for (std::uint32_t i = 0; i < params_.nodes; ++i) {
         nodes_.push_back(std::make_unique<Node>(
             sim, "node" + std::to_string(i), static_cast<sim::NodeId>(i),
-            *fabric_, registry_, params.node));
+            *fabric_, registry_, params_.node));
     }
 }
 

@@ -42,6 +42,31 @@ struct ClusterParams
  */
 void validate(const ClusterParams &params);
 
+/**
+ * Derive per-node fixed-capacity structures from the deployment shape
+ * (the 64-node-era tuning audit; see docs/testing.md "Scaling the
+ * fixed-capacity structures"). Only ever *raises* capacities, and is a
+ * no-op at the Table 1 defaults, so existing configurations keep their
+ * exact timing:
+ *
+ *  - ITT slots (RmcParams::maxTids): at least one transfer id per WQ
+ *    slot of a full session window (qpEntries x qpCount), so a deep
+ *    multi-QP pipeline never stalls on tid allocation.
+ *  - NI eject ring (NiParams::ejectQueueDepth): grows with the node
+ *    count to absorb incast bursts (e.g. N-1 simultaneous barrier
+ *    announcement writes), bounded at 256.
+ *
+ * Deliberately NOT derived: MAQ/TLB/CT$ sizes (Table 1 hardware
+ * structures whose pressure is per-node, not per-cluster — incast
+ * backpressures through NI credits instead) and torus creditsPerLane
+ * (end-to-end per source; the diameter of an 8x8x8 torus still fits
+ * comfortably in the default 64 in-flight packets).
+ *
+ * Called by the Cluster constructor on its own copy of the params;
+ * also usable directly (tests, capacity introspection).
+ */
+void deriveCapacities(ClusterParams &params);
+
 class Cluster
 {
   public:

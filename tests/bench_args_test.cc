@@ -71,4 +71,41 @@ TEST(BenchArgs, TypoInValueFlagIsCaught)
         << err;
 }
 
+TEST(BenchArgs, TopoDimsParse)
+{
+    std::vector<std::uint32_t> dims;
+    std::string err;
+    ASSERT_TRUE(Args::parseDims("8x8x8", &dims, &err)) << err;
+    EXPECT_EQ(dims, (std::vector<std::uint32_t>{8, 8, 8}));
+    ASSERT_TRUE(Args::parseDims("16x4", &dims, &err)) << err;
+    EXPECT_EQ(dims, (std::vector<std::uint32_t>{16, 4}));
+    ASSERT_TRUE(Args::parseDims("512", &dims, &err)) << err;
+    EXPECT_EQ(dims, (std::vector<std::uint32_t>{512}));
+}
+
+TEST(BenchArgs, MalformedTopoAxesGetDidYouMean)
+{
+    std::vector<std::uint32_t> dims;
+    std::string err;
+    // Wrong separators: the canonical spelling is suggested.
+    EXPECT_FALSE(Args::parseDims("8,8,8", &dims, &err));
+    EXPECT_NE(err.find("did you mean 8x8x8"), std::string::npos) << err;
+    EXPECT_FALSE(Args::parseDims("8x8o8", &dims, &err));
+    EXPECT_NE(err.find("did you mean 8x8x8"), std::string::npos) << err;
+    // Named offending axis.
+    EXPECT_FALSE(Args::parseDims("8xax8", &dims, &err));
+    EXPECT_NE(err.find("'a'"), std::string::npos) << err;
+    // Trailing separator, zero radix, empty string: all rejected.
+    EXPECT_FALSE(Args::parseDims("8x8x", &dims, &err));
+    EXPECT_FALSE(Args::parseDims("8x0x8", &dims, &err));
+    EXPECT_FALSE(Args::parseDims("", &dims, &err));
+}
+
+TEST(BenchArgs, GetDimsReturnsEmptyWhenAbsent)
+{
+    const char *argv[] = {"bench", "--quick"};
+    Args args(2, const_cast<char **>(argv), {"quick", "topo"});
+    EXPECT_TRUE(args.getDims("topo").empty());
+}
+
 } // namespace

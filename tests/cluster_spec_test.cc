@@ -58,6 +58,70 @@ TEST(ClusterParamsValidation, ZeroRadixAndEmptyDimsRejected)
     EXPECT_THROW(node::validate(p), std::invalid_argument);
 }
 
+TEST(ClusterParamsValidation, Bad3dDimsNameTheOffendingVector)
+{
+    node::ClusterParams p;
+    p.nodes = 256;
+    p.topology = node::Topology::kTorus;
+    p.torus.dims = {8, 8, 8}; // 512 != 256
+    try {
+        node::validate(p);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("8x8x8"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("512"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("256"), std::string::npos) << msg;
+    }
+}
+
+TEST(ClusterParamsValidation, ZeroRadixMessagePrintsTheDimsVector)
+{
+    node::ClusterParams p;
+    p.nodes = 64;
+    p.topology = node::Topology::kTorus;
+    p.torus.dims = {8, 0, 8};
+    try {
+        node::validate(p);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("8x0x8"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ClusterParamsValidation, DeriveCapacitiesScalesIttAndEjectRing)
+{
+    node::ClusterParams p;
+    // Table 1 defaults must be a strict no-op (fig7 byte-identity).
+    node::ClusterParams defaults = p;
+    node::deriveCapacities(defaults);
+    EXPECT_EQ(defaults.node.rmc.maxTids, p.node.rmc.maxTids);
+    EXPECT_EQ(defaults.node.ni.ejectQueueDepth, p.node.ni.ejectQueueDepth);
+
+    // A deep multi-QP window gets a tid per WQ slot...
+    p.node.rmc.qpCount = 4;
+    p.node.rmc.qpEntries = 64;
+    // ...and a 512-node rack gets incast-depth eject rings.
+    p.nodes = 512;
+    node::deriveCapacities(p);
+    EXPECT_EQ(p.node.rmc.maxTids, 256u);
+    EXPECT_EQ(p.node.ni.ejectQueueDepth, 128u);
+}
+
+TEST(ClusterSpecTest, Torus3dBedBuildsAndValidates)
+{
+    using api::operator""_KiB;
+    // {2, 2, 2} = 8 nodes builds; a wrong product throws eagerly.
+    api::TestBed bed(api::ClusterSpec{}
+                         .nodes(8)
+                         .torus(2, 2, 2)
+                         .segmentPerNode(64_KiB));
+    EXPECT_EQ(bed.nodes(), 8u);
+    EXPECT_THROW(api::ClusterSpec{}.nodes(8).torus(2, 2, 4).resolve(),
+                 std::invalid_argument);
+}
+
 TEST(RmcParamsValidation, ZeroAndAbsurdQpConfigsRejectedEagerly)
 {
     // qpCount = 0: no queue pair to post on.

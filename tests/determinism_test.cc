@@ -12,6 +12,9 @@
 #include <sstream>
 #include <string>
 
+#include "api/sweep.hh"
+#include "api/workload.hh"
+#include "app/pagerank.hh"
 #include "bench/common.hh"
 
 namespace {
@@ -153,6 +156,85 @@ TEST(Determinism, MultiQpBatchedStatsDumpIsReproducible)
     };
     EXPECT_LT(grab("node1.rmc.rgp.doorbells"),
               grab("node1.rmc.rgp.wqEntries"));
+}
+
+/**
+ * The fig9 PageRank workload on the Workload runtime (graph
+ * generation, random partition, fine-grain superstep loop with
+ * barriers on a 3D torus): identical seeds must give byte-identical
+ * stats dumps — the CI check behind the FIG9_*.json artifacts.
+ */
+std::string
+runFig9PageRankStats(std::uint64_t seed)
+{
+    api::SweepConfig cfg;
+    cfg.workload = "pagerank";
+    cfg.pagerank.vertices = 256;
+    cfg.pagerank.degree = 4;
+    cfg.torusDims = {2, 2, 2};
+    cfg.seed = seed;
+    cfg.echo = false;
+
+    // Drive through the SweepDriver so the whole artifact path is under
+    // test, then dump the cell's JSON (the stats registry dies with the
+    // cell's TestBed; its JSON projection is what regressions diff).
+    sonuma::app::registerPageRankSweepWorkload();
+    const auto cell = api::SweepDriver(cfg).runCell(
+        8, sonuma::node::Topology::kTorus, 64, 16);
+    std::ostringstream os;
+    cell.writeJson(os);
+    return os.str();
+}
+
+TEST(Determinism, Fig9PageRankCellIsReproducible)
+{
+    const std::string a = runFig9PageRankStats(11);
+    const std::string b = runFig9PageRankStats(11);
+    EXPECT_FALSE(a.empty());
+    // host_seconds is wall time; mask it before comparing.
+    const auto mask = [](std::string s) {
+        const auto pos = s.find("\"host_seconds\"");
+        return pos == std::string::npos ? s : s.substr(0, pos);
+    };
+    EXPECT_EQ(mask(a), mask(b))
+        << "seeded fig9 pagerank cells must be byte-identical";
+    EXPECT_NE(a.find("\"workload\": \"pagerank\""), std::string::npos);
+}
+
+/** Same property, one layer down: the full simulator stats dump. */
+std::string
+runFig9WorkloadStatsDump(std::uint64_t seed)
+{
+    using namespace sonuma::app;
+    sim::Rng grng(5);
+    const Graph g = generatePowerLaw(grng, 256, 4);
+    sim::Rng prng(6);
+    const Partition part = randomPartition(prng, g.numVertices, 8);
+    PageRankConfig cfg;
+    cfg.supersteps = 1;
+    cfg.seed = seed;
+
+    PageRankFineWorkload pr(g, part, cfg);
+    TestBed bed(api::ClusterSpec{}
+                    .nodes(8)
+                    .torus(2, 2, 2)
+                    .segmentPerNode(pr.segmentBytesNeeded())
+                    .seed(seed));
+    api::Workload wl(bed, "pagerank");
+    pr.install(bed, wl);
+    wl.run();
+    std::ostringstream os;
+    os << "finalTick=" << bed.sim().now() << "\n";
+    bed.sim().stats().dump(os);
+    return os.str();
+}
+
+TEST(Determinism, Fig9WorkloadStatsDumpIsReproducible)
+{
+    const std::string a = runFig9WorkloadStatsDump(17);
+    const std::string b = runFig9WorkloadStatsDump(17);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "identical seeds must give identical stats dumps";
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "fabric/crossbar.hh"
@@ -211,6 +212,82 @@ TEST(TorusRouting, WrapAroundUsesShortPath)
     // 0 -> 7 should go negative (1 hop) not positive (7 hops).
     EXPECT_EQ(r.hopCount(0, 7), 1u);
     EXPECT_EQ(r.nextDir(0, 7), 1u); // negative direction of dim 0
+}
+
+TEST(TorusRouting3D, HopCountsOn2x2x2)
+{
+    TorusRouting r({2, 2, 2});
+    EXPECT_EQ(r.nodeCount(), 8u);
+    EXPECT_EQ(r.portCount(), 6u); // 2 directed ports per dimension
+    // In a 2-ring every dimension is one hop either way: the hop count
+    // is the Hamming distance of the 3-bit coordinates.
+    for (sim::NodeId a = 0; a < 8; ++a) {
+        for (sim::NodeId b = 0; b < 8; ++b) {
+            const auto hamming =
+                static_cast<std::uint32_t>(__builtin_popcount(a ^ b));
+            EXPECT_EQ(r.hopCount(a, b), hamming) << a << "->" << b;
+        }
+    }
+}
+
+TEST(TorusRouting3D, CoordsRoundTripAndDiameterOn4x4x4)
+{
+    TorusRouting r({4, 4, 4});
+    EXPECT_EQ(r.nodeCount(), 64u);
+    std::uint32_t diameter = 0;
+    for (sim::NodeId a = 0; a < 64; ++a) {
+        EXPECT_EQ(r.idAt(r.coords(a)), a);
+        for (sim::NodeId b = 0; b < 64; ++b)
+            diameter = std::max(diameter, r.hopCount(a, b));
+    }
+    // 2 hops max per 4-ring, 3 dimensions.
+    EXPECT_EQ(diameter, 6u);
+}
+
+TEST(TorusRouting3D, DimensionOrderReachesDestinationOn4x4x4)
+{
+    TorusRouting r({4, 4, 4});
+    for (sim::NodeId a = 0; a < 64; ++a) {
+        for (sim::NodeId b = 0; b < 64; ++b) {
+            if (a == b)
+                continue;
+            // Dimension-order: the route resolves dimension 0, then 1,
+            // then 2, never revisiting a resolved dimension, and takes
+            // exactly hopCount() steps.
+            sim::NodeId cur = a;
+            std::uint32_t steps = 0;
+            std::uint32_t lastDim = 0;
+            while (cur != b) {
+                const std::uint32_t dir = r.nextDir(cur, b);
+                const std::uint32_t dim = dir / 2;
+                EXPECT_GE(dim, lastDim) << a << "->" << b;
+                lastDim = dim;
+                cur = r.neighbor(cur, dir);
+                ASSERT_LE(++steps, 6u) << "routing loop " << a << "->" << b;
+            }
+            EXPECT_EQ(steps, r.hopCount(a, b)) << a << "->" << b;
+        }
+    }
+}
+
+TEST(TorusRouting3D, MessagesCrossA2x2x2Fabric)
+{
+    EventQueue eq;
+    StatRegistry stats;
+    TorusParams params;
+    params.dims = {2, 2, 2};
+    TorusFabric torus(eq, stats, params);
+    std::vector<std::unique_ptr<NetworkInterface>> nis;
+    for (sim::NodeId i = 0; i < 8; ++i)
+        nis.push_back(std::make_unique<NetworkInterface>(
+            eq, stats, "t3ni" + std::to_string(i), i, torus));
+
+    // 0 -> 7 is the 3-hop corner-to-corner route.
+    ASSERT_TRUE(nis[0]->trySend(mkMsg(0, 7)));
+    eq.run();
+    ASSERT_TRUE(nis[7]->hasMessage(Lane::kRequest));
+    EXPECT_EQ(nis[7]->pop(Lane::kRequest).srcNid, 0);
+    EXPECT_DOUBLE_EQ(torus.meanHops(), 3.0);
 }
 
 struct TorusFixture : public ::testing::Test

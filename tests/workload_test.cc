@@ -12,6 +12,7 @@
 
 #include "api/sweep.hh"
 #include "api/workload.hh"
+#include "app/pagerank.hh"
 #include "sim/simulation.hh"
 
 namespace {
@@ -156,6 +157,112 @@ TEST(SweepDriverTest, MatrixRunsEveryCellDeterministically)
     // Bigger requests move more bytes per op: gbps must rise with size
     // at fixed depth.
     EXPECT_GT(a[1].gbps, a[0].gbps);
+}
+
+TEST(SweepDriverTest, TorusFactorizationIsNearCubicIn3d)
+{
+    EXPECT_EQ(SweepDriver::torusDimsFor(8, 3),
+              (std::vector<std::uint32_t>{2, 2, 2}));
+    EXPECT_EQ(SweepDriver::torusDimsFor(64, 3),
+              (std::vector<std::uint32_t>{4, 4, 4}));
+    EXPECT_EQ(SweepDriver::torusDimsFor(256, 3),
+              (std::vector<std::uint32_t>{4, 8, 8}));
+    EXPECT_EQ(SweepDriver::torusDimsFor(512, 3),
+              (std::vector<std::uint32_t>{8, 8, 8}));
+    // The 2-dim overloads agree.
+    EXPECT_EQ(SweepDriver::torusDimsFor(64, 2),
+              SweepDriver::torusDimsFor(64));
+}
+
+TEST(SweepDriverTest, ExplicitTorusDimsReachTheCell)
+{
+    SweepConfig cfg;
+    cfg.torusDims = {2, 2, 2};
+    cfg.opsPerNode = 8;
+    cfg.segmentBytes = 64_KiB;
+    cfg.echo = false;
+    const auto cell =
+        SweepDriver(cfg).runCell(8, node::Topology::kTorus, 64, 16);
+    EXPECT_EQ(cell.topologyName(), "torus_2x2x2");
+    // Dims that don't multiply to the node count throw eagerly with the
+    // offending vector in the message (ClusterParams validation).
+    cfg.torusDims = {2, 2};
+    try {
+        SweepDriver(cfg).runCell(8, node::Topology::kTorus, 64, 16);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("2x2"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SweepDriverTest, UnknownWorkloadListsRegisteredNames)
+{
+    SweepConfig cfg;
+    cfg.workload = "nonesuch";
+    try {
+        SweepDriver(cfg).runCell(4, node::Topology::kCrossbar, 64, 16);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("uniform"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(SweepDriverTest, PageRankWorkloadCellRunsAndVerifies)
+{
+    app::registerPageRankSweepWorkload();
+    ASSERT_TRUE(SweepDriver::workloadRegistered("pagerank"));
+
+    SweepConfig cfg;
+    cfg.workload = "pagerank";
+    cfg.pagerank.vertices = 512;
+    cfg.pagerank.degree = 4;
+    cfg.pagerank.supersteps = 2; // exercises both rank parities
+    cfg.echo = false;
+    const auto cell = SweepDriver(cfg).runCell(
+        8, node::Topology::kTorus, 64, 16);
+
+    // finish() fatals if the simulated ranks diverge from the host
+    // reference, so a returned cell is a verified cell.
+    EXPECT_EQ(cell.workload, "pagerank");
+    EXPECT_EQ(cell.topologyName(), "torus_2x4"); // 2D default
+    EXPECT_GT(cell.ops, 512u);  // remote ops ~ cross-partition edges
+    EXPECT_GT(cell.mops, 0.0);
+    EXPECT_GT(cell.meanLatencyNs, 100.0);
+    EXPECT_GT(cell.simMicros, 0.0);
+    EXPECT_EQ(cell.label(), "n8_torus_2x4_rs64_qd16_pagerank");
+
+    std::ostringstream os;
+    cell.writeJson(os);
+    const std::string json = os.str();
+    for (const char *key :
+         {"\"workload\": \"pagerank\"", "\"vertices\": 512",
+          "\"edges\": 2048", "\"supersteps\": 2",
+          "\"cross_edge_fraction\": "})
+        EXPECT_NE(json.find(key), std::string::npos) << key << "\n"
+                                                     << json;
+}
+
+TEST(SweepDriverTest, PageRankCellHonorsQpCountAxis)
+{
+    app::registerPageRankSweepWorkload();
+    SweepConfig cfg;
+    cfg.workload = "pagerank";
+    cfg.pagerank.vertices = 256;
+    cfg.pagerank.degree = 4;
+    cfg.echo = false;
+    const auto qp1 = SweepDriver(cfg).runCell(
+        4, node::Topology::kCrossbar, 64, 8, 1);
+    const auto qp4 = SweepDriver(cfg).runCell(
+        4, node::Topology::kCrossbar, 64, 8, 4);
+    EXPECT_EQ(qp4.label(), "n4_crossbar_rs64_qd8_qp4_pagerank");
+    // Same graph, same remote-op count; 4 QPs give the fine-grain
+    // window 4x the in-flight capacity, so the superstep cannot be
+    // slower than the 8-deep single-QP run.
+    EXPECT_EQ(qp1.ops, qp4.ops);
+    EXPECT_LE(qp4.simMicros, qp1.simMicros);
 }
 
 } // namespace
