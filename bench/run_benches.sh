@@ -11,6 +11,10 @@
 #   BENCH_sweep/FIG9_*.json       - fig9 PageRank scale study: fine-grain
 #                                   PageRank at 64/256/512 nodes on 3D
 #                                   tori (strong scaling, ranks verified)
+#   BENCH_sweep/DEGRADED_*.json   - degraded-mode study: goodput, drop
+#                                   counts and p50/p95/p99 under node
+#                                   kill/recover, link kill (adaptive
+#                                   routing) and an incast storm
 #
 # Usage: bench/run_benches.sh [--smoke] [build-dir]
 #                             (default build dir: build-release)
@@ -63,6 +67,28 @@ for c in cells:
 assert qp_counts == {1, 2}, f"expected qp_count cells 1 and 2, got {qp_counts}"
 print(f"{len(cells)} sweep cell(s) OK (qp_counts {sorted(qp_counts)})")
 PY
+    echo "== smoke: degraded-mode cell (node kill/recover, accounting) =="
+    "$BUILD_DIR/bench_sweep" --quick --nodes=16 --topo=4x4 --sizes=64 \
+        --depths=16 --ops=32 --faults=node-kill@20us+40us \
+        --out-dir="$SMOKE_DIR" >/dev/null
+    python3 - "$SMOKE_DIR" <<'PY'
+import json, pathlib, sys
+cells = list(pathlib.Path(sys.argv[1]).glob("DEGRADED_*node-kill.json"))
+assert cells, "degraded sweep wrote no DEGRADED_*node-kill cells"
+for c in cells:
+    d = json.loads(c.read_text())
+    assert d["fault_scenario"].startswith("node-kill@"), c
+    # The run must make progress through the fault...
+    assert d["goodput_mops"] > 0, f"{c}: no goodput under faults"
+    # ...and the degraded accounting must balance exactly.
+    assert d["ok_ops"] + d["failed_ops"] == d["ops"], \
+        f"{c}: ok {d['ok_ops']} + failed {d['failed_ops']} != ops {d['ops']}"
+    assert d["aborted_ops"] == d["retried_ops"] + d["failed_ops"], \
+        f"{c}: aborted {d['aborted_ops']} != retried {d['retried_ops']} " \
+        f"+ failed {d['failed_ops']}"
+    assert d["dropped_messages"] > 0, f"{c}: node kill dropped nothing"
+print(f"{len(cells)} degraded cell(s) OK (goodput > 0, exact accounting)")
+PY
     echo "== smoke: fig9 pagerank workload cell (8 nodes, tiny graph) =="
     "$BUILD_DIR/bench_sweep" --workload=pagerank --nodes=8 --ndims=3 \
         --sizes=64 --depths=16 --pr-vertices=1024 --pr-degree=4 \
@@ -101,6 +127,20 @@ echo "== table2 IOPS-vs-qpCount curve (Table 2 QP axis) =="
 
 echo "== fig9 PageRank scale study (64/256/512 nodes, 3D tori) =="
 "$BUILD_DIR/bench_fig9_pagerank" --scale --nodes=64,256,512 \
+    --out-dir="$REPO_ROOT/BENCH_sweep"
+
+echo "== degraded-mode study (node kill, link kill + adaptive, incast) =="
+# The kill lands mid-flight (in-flight ops to the victim peak in the
+# first ~15 simulated us) so the abort/retry accounting is exercised,
+# not just the recovery.
+"$BUILD_DIR/bench_sweep" --nodes=64 --topo=4x4x4 --sizes=64 --depths=16 \
+    --ops=64 --faults=node-kill@10us+100us \
+    --out-dir="$REPO_ROOT/BENCH_sweep"
+"$BUILD_DIR/bench_sweep" --nodes=64 --topo=4x4x4 --sizes=64 --depths=16 \
+    --ops=64 --routing=adaptive --faults=link-kill@10us \
+    --out-dir="$REPO_ROOT/BENCH_sweep"
+"$BUILD_DIR/bench_sweep" --nodes=64 --topo=4x4x4 --sizes=64 --depths=16 \
+    --ops=64 --faults=incast \
     --out-dir="$REPO_ROOT/BENCH_sweep"
 
 echo "== fig7_remote_read =="

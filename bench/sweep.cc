@@ -12,6 +12,14 @@
  *   $ ./bench_sweep --workload=pagerank --nodes=512 --topo=8x8x8
  *   $ ./bench_sweep --quick                 # smoke-sized matrix
  *
+ * Degraded-mode studies add a fault scenario and/or routing policy
+ * (cells then land in DEGRADED_*.json instead of SWEEP_/FIG9_):
+ *
+ *   $ ./bench_sweep --nodes=64 --topo=4x4x4 --faults=node-kill@50us+100us
+ *   $ ./bench_sweep --nodes=64 --topo=4x4x4 --routing=adaptive \
+ *                   --faults=link-kill@50us
+ *   $ ./bench_sweep --nodes=64 --faults=incast --retries=8
+ *
  * The whole driver is ClusterSpec + SweepDriver; scaling the study to
  * 512 nodes — or swapping the uniform-read kernel for the Fig. 9
  * PageRank application — is a flag, not a new harness.
@@ -24,6 +32,8 @@
 #include "api/sweep.hh"
 #include "app/pagerank.hh"
 #include "bench/common.hh"
+#include "fabric/fault.hh"
+#include "fabric/router.hh"
 
 using namespace sonuma;
 
@@ -34,7 +44,8 @@ main(int argc, char **argv)
                      {"workload", "nodes", "topologies", "topo", "ndims",
                       "sizes", "depths", "qps", "batching", "ops", "seed",
                       "out-dir", "quick", "pr-vertices", "pr-degree",
-                      "pr-supersteps", "pr-warmup", "pr-verify"});
+                      "pr-supersteps", "pr-warmup", "pr-verify", "faults",
+                      "routing", "retries", "retry-backoff-us"});
     const bool quick = args.has("quick");
     app::registerPageRankSweepWorkload();
 
@@ -65,6 +76,34 @@ main(int argc, char **argv)
     cfg.torusNdims = static_cast<std::uint32_t>(
         args.getU64("ndims", cfg.torusDims.empty() ? 2
                                                    : cfg.torusDims.size()));
+
+    // Degraded-mode axis: fault scenario, routing policy, retry budget.
+    // Both parsers fail fast here — a typo'd scenario must not burn a
+    // long sweep before erroring — with did-you-mean hints.
+    cfg.faultSpec = args.get("faults", "none");
+    {
+        fab::FaultPlan probe;
+        std::string error;
+        const std::uint32_t probeNodes =
+            cfg.nodeCounts.empty() ? 2 : cfg.nodeCounts.front();
+        if (!fab::FaultPlan::parse(cfg.faultSpec, probeNodes, &probe,
+                                   &error)) {
+            std::fprintf(stderr, "--faults: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    {
+        std::string error;
+        if (!fab::parseRoutingMode(args.get("routing", "dor"),
+                                   &cfg.routing, &error)) {
+            std::fprintf(stderr, "--routing: %s\n", error.c_str());
+            return 2;
+        }
+    }
+    cfg.maxRetries =
+        static_cast<std::uint32_t>(args.getU64("retries", 8));
+    cfg.retryBackoff = sim::usToTicks(
+        static_cast<double>(args.getU64("retry-backoff-us", 5)));
 
     // PageRank axis (paper Fig. 9; see src/app/README.md).
     cfg.pagerank.vertices = static_cast<std::uint32_t>(
@@ -117,6 +156,12 @@ main(int argc, char **argv)
                     cfg.qpCounts.size(),
                 cfg.opsPerNode,
                 cfg.doorbellBatching ? ", doorbell batching" : "");
+    if (cfg.faultSpec != "none" || cfg.routing != fab::RoutingMode::kDor)
+        std::printf("# degraded: faults=%s, routing=%s, retries=%u "
+                    "(backoff %llu ticks, capped doubling)\n",
+                    cfg.faultSpec.c_str(),
+                    fab::routingModeName(cfg.routing), cfg.maxRetries,
+                    static_cast<unsigned long long>(cfg.retryBackoff));
     if (pagerank)
         std::printf("# pagerank: V=%u, degree=%u, supersteps=%u (+%u "
                     "warm-up), ranks %s\n",

@@ -45,6 +45,10 @@ SweepCellResult::label() const
         out += "_db"; // batched runs must not overwrite unbatched cells
     if (workload != "uniform")
         out += "_" + workload;
+    if (routing == fab::RoutingMode::kAdaptive)
+        out += "_adaptive";
+    if (faultScenario != "none")
+        out += "_" + fab::FaultPlan::scenarioOf(faultScenario);
     return out;
 }
 
@@ -64,6 +68,20 @@ SweepCellResult::writeJson(std::ostream &os) const
        << ", \"gbps\": " << gbps
        << ", \"mean_latency_ns\": " << meanLatencyNs
        << ", \"p99_latency_ns\": " << p99LatencyNs;
+    if (degraded()) {
+        // Degraded fields only appear for degraded cells, so healthy
+        // artifacts stay byte-identical to the pre-fault schema.
+        os << ", \"routing\": \"" << fab::routingModeName(routing) << "\""
+           << ", \"fault_scenario\": \"" << faultScenario << "\""
+           << ", \"goodput_mops\": " << goodputMops
+           << ", \"ok_ops\": " << okOps
+           << ", \"aborted_ops\": " << abortedOps
+           << ", \"retried_ops\": " << retriedOps
+           << ", \"failed_ops\": " << failedOps
+           << ", \"dropped_messages\": " << droppedMessages
+           << ", \"p50_latency_ns\": " << p50LatencyNs
+           << ", \"p95_latency_ns\": " << p95LatencyNs;
+    }
     for (const auto &[key, value] : extra) {
         os << ", \"" << key << "\": ";
         // Exact counts (vertices, edges) must never be rounded by the
@@ -116,13 +134,21 @@ class UniformReadWorkload : public SweepWorkload
         const std::uint32_t requestBytes = cell.requestBytes;
         const std::uint64_t segBytes = cfg.segmentBytes;
         const std::uint32_t nodes = cell.nodes;
+        const bool faulted = cfg.faultSpec != "none";
+        const bool incast =
+            fab::FaultPlan::scenarioOf(cfg.faultSpec) == "incast";
         ops_ = std::uint64_t(nodes) * ops;
 
-        wl.onEachNode([ops, requestBytes, segBytes,
-                       nodes](Workload::NodeCtx &ctx) -> sim::Task {
+        wl.onEachNode([ops, requestBytes, segBytes, nodes, faulted,
+                       incast](Workload::NodeCtx &ctx) -> sim::Task {
             auto &s = ctx.session();
             auto &issued = ctx.counter("ops");
             auto &lat = ctx.histogram("opLatencyNs");
+            auto &ok = ctx.counter("okOps");
+            auto &aborted = ctx.counter("abortedOps");
+            auto &retried = ctx.counter("retriedOps");
+            auto &failed = ctx.counter("failedOps");
+            const RetryPolicy &retry = ctx.retry();
 
             const std::uint32_t depth = s.queueDepth();
             const vm::VAddr buf =
@@ -131,20 +157,57 @@ class UniformReadWorkload : public SweepWorkload
             const std::uint64_t span =
                 (segBytes - dataOff) / 2 / requestBytes * requestBytes;
 
-            std::deque<OpHandle> window;
-            auto retireFront =
-                [&window, &lat]() -> sim::ValueTask<OpResult> {
-                OpHandle h = window.front();
+            /** One outstanding read plus what a repost would need. */
+            struct Pending
+            {
+                OpHandle h;
+                sim::NodeId peer;
+                std::uint64_t off;
+                std::uint32_t attempt;
+            };
+            std::deque<Pending> window;
+            auto retireFront = [&]() -> sim::Task {
+                Pending p = window.front();
                 window.pop_front();
-                OpResult r = co_await h;
-                if (!r.ok())
+                OpResult r = co_await p.h;
+                if (r.ok()) {
+                    ok.inc();
+                    lat.sample(sim::ticksToNs(r.latency));
+                    co_return;
+                }
+                if (!faulted)
                     sim::fatal("sweep read failed");
-                lat.sample(sim::ticksToNs(r.latency));
-                co_return r;
+                // A fault aborted this attempt: back off and repost the
+                // same read, or charge the op to failedOps at the cap.
+                aborted.inc();
+                if (p.attempt >= retry.maxRetries) {
+                    failed.inc();
+                    co_return;
+                }
+                retried.inc();
+                co_await sim::Delay(ctx.sim().eq(),
+                                    retry.delayFor(p.attempt + 1));
+                const std::uint32_t slot = s.nextSlot();
+                OpHandle h = co_await s.readAsync(
+                    p.peer, p.off,
+                    buf + std::uint64_t(slot) * requestBytes,
+                    requestBytes);
+                window.push_back(Pending{h, p.peer, p.off, p.attempt + 1});
             };
             for (std::uint32_t i = 0; i < ops; ++i) {
-                const auto peer = static_cast<sim::NodeId>(
-                    (ctx.nodeId() + 1 + i % (nodes - 1)) % nodes);
+                sim::NodeId peer;
+                if (incast) {
+                    // All-to-one storm: every node hammers node 0's
+                    // RRPP; node 0 keeps the round-robin so its own
+                    // reads still have peers.
+                    peer = ctx.nodeId() == 0
+                               ? static_cast<sim::NodeId>(1 +
+                                                          i % (nodes - 1))
+                               : static_cast<sim::NodeId>(0);
+                } else {
+                    peer = static_cast<sim::NodeId>(
+                        (ctx.nodeId() + 1 + i % (nodes - 1)) % nodes);
+                }
                 const std::uint64_t off =
                     dataOff + (std::uint64_t(i) * requestBytes) % span;
                 // Full window: retire the oldest handle before its WQ
@@ -156,9 +219,9 @@ class UniformReadWorkload : public SweepWorkload
                     peer, off, buf + std::uint64_t(slot) * requestBytes,
                     requestBytes);
                 issued.inc();
-                window.push_back(h);
+                window.push_back(Pending{h, peer, off, 0});
                 // Opportunistically retire completed ops as they pass.
-                while (!window.empty() && window.front().done())
+                while (!window.empty() && window.front().h.done())
                     co_await retireFront();
             }
             while (!window.empty())
@@ -280,6 +343,11 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
     }
     std::unique_ptr<SweepWorkload> body = it->second();
 
+    fab::FaultPlan plan;
+    std::string planError;
+    if (!fab::FaultPlan::parse(cfg_.faultSpec, nodes, &plan, &planError))
+        throw std::invalid_argument("SweepDriver: " + planError);
+
     SweepCellResult cell;
     cell.workload = cfg_.workload;
     cell.nodes = nodes;
@@ -288,6 +356,8 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
     cell.qpDepth = qpDepth;
     cell.qpCount = qpCount;
     cell.doorbellBatching = cfg_.doorbellBatching;
+    cell.faultScenario = cfg_.faultSpec;
+    cell.routing = cfg_.routing;
     if (topo == node::Topology::kTorus) {
         cell.torusDims = cfg_.torusDims.empty()
                              ? torusDimsFor(nodes, cfg_.torusNdims)
@@ -302,14 +372,23 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
         .qpDepth(qpDepth)
         .qpCount(qpCount)
         .doorbellBatching(cfg_.doorbellBatching)
+        .routing(cfg_.routing)
         .seed(cfg_.seed);
     if (topo == node::Topology::kTorus)
         spec.torus(cell.torusDims);
+    if (!plan.empty())
+        spec.faultPlan(plan);
     body->configure(spec, cell, cfg_);
 
     const auto t0 = std::chrono::steady_clock::now();
     TestBed bed(spec);
     Workload wl(bed, "sweep");
+    if (cfg_.faultSpec != "none") {
+        RetryPolicy rp;
+        rp.maxRetries = cfg_.maxRetries;
+        rp.backoff = cfg_.retryBackoff;
+        wl.setRetryPolicy(rp);
+    }
     body->install(bed, wl, cell, cfg_);
     wl.run();
 
@@ -347,6 +426,28 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
     cell.meanLatencyNs = latCount ? latSum / latCount : 0.0;
     cell.p99LatencyNs = sim::Histogram::percentileFromBuckets(
         pooled, latCount, 99.0, latMaxSample);
+    cell.p50LatencyNs = sim::Histogram::percentileFromBuckets(
+        pooled, latCount, 50.0, latMaxSample);
+    cell.p95LatencyNs = sim::Histogram::percentileFromBuckets(
+        pooled, latCount, 95.0, latMaxSample);
+
+    // Degraded accounting, pooled from the per-node counters the
+    // workload bodies keep (zero when a body doesn't keep them).
+    const auto sumCounters = [&](const std::string &name) {
+        std::uint64_t total = 0;
+        for (std::uint32_t i = 0; i < nodes; ++i)
+            if (const auto *c = bed.sim().stats().counter(
+                    "sweep.node" + std::to_string(i) + "." + name))
+                total += c->value();
+        return total;
+    };
+    cell.okOps = sumCounters("okOps");
+    cell.abortedOps = sumCounters("abortedOps");
+    cell.retriedOps = sumCounters("retriedOps");
+    cell.failedOps = sumCounters("failedOps");
+    cell.droppedMessages = bed.cluster().fabric().droppedMessages();
+    cell.goodputMops = static_cast<double>(cell.okOps) / secs / 1e6;
+
     body->annotate(cell);
     return cell;
 }
@@ -379,6 +480,11 @@ SweepDriver::run()
     if (const auto it = registry().find(cfg_.workload);
         it != registry().end())
         prefix = it->second()->artifactPrefix();
+    // Degraded cells get their own artifact family so healthy
+    // SWEEP_/FIG9_ references are never overwritten by fault studies.
+    if (cfg_.faultSpec != "none" ||
+        cfg_.routing != fab::RoutingMode::kDor)
+        prefix = "DEGRADED_";
 
     std::vector<SweepCellResult> results;
     for (const auto nodes : cfg_.nodeCounts)

@@ -46,6 +46,7 @@
 
 #include "api/testbed.hh"
 #include "api/workload.hh"
+#include "fabric/router.hh"
 #include "node/cluster.hh"
 #include "rmc/params.hh"
 
@@ -77,6 +78,28 @@ struct SweepConfig
     std::uint64_t seed = 1;
     bool doorbellBatching = false;    //!< batch WQ doorbells per QP
     rmc::RmcParams rmcParams = rmc::RmcParams::simulatedHardware();
+
+    /**
+     * Fault scenario applied to every cell (fab::FaultPlan grammar:
+     * none | incast | node-kill@T[+D][:N] | link-kill@T[+D][:A-B] |
+     * link-flap@T~PxC[:A-B] | drop@T+D[:A-B]). "none" keeps cells
+     * healthy and their artifacts byte-identical to the fault-free
+     * driver; "incast" leaves the fabric alone but switches the
+     * uniform workload to an all-to-one traffic storm on node 0.
+     */
+    std::string faultSpec = "none";
+
+    /** Torus routing policy; adaptive detours around failed links. */
+    fab::RoutingMode routing = fab::RoutingMode::kDor;
+
+    /**
+     * Retry budget per op for degraded cells (faultSpec != "none"):
+     * aborted ops are reposted with capped exponential backoff up to
+     * maxRetries times, then counted failed. Healthy cells ignore
+     * these and keep their fail-fast behavior.
+     */
+    std::uint32_t maxRetries = 8;
+    sim::Tick retryBackoff = sim::usToTicks(5);
 
     /** PageRank workload axis (used when workload == "pagerank"). */
     struct PageRankAxis
@@ -114,6 +137,12 @@ struct SweepCellResult
     std::uint32_t qpCount = 1;
     bool doorbellBatching = false;
 
+    // Degraded-mode coordinates (defaults = the healthy baseline; a
+    // cell is "degraded" when either differs, and only then do the
+    // degraded fields below appear in its label and JSON).
+    std::string faultScenario = "none";
+    fab::RoutingMode routing = fab::RoutingMode::kDor;
+
     // Measurements.
     std::uint64_t ops = 0;          //!< total remote ops issued
     double mops = 0;                //!< million ops per simulated second
@@ -123,14 +152,36 @@ struct SweepCellResult
     double simMicros = 0;           //!< measured region, simulated time
     double hostSeconds = 0;         //!< wall time to simulate the cell
 
+    // Degraded-mode accounting. The identities okOps + failedOps == ops
+    // and abortedOps == retriedOps + failedOps hold for every cell (a
+    // healthy cell has okOps == ops and zeros elsewhere).
+    std::uint64_t okOps = 0;        //!< ops that completed successfully
+    std::uint64_t abortedOps = 0;   //!< attempts aborted by a fault
+    std::uint64_t retriedOps = 0;   //!< reposts after an aborted attempt
+    std::uint64_t failedOps = 0;    //!< ops given up at the retry cap
+    std::uint64_t droppedMessages = 0; //!< fabric-level packet drops
+    double goodputMops = 0;         //!< successful ops per simulated second
+    double p50LatencyNs = 0;
+    double p95LatencyNs = 0;
+
+    /** True when this cell ran with faults or non-default routing. */
+    bool
+    degraded() const
+    {
+        return faultScenario != "none" ||
+               routing != fab::RoutingMode::kDor;
+    }
+
     /** Workload-specific JSON fields, appended in order. */
     std::vector<std::pair<std::string, double>> extra;
 
     /**
      * Stable identifier, e.g. "n64_torus_8x8_rs64_qd64"; multi-QP
-     * cells append "_qp<N>", batched cells "_db", and non-uniform
-     * workloads "_<workload>" (single-QP uniform labels keep their
-     * original spelling so existing artifacts stay diffable).
+     * cells append "_qp<N>", batched cells "_db", non-uniform
+     * workloads "_<workload>", adaptively-routed cells "_adaptive"
+     * and faulted cells "_<scenario>" (single-QP uniform dor-routed
+     * healthy labels keep their original spelling so existing
+     * artifacts stay diffable).
      */
     std::string label() const;
 

@@ -36,6 +36,14 @@ TestBed::TestBed(const ClusterSpec &spec)
     nodeCount_ = static_cast<std::uint32_t>(cluster_->nodeCount());
     cluster_->createSharedContext(ctx_);
 
+    if (!spec.faultPlanValue().empty()) {
+        // Arm before run(): a malformed plan (bad node id, nonexistent
+        // link) throws here with a precise message, not mid-simulation.
+        faultInjector_ = std::make_unique<fab::FaultInjector>(
+            sim_.eq(), cluster_->fabric(), spec.faultPlanValue());
+        faultInjector_->arm();
+    }
+
     procs_.resize(nodeCount_);
     segBases_.resize(nodeCount_);
     for (std::uint32_t i = 0; i < nodeCount_; ++i) {

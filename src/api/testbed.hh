@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "api/session.hh"
+#include "fabric/fault.hh"
 #include "node/cluster.hh"
 #include "sim/simulation.hh"
 
@@ -198,6 +199,29 @@ class ClusterSpec
         return *this;
     }
 
+    /**
+     * Torus packet-routing policy (default dor). Adaptive detours
+     * around failed links; requires a torus topology.
+     */
+    ClusterSpec &
+    routing(fab::RoutingMode mode)
+    {
+        params_.torus.routing = mode;
+        return *this;
+    }
+
+    /**
+     * Scheduled fault events for this run. The TestBed arms the plan on
+     * the event queue at build time; events fire at their sim-time
+     * ticks, deterministically for a given (seed, plan).
+     */
+    ClusterSpec &
+    faultPlan(const fab::FaultPlan &plan)
+    {
+        faultPlan_ = plan;
+        return *this;
+    }
+
     /** Simulation seed (default 1). */
     ClusterSpec &
     seed(std::uint64_t s)
@@ -222,6 +246,7 @@ class ClusterSpec
     std::uint64_t seedValue() const { return seed_; }
     os::UserId uidValue() const { return uid_; }
     bool doorbellBatchingValue() const { return doorbellBatching_; }
+    const fab::FaultPlan &faultPlanValue() const { return faultPlan_; }
 
   private:
     node::ClusterParams params_;
@@ -231,6 +256,7 @@ class ClusterSpec
     std::uint64_t seed_ = 1;
     os::UserId uid_ = 0;
     bool doorbellBatching_ = false;
+    fab::FaultPlan faultPlan_;
 };
 
 /**
@@ -278,9 +304,15 @@ class TestBed
     void spawn(sim::Task t) { sim_.spawn(std::move(t)); }
     sim::Tick run() { return sim_.run(); }
 
+    /** True when the spec carried a non-empty FaultPlan (armed at
+     *  build time). Software layers use this to opt in to their
+     *  degraded-mode behaviors (barrier re-announce, retries). */
+    bool faultsActive() const { return faultInjector_ != nullptr; }
+
   private:
     sim::Simulation sim_;
     std::unique_ptr<node::Cluster> cluster_;
+    std::unique_ptr<fab::FaultInjector> faultInjector_;
     sim::CtxId ctx_;
     SessionParams sessionParams_; //!< defaults for created sessions
     std::uint32_t nodeCount_;

@@ -315,13 +315,17 @@ PageRankFineWorkload::install(api::TestBed &bed, api::Workload &wl)
         const vm::VAddr vtxVa = ctx.segBase() + st->vtxOff;
 
         // Per-slot landing lines + a FIFO of pending reads carrying the
-        // paper's async_dest_addr context alongside each OpHandle.
+        // paper's async_dest_addr context alongside each OpHandle (plus
+        // what a degraded-mode repost needs: peer, offset, attempt).
         struct PendingRead
         {
             api::OpHandle h;
             std::uint32_t vLocal;
             int readPar;
             int writePar;
+            sim::NodeId peer;
+            std::uint64_t off;
+            std::uint32_t attempt;
         };
         std::deque<PendingRead> pendingReads;
         const std::uint32_t depth = session.queueDepth();
@@ -336,12 +340,41 @@ PageRankFineWorkload::install(api::TestBed &bed, api::Workload &wl)
 
         // Retiring one read runs the paper's pagerank_async handler:
         // await the fetched vertex, accumulate into the target's rank.
+        // Under a retry policy, fault-aborted reads are reposted after
+        // a capped backoff: a superstep's read parity is stable until
+        // its closing barrier, so a late retry fetches the same value
+        // the original attempt would have and the ranks stay exact.
+        const api::RetryPolicy &retry = ctx.retry();
+        auto &ok = ctx.counter("okOps");
+        auto &aborted = ctx.counter("abortedOps");
+        auto &retried = ctx.counter("retriedOps");
         auto retireFront = [&]() -> sim::Task {
             PendingRead pr = pendingReads.front();
             pendingReads.pop_front();
             const api::OpResult r = co_await pr.h;
-            if (!r.ok())
-                sim::fatal("pagerank remote read failed");
+            if (!r.ok()) {
+                if (!retry.enabled())
+                    sim::fatal("pagerank remote read failed");
+                aborted.inc();
+                if (pr.attempt >= retry.maxRetries)
+                    sim::fatal(
+                        "pagerank remote read failed after " +
+                        std::to_string(pr.attempt) +
+                        " retries; the rank sum would silently drift, "
+                        "so a permanent fault needs a recovery event");
+                retried.inc();
+                co_await sim::Delay(ctx.sim().eq(),
+                                    retry.delayFor(pr.attempt + 1));
+                const std::uint32_t rslot = session.nextSlot();
+                pr.h = co_await session.readAsync(
+                    pr.peer, pr.off,
+                    lbuf + std::uint64_t(rslot) * 64, 64);
+                ++pr.attempt;
+                pendingReads.push_back(pr);
+                co_return;
+            }
+            if (measuring)
+                ok.inc();
             if (measuring)
                 lat.sample(sim::ticksToNs(r.latency));
             VertexData nb;
@@ -404,12 +437,15 @@ PageRankFineWorkload::install(api::TestBed &bed, api::Workload &wl)
                         while (pendingReads.size() >= depth)
                             co_await retireFront();
                         const std::uint32_t slot = session.nextSlot();
+                        const auto peer =
+                            static_cast<sim::NodeId>(ref.part);
+                        const std::uint64_t off =
+                            st->vtxOff + std::uint64_t(ref.localIdx) * 64;
                         api::OpHandle h = co_await session.readAsync(
-                            static_cast<sim::NodeId>(ref.part),
-                            st->vtxOff + std::uint64_t(ref.localIdx) * 64,
-                            lbuf + std::uint64_t(slot) * 64, 64);
-                        pendingReads.push_back(
-                            PendingRead{h, i, readPar, writePar});
+                            peer, off, lbuf + std::uint64_t(slot) * 64,
+                            64);
+                        pendingReads.push_back(PendingRead{
+                            h, i, readPar, writePar, peer, off, 0});
                         ++st->remoteOps;
                         if (measuring) {
                             // Stats cover the measured region only, so

@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "sim/log.hh"
 
@@ -83,6 +85,16 @@ CrossbarFabric::arrive(const Message &msg)
         returnCredit(msg.srcNid, lane);
         return;
     }
+    // Link faults are checked at arrival so packets already serialized
+    // when the link died are lost too, matching a real cable pull.
+    if ((!failedLinks_.empty() &&
+         contains(failedLinks_, msg.srcNid, msg.dstNid)) ||
+        (!lossyLinks_.empty() &&
+         contains(lossyLinks_, msg.srcNid, msg.dstNid))) {
+        dropped_.inc();
+        returnCredit(msg.srcNid, lane);
+        return;
+    }
     if (dst.ni->deliver(msg)) {
         delivered_.inc();
         returnCredit(msg.srcNid, lane);
@@ -97,6 +109,12 @@ void
 CrossbarFabric::ejectSpaceFreed(sim::NodeId id, Lane lane)
 {
     Endpoint &dst = endpoints_[id];
+    if (dst.failed) {
+        // A failed node must not receive parked traffic; drop it so the
+        // senders' credits come back (unified with the torus).
+        flushParked(dst);
+        return;
+    }
     auto &q = dst.parked[li(lane)];
     while (!q.empty()) {
         if (!dst.ni->deliver(q.front()))
@@ -118,16 +136,107 @@ CrossbarFabric::returnCredit(sim::NodeId srcId, Lane lane)
 }
 
 void
-CrossbarFabric::failNode(sim::NodeId id)
+CrossbarFabric::flushParked(Endpoint &ep)
 {
-    assert(id < endpoints_.size());
-    endpoints_[id].failed = true;
+    for (std::size_t l = 0; l < kNumLanes; ++l) {
+        auto &q = ep.parked[l];
+        while (!q.empty()) {
+            dropped_.inc();
+            returnCredit(q.front().srcNid, static_cast<Lane>(l));
+            q.pop();
+        }
+    }
+}
+
+void
+CrossbarFabric::notifyAll(const FailureInfo &info)
+{
     // Notify every attached NI (the paper's driver is told of fabric
     // failures and may reset RMC state, §5.1).
     for (auto &ep : endpoints_) {
         if (ep.ni)
-            ep.ni->notifyFailure();
+            ep.ni->notifyFailure(info);
     }
+}
+
+bool
+CrossbarFabric::contains(
+    const std::vector<std::pair<sim::NodeId, sim::NodeId>> &links,
+    sim::NodeId from, sim::NodeId to)
+{
+    return std::find(links.begin(), links.end(),
+                     std::make_pair(from, to)) != links.end();
+}
+
+void
+CrossbarFabric::failNode(sim::NodeId id)
+{
+    assert(id < endpoints_.size());
+    Endpoint &ep = endpoints_[id];
+    if (ep.failed)
+        return;
+    ep.failed = true;
+    flushParked(ep);
+    notifyAll({FailureKind::kNodeDown, id, id});
+}
+
+void
+CrossbarFabric::recoverNode(sim::NodeId id)
+{
+    assert(id < endpoints_.size());
+    Endpoint &ep = endpoints_[id];
+    if (!ep.failed)
+        return;
+    ep.failed = false;
+    notifyAll({FailureKind::kNodeUp, id, id});
+}
+
+void
+CrossbarFabric::validateLink(sim::NodeId from, sim::NodeId to) const
+{
+    if (from >= endpoints_.size() || to >= endpoints_.size())
+        throw std::invalid_argument(
+            "crossbar link " + std::to_string(from) + "->" +
+            std::to_string(to) + ": node id out of range (crossbar has " +
+            std::to_string(endpoints_.size()) + " nodes)");
+    if (from == to)
+        throw std::invalid_argument(
+            "crossbar link " + std::to_string(from) + "->" +
+            std::to_string(to) + ": a node has no link to itself");
+}
+
+void
+CrossbarFabric::failLink(sim::NodeId from, sim::NodeId to)
+{
+    validateLink(from, to);
+    if (contains(failedLinks_, from, to))
+        return;
+    failedLinks_.emplace_back(from, to);
+    notifyAll({FailureKind::kLinkDown, from, to});
+}
+
+void
+CrossbarFabric::recoverLink(sim::NodeId from, sim::NodeId to)
+{
+    validateLink(from, to);
+    auto it = std::find(failedLinks_.begin(), failedLinks_.end(),
+                        std::make_pair(from, to));
+    if (it == failedLinks_.end())
+        return;
+    failedLinks_.erase(it);
+    notifyAll({FailureKind::kLinkUp, from, to});
+}
+
+void
+CrossbarFabric::setLinkLossy(sim::NodeId from, sim::NodeId to, bool lossy)
+{
+    validateLink(from, to);
+    auto it = std::find(lossyLinks_.begin(), lossyLinks_.end(),
+                        std::make_pair(from, to));
+    if (lossy && it == lossyLinks_.end())
+        lossyLinks_.emplace_back(from, to);
+    else if (!lossy && it != lossyLinks_.end())
+        lossyLinks_.erase(it);
 }
 
 } // namespace sonuma::fab

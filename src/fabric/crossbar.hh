@@ -20,6 +20,7 @@
 #ifndef SONUMA_FABRIC_CROSSBAR_HH
 #define SONUMA_FABRIC_CROSSBAR_HH
 
+#include <utility>
 #include <vector>
 
 #include "fabric/fabric.hh"
@@ -46,12 +47,20 @@ class CrossbarFabric : public Fabric
     bool tryInject(const Message &msg) override;
     void ejectSpaceFreed(sim::NodeId id, Lane lane) override;
     void failNode(sim::NodeId id) override;
+    void recoverNode(sim::NodeId id) override;
+    void failLink(sim::NodeId from, sim::NodeId to) override;
+    void recoverLink(sim::NodeId from, sim::NodeId to) override;
+    void setLinkLossy(sim::NodeId from, sim::NodeId to, bool lossy) override;
+    void validateLink(sim::NodeId from, sim::NodeId to) const override;
     std::size_t nodeCount() const override { return endpoints_.size(); }
 
     const CrossbarParams &params() const { return params_; }
 
-    /** Messages dropped due to failed nodes (test observability). */
-    std::uint64_t droppedMessages() const { return dropped_.value(); }
+    /** Messages dropped due to failed nodes/links (test observability). */
+    std::uint64_t droppedMessages() const override
+    {
+        return dropped_.value();
+    }
 
   private:
     struct Endpoint
@@ -74,6 +83,11 @@ class CrossbarFabric : public Fabric
     sim::EventQueue &eq_;
     CrossbarParams params_;
     std::vector<Endpoint> endpoints_;
+    // Directed point-to-point link faults. Rack-scale crossbars have a few
+    // faulted pairs at most, so a scanned vector keeps the healthy path
+    // allocation- and hash-free.
+    std::vector<std::pair<sim::NodeId, sim::NodeId>> failedLinks_;
+    std::vector<std::pair<sim::NodeId, sim::NodeId>> lossyLinks_;
 
     sim::Counter delivered_;
     sim::Counter dropped_;
@@ -82,6 +96,11 @@ class CrossbarFabric : public Fabric
     void drain(sim::NodeId src, Lane lane);
     void arrive(const Message &msg);
     void returnCredit(sim::NodeId src, Lane lane);
+    void flushParked(Endpoint &ep);
+    void notifyAll(const FailureInfo &info);
+    static bool contains(
+        const std::vector<std::pair<sim::NodeId, sim::NodeId>> &links,
+        sim::NodeId from, sim::NodeId to);
 
     std::size_t li(Lane l) const { return static_cast<std::size_t>(l); }
 };

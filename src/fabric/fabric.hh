@@ -26,6 +26,27 @@ namespace sonuma::fab {
 
 class NetworkInterface;
 
+/** What kind of fabric fault a notification describes. */
+enum class FailureKind : std::uint8_t
+{
+    kNone = 0,  //!< no failure observed yet
+    kNodeDown,  //!< node @c a failed
+    kNodeUp,    //!< node @c a recovered
+    kLinkDown,  //!< directed link @c a -> @c b failed
+    kLinkUp,    //!< directed link @c a -> @c b recovered
+};
+
+/**
+ * Failure reason delivered with NetworkInterface::notifyFailure(): which
+ * peer is involved and whether the fault is node- or link-scoped.
+ */
+struct FailureInfo
+{
+    FailureKind kind = FailureKind::kNone;
+    sim::NodeId a = 0;  //!< failed/recovered node, or link source
+    sim::NodeId b = 0;  //!< link destination (== @c a for node events)
+};
+
 /** Topology-independent fabric interface. */
 class Fabric
 {
@@ -46,13 +67,48 @@ class Fabric
     virtual void ejectSpaceFreed(sim::NodeId id, Lane lane) = 0;
 
     /**
-     * Fail the node (test hook): subsequent packets to/from it are
-     * dropped and attached NIs are notified of the failure.
+     * Fail the node: packets to/from it (including any parked at its
+     * eject queue) are dropped and attached NIs are notified.
      */
     virtual void failNode(sim::NodeId id) = 0;
 
+    /** Bring a failed node back; attached NIs see a kNodeUp notification. */
+    virtual void recoverNode(sim::NodeId id) = 0;
+
+    /**
+     * Fail the directed link @p from -> @p to: packets routed over it are
+     * dropped (dor) or detoured (adaptive). NIs see kLinkDown.
+     * @throws std::invalid_argument if the link does not exist.
+     */
+    virtual void failLink(sim::NodeId from, sim::NodeId to) = 0;
+
+    /** Restore a failed link; attached NIs see kLinkUp. */
+    virtual void recoverLink(sim::NodeId from, sim::NodeId to) = 0;
+
+    /**
+     * Mark the directed link @p from -> @p to lossy (transient drop
+     * window): packets crossing it are silently dropped and counted, with
+     * no failure notification. Routing still treats the link as up.
+     */
+    virtual void setLinkLossy(sim::NodeId from, sim::NodeId to,
+                              bool lossy) = 0;
+
+    /**
+     * Check that @p from -> @p to names a link of this fabric.
+     * @throws std::invalid_argument with a precise message otherwise.
+     */
+    virtual void validateLink(sim::NodeId from, sim::NodeId to) const = 0;
+
     /** Number of attached nodes. */
     virtual std::size_t nodeCount() const = 0;
+
+    /**
+     * Messages dropped by faults, unified across topologies: dead-node
+     * arrivals, dead-link crossings, lossy-window drops, parked packets
+     * flushed by failNode, and (torus, adaptive) hop-cap victims all
+     * land in this one counter.
+     */
+    virtual std::uint64_t droppedMessages() const = 0;
 };
 
 /**
@@ -116,8 +172,11 @@ class NetworkInterface
     /** Fabric signals that credits freed on @p lane; retries injection. */
     void injectSpaceFreed(Lane lane);
 
-    /** Fabric reports node/link failure. */
-    void notifyFailure();
+    /** Fabric reports a node/link failure or recovery. */
+    void notifyFailure(const FailureInfo &info);
+
+    /** The most recent failure notification (kNone before the first). */
+    const FailureInfo &lastFailure() const { return lastFailure_; }
 
     std::size_t injectDepth(Lane lane) const;
     std::size_t ejectDepth(Lane lane) const;
@@ -132,7 +191,9 @@ class NetworkInterface
     sim::RingBuffer<Message> ejectQ_[kNumLanes];
     sim::Callback sendSpaceCb_[kNumLanes];
     sim::Callback arrivalCb_[kNumLanes];
+    bool pumping_[kNumLanes] = {}; //!< pumpInject reentrancy guard
     sim::Callback failureCb_;
+    FailureInfo lastFailure_;
 
     sim::Counter sent_;
     sim::Counter received_;

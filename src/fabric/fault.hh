@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic fault injection: scheduled node/link failures.
+ *
+ * A FaultPlan is an ordered list of sim-time fault events — node
+ * kill/recover, directed link kill/recover, and transient drop windows —
+ * built programmatically or parsed from a compact scenario spec. A
+ * FaultInjector arms the plan on the event queue, where each event calls
+ * the corresponding Fabric method at its scheduled tick. Because faults
+ * are ordinary events in the deterministic queue, a given (seed, plan)
+ * pair replays bit-identically: degraded-mode runs are as reproducible
+ * as healthy ones.
+ */
+
+#ifndef SONUMA_FABRIC_FAULT_HH
+#define SONUMA_FABRIC_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace sonuma::fab {
+
+/** One scheduled fault event. */
+enum class FaultEventKind : std::uint8_t
+{
+    kNodeKill,
+    kNodeRecover,
+    kLinkKill,
+    kLinkRecover,
+    kDropStart,  //!< begin a lossy window on link a->b
+    kDropEnd,    //!< end a lossy window on link a->b
+};
+
+struct FaultEvent
+{
+    sim::Tick at = 0;
+    FaultEventKind kind = FaultEventKind::kNodeKill;
+    sim::NodeId a = 0;  //!< victim node, or link source
+    sim::NodeId b = 0;  //!< link destination (== @c a for node events)
+};
+
+/**
+ * A replayable schedule of fault events.
+ *
+ * Build with the fluent mutators, or parse a scenario spec:
+ *
+ *     none                       healthy baseline (empty plan)
+ *     incast                     empty plan; workload-level traffic storm
+ *     node-kill@T[+D][:N]        kill node N at T, recover at T+D if given
+ *     link-kill@T[+D][:A-B]      kill directed link A->B at T
+ *     link-flap@T~PxC[:A-B]      C kill/recover cycles of period P from T
+ *     drop@T+D[:A-B]             lossy (silent-drop) window on A->B
+ *
+ * Times accept ns/us/ms suffixes (e.g. `node-kill@50us+100us:3`).
+ * Defaults: victim node = nodes/2, link = 0 -> its first neighbor.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan &killNode(sim::Tick at, sim::NodeId n);
+    FaultPlan &recoverNode(sim::Tick at, sim::NodeId n);
+    FaultPlan &killLink(sim::Tick at, sim::NodeId from, sim::NodeId to);
+    FaultPlan &recoverLink(sim::Tick at, sim::NodeId from, sim::NodeId to);
+    /** Lossy window on link @p from -> @p to over [@p start, @p end). */
+    FaultPlan &dropWindow(sim::Tick start, sim::Tick end, sim::NodeId from,
+                          sim::NodeId to);
+    /** @p cycles kill/recover cycles of @p period from @p start (link
+     *  down for the first half of each period). */
+    FaultPlan &flapLink(sim::Tick start, sim::Tick period,
+                        std::uint32_t cycles, sim::NodeId from,
+                        sim::NodeId to);
+
+    bool empty() const { return events_.empty(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** Events ordered by time (stable: insertion order breaks ties). */
+    std::vector<FaultEvent> sorted() const;
+
+    /**
+     * Check node ids against @p nodeCount.
+     * @throws std::invalid_argument on the first out-of-range event.
+     */
+    void validate(std::size_t nodeCount) const;
+
+    /**
+     * Parse a scenario spec (grammar above) into @p out. Returns false
+     * and fills @p error — with a did-you-mean hint for misspelled
+     * scenario keywords — on malformed specs. @p nodes supplies the
+     * defaults for omitted victims.
+     */
+    static bool parse(const std::string &spec, std::uint32_t nodes,
+                      FaultPlan *out, std::string *error);
+
+    /** Leading scenario keyword of a spec ("none", "node-kill", ...). */
+    static std::string scenarioOf(const std::string &spec);
+
+    /** Known scenario keywords, for help text and did-you-mean. */
+    static const std::vector<std::string> &knownScenarios();
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+/**
+ * Arms a FaultPlan on the event queue against a fabric. Validation
+ * (node ranges via FaultPlan::validate, link existence via
+ * Fabric::validateLink) happens at arm time, so a bad plan throws
+ * before the simulation starts rather than from inside an event.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(sim::EventQueue &eq, Fabric &fabric, FaultPlan plan);
+
+    /** Schedule every event. @throws std::invalid_argument on bad plans. */
+    void arm();
+
+    std::size_t eventCount() const { return plan_.events().size(); }
+
+  private:
+    sim::EventQueue &eq_;
+    Fabric &fabric_;
+    FaultPlan plan_;
+    bool armed_ = false;
+};
+
+} // namespace sonuma::fab
+
+#endif // SONUMA_FABRIC_FAULT_HH

@@ -97,6 +97,13 @@ struct Message
     std::uint8_t payloadLen = 0;   //!< 0, 8 (atomics) or 64 bytes
     std::array<std::uint8_t, sim::kCacheLineBytes> payload{};
 
+    /**
+     * Last output direction taken, set per hop by adaptive torus routing
+     * to forbid immediate U-turns. Router-local scratch, not a wire
+     * field: it does not contribute to wireBytes(). 0xff = none.
+     */
+    std::uint8_t lastDir = 0xff;
+
     /** Fixed header size on the wire (routing + protocol). */
     static constexpr std::uint32_t kHeaderBytes = 24;
 

@@ -49,12 +49,21 @@ NetworkInterface::onSendSpace(Lane lane, sim::Callback fn)
 void
 NetworkInterface::pumpInject(Lane lane)
 {
+    // tryInject can drop the packet synchronously (dead link at the
+    // source, lossy first hop) and return its credit, which re-enters
+    // here via injectSpaceFreed while the message is still at the
+    // front of the queue. The guard makes the nested call a no-op; the
+    // outer loop picks up the freed credit on its next iteration.
+    if (pumping_[li(lane)])
+        return;
+    pumping_[li(lane)] = true;
     auto &q = injectQ_[li(lane)];
     while (!q.empty() && fabric_.tryInject(q.front())) {
         q.pop();
         if (sendSpaceCb_[li(lane)])
             sendSpaceCb_[li(lane)]();
     }
+    pumping_[li(lane)] = false;
 }
 
 void
@@ -104,8 +113,9 @@ NetworkInterface::deliver(const Message &msg)
 }
 
 void
-NetworkInterface::notifyFailure()
+NetworkInterface::notifyFailure(const FailureInfo &info)
 {
+    lastFailure_ = info;
     if (failureCb_)
         failureCb_();
 }

@@ -5,9 +5,44 @@
 
 #include "fabric/router.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sonuma::fab {
+
+const char *
+routingModeName(RoutingMode mode)
+{
+    return mode == RoutingMode::kAdaptive ? "adaptive" : "dor";
+}
+
+bool
+parseRoutingMode(const std::string &name, RoutingMode *out,
+                 std::string *error)
+{
+    if (name == "dor") {
+        *out = RoutingMode::kDor;
+        return true;
+    }
+    if (name == "adaptive") {
+        *out = RoutingMode::kAdaptive;
+        return true;
+    }
+    if (error) {
+        *error = "unknown routing mode '" + name + "'";
+        // Cheap did-you-mean: prefix match against the two known names.
+        for (const char *cand : {"dor", "adaptive"}) {
+            const std::string c(cand);
+            if (!name.empty() &&
+                (c.find(name) == 0 || name.find(c) == 0)) {
+                *error += " (did you mean '" + c + "'?)";
+                return false;
+            }
+        }
+        *error += " (valid: dor, adaptive)";
+    }
+    return false;
+}
 
 TorusRouting::TorusRouting(std::vector<std::uint32_t> dims)
     : dims_(std::move(dims))

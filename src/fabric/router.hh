@@ -11,11 +11,35 @@
 #define SONUMA_FABRIC_ROUTER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace sonuma::fab {
+
+/**
+ * Packet routing policy for the torus fabric.
+ *
+ * kDor is strict dimension-order (deterministic, minimal, livelock-free)
+ * and the default; kAdaptive detours minimally around failed links and
+ * falls back to misrouting when no productive link is up.
+ */
+enum class RoutingMode : std::uint8_t
+{
+    kDor = 0,
+    kAdaptive,
+};
+
+/** "dor" / "adaptive". */
+const char *routingModeName(RoutingMode mode);
+
+/**
+ * Parse a routing-mode name. Returns false and fills @p error (with a
+ * did-you-mean hint) on unknown names.
+ */
+bool parseRoutingMode(const std::string &name, RoutingMode *out,
+                      std::string *error);
 
 /**
  * Routing helper for an n-dimensional torus with per-dimension radix.
@@ -52,6 +76,16 @@ class TorusRouting
 
     /** Neighbor of @p id in direction @p dir. */
     sim::NodeId neighbor(sim::NodeId id, std::uint32_t dir) const;
+
+    /**
+     * True if taking @p dir from @p here brings the packet strictly
+     * closer to @p dst (a "productive" hop in adaptive routing).
+     */
+    bool
+    productive(sim::NodeId here, sim::NodeId dst, std::uint32_t dir) const
+    {
+        return hopCount(neighbor(here, dir), dst) < hopCount(here, dst);
+    }
 
     /** Minimal hop count between two nodes. */
     std::uint32_t hopCount(sim::NodeId a, sim::NodeId b) const;

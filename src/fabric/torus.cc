@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace sonuma::fab {
 
@@ -18,8 +20,18 @@ TorusFabric::TorusFabric(sim::EventQueue &eq, sim::StatRegistry &stats,
       totalHops_(stats, "torus.totalHops", "sum of per-message hop counts")
 {
     endpoints_.resize(routing_.nodeCount());
-    for (auto &ep : endpoints_)
+    for (auto &ep : endpoints_) {
         ep.ports.resize(routing_.portCount() * kNumLanes);
+        ep.linkUp.assign(routing_.portCount(), true);
+        ep.lossy.assign(routing_.portCount(), false);
+    }
+    // Misrouting around failures must terminate: a packet that crossed
+    // far more links than any minimal-plus-detour path could need is
+    // dropped (and counted) rather than allowed to livelock.
+    std::uint32_t sumDims = 0;
+    for (auto k : params_.dims)
+        sumDims += k;
+    hopCap_ = 4 * sumDims + 16;
 }
 
 void
@@ -74,7 +86,34 @@ TorusFabric::forward(sim::NodeId here, const Message &msg,
         return;
     }
 
-    const std::uint32_t dir = routing_.nextDir(here, msg.dstNid);
+    std::uint32_t dir;
+    if (params_.routing == RoutingMode::kAdaptive) {
+        if (hops >= hopCap_) {
+            dropped_.inc();
+            returnCredit(msg.srcNid, lane);
+            return;
+        }
+        dir = adaptiveDir(ep, here, msg);
+        if (dir == kNoDir) {
+            dropped_.inc();
+            returnCredit(msg.srcNid, lane);
+            return;
+        }
+    } else {
+        dir = routing_.nextDir(here, msg.dstNid);
+        if (!ep.linkUp[dir]) {
+            dropped_.inc();
+            returnCredit(msg.srcNid, lane);
+            return;
+        }
+    }
+    if (ep.lossy[dir]) {
+        // Transient drop window: the link looks up to routing but loses
+        // the packet. No notification; the sender's timeout recovers.
+        dropped_.inc();
+        returnCredit(msg.srcNid, lane);
+        return;
+    }
     const sim::NodeId next = routing_.neighbor(here, dir);
     const sim::Tick ser = static_cast<sim::Tick>(
         static_cast<double>(msg.wireBytes()) / params_.linkBandwidth * 1e12);
@@ -82,9 +121,34 @@ TorusFabric::forward(sim::NodeId here, const Message &msg,
         dir * static_cast<std::uint32_t>(kNumLanes) +
         static_cast<std::uint32_t>(li(lane));
     auto &link = ep.ports[portIdx];
-    link.push(eq_.now(), ser, params_.hopLatency,
-              InFlight{next, hops + 1, msg});
+    InFlight f{next, hops + 1, msg};
+    f.msg.lastDir = static_cast<std::uint8_t>(dir);
+    link.push(eq_.now(), ser, params_.hopLatency, std::move(f));
     link.arm(eq_, [this, here, portIdx] { drain(here, portIdx); });
+}
+
+std::uint32_t
+TorusFabric::adaptiveDir(const Endpoint &ep, sim::NodeId here,
+                         const Message &msg) const
+{
+    // Deterministic minimal-detour selection: prefer the lowest-numbered
+    // productive direction whose link is up, then any up link (misroute),
+    // refusing the immediate U-turn unless it is the only link left.
+    const std::uint32_t ports = routing_.portCount();
+    const std::uint32_t avoid =
+        msg.lastDir == kNoDir ? kNoDir : (msg.lastDir ^ 1u);
+    for (std::uint32_t dir = 0; dir < ports; ++dir) {
+        if (ep.linkUp[dir] && dir != avoid &&
+            routing_.productive(here, msg.dstNid, dir))
+            return dir;
+    }
+    for (std::uint32_t dir = 0; dir < ports; ++dir) {
+        if (ep.linkUp[dir] && dir != avoid)
+            return dir;
+    }
+    if (avoid != kNoDir && ep.linkUp[avoid])
+        return avoid;
+    return kNoDir;
 }
 
 void
@@ -100,6 +164,12 @@ void
 TorusFabric::ejectSpaceFreed(sim::NodeId id, Lane lane)
 {
     Endpoint &ep = endpoints_[id];
+    if (ep.failed) {
+        // A failed node must not receive parked traffic; drop it so the
+        // senders' credits come back (unified with the crossbar).
+        flushParked(ep);
+        return;
+    }
     auto &q = ep.parked[li(lane)];
     while (!q.empty()) {
         if (!ep.ni->deliver(q.front()))
@@ -121,14 +191,103 @@ TorusFabric::returnCredit(sim::NodeId srcId, Lane lane)
 }
 
 void
+TorusFabric::flushParked(Endpoint &ep)
+{
+    for (std::size_t l = 0; l < kNumLanes; ++l) {
+        auto &q = ep.parked[l];
+        while (!q.empty()) {
+            dropped_.inc();
+            returnCredit(q.front().srcNid, static_cast<Lane>(l));
+            q.pop();
+        }
+    }
+}
+
+void
+TorusFabric::notifyAll(const FailureInfo &info)
+{
+    for (auto &ep : endpoints_) {
+        if (ep.ni)
+            ep.ni->notifyFailure(info);
+    }
+}
+
+void
 TorusFabric::failNode(sim::NodeId id)
 {
     assert(id < endpoints_.size());
-    endpoints_[id].failed = true;
-    for (auto &ep : endpoints_) {
-        if (ep.ni)
-            ep.ni->notifyFailure();
+    Endpoint &ep = endpoints_[id];
+    if (ep.failed)
+        return;
+    ep.failed = true;
+    flushParked(ep);
+    notifyAll({FailureKind::kNodeDown, id, id});
+}
+
+void
+TorusFabric::recoverNode(sim::NodeId id)
+{
+    assert(id < endpoints_.size());
+    Endpoint &ep = endpoints_[id];
+    if (!ep.failed)
+        return;
+    ep.failed = false;
+    notifyAll({FailureKind::kNodeUp, id, id});
+}
+
+std::uint32_t
+TorusFabric::dirTo(sim::NodeId from, sim::NodeId to) const
+{
+    if (from >= endpoints_.size() || to >= endpoints_.size())
+        throw std::invalid_argument(
+            "torus link " + std::to_string(from) + "->" + std::to_string(to) +
+            ": node id out of range (torus has " +
+            std::to_string(endpoints_.size()) + " nodes)");
+    if (from == to)
+        throw std::invalid_argument(
+            "torus link " + std::to_string(from) + "->" + std::to_string(to) +
+            ": a node has no link to itself");
+    for (std::uint32_t dir = 0; dir < routing_.portCount(); ++dir) {
+        if (routing_.neighbor(from, dir) == to)
+            return dir;
     }
+    throw std::invalid_argument(
+        "torus link " + std::to_string(from) + "->" + std::to_string(to) +
+        " does not exist: the nodes are not torus neighbors");
+}
+
+void
+TorusFabric::validateLink(sim::NodeId from, sim::NodeId to) const
+{
+    (void)dirTo(from, to);
+}
+
+void
+TorusFabric::failLink(sim::NodeId from, sim::NodeId to)
+{
+    const std::uint32_t dir = dirTo(from, to);
+    Endpoint &ep = endpoints_[from];
+    if (!ep.linkUp[dir])
+        return;
+    ep.linkUp[dir] = false;
+    notifyAll({FailureKind::kLinkDown, from, to});
+}
+
+void
+TorusFabric::recoverLink(sim::NodeId from, sim::NodeId to)
+{
+    const std::uint32_t dir = dirTo(from, to);
+    Endpoint &ep = endpoints_[from];
+    if (ep.linkUp[dir])
+        return;
+    ep.linkUp[dir] = true;
+    notifyAll({FailureKind::kLinkUp, from, to});
+}
+
+void
+TorusFabric::setLinkLossy(sim::NodeId from, sim::NodeId to, bool lossy)
+{
+    endpoints_[from].lossy[dirTo(from, to)] = lossy;
 }
 
 } // namespace sonuma::fab

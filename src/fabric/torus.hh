@@ -34,6 +34,7 @@ struct TorusParams
     sim::Tick hopLatency = sim::nsToTicks(11.0); //!< Alpha 21364-like [39]
     double linkBandwidth = 25.6e9;               //!< bytes/s per link
     std::uint32_t creditsPerLane = 64;           //!< end-to-end, per source
+    RoutingMode routing = RoutingMode::kDor;     //!< dor keeps artifacts stable
 };
 
 class TorusFabric : public Fabric
@@ -46,11 +47,19 @@ class TorusFabric : public Fabric
     bool tryInject(const Message &msg) override;
     void ejectSpaceFreed(sim::NodeId id, Lane lane) override;
     void failNode(sim::NodeId id) override;
+    void recoverNode(sim::NodeId id) override;
+    void failLink(sim::NodeId from, sim::NodeId to) override;
+    void recoverLink(sim::NodeId from, sim::NodeId to) override;
+    void setLinkLossy(sim::NodeId from, sim::NodeId to, bool lossy) override;
+    void validateLink(sim::NodeId from, sim::NodeId to) const override;
     std::size_t nodeCount() const override { return endpoints_.size(); }
 
     const TorusRouting &routing() const { return routing_; }
     const TorusParams &params() const { return params_; }
-    std::uint64_t droppedMessages() const { return dropped_.value(); }
+    std::uint64_t droppedMessages() const override
+    {
+        return dropped_.value();
+    }
 
     /** Mean hops of delivered messages (for topology ablation). */
     double
@@ -85,12 +94,19 @@ class TorusFabric : public Fabric
         sim::RingBuffer<Message> parked[kNumLanes];
         // One serializing link per outgoing port per lane.
         std::vector<sim::SerializedLink<InFlight>> ports;
+        // Physical link state per outgoing direction (lanes share a link).
+        std::vector<bool> linkUp;
+        std::vector<bool> lossy;
     };
+
+    /** Sentinel "no usable direction" value (also Message::lastDir unset). */
+    static constexpr std::uint32_t kNoDir = 0xff;
 
     sim::EventQueue &eq_;
     TorusParams params_;
     TorusRouting routing_;
     std::vector<Endpoint> endpoints_;
+    std::uint32_t hopCap_; //!< adaptive-misroute livelock backstop
 
     sim::Counter delivered_;
     sim::Counter dropped_;
@@ -99,6 +115,11 @@ class TorusFabric : public Fabric
     void forward(sim::NodeId here, const Message &msg, std::uint32_t hops);
     void drain(sim::NodeId node, std::uint32_t portIdx);
     void returnCredit(sim::NodeId src, Lane lane);
+    void flushParked(Endpoint &ep);
+    void notifyAll(const FailureInfo &info);
+    std::uint32_t dirTo(sim::NodeId from, sim::NodeId to) const;
+    std::uint32_t adaptiveDir(const Endpoint &ep, sim::NodeId here,
+                              const Message &msg) const;
 
     std::size_t li(Lane l) const { return static_cast<std::size_t>(l); }
 };

@@ -36,6 +36,12 @@ validate(const ClusterParams &params)
         throw std::invalid_argument(
             "ClusterParams: nodes must be >= 1 (got 0)");
     rmc::validate(params.node.rmc);
+    if (params.topology == Topology::kCrossbar &&
+        params.torus.routing == fab::RoutingMode::kAdaptive)
+        throw std::invalid_argument(
+            "ClusterParams: routing=adaptive requires a torus topology; "
+            "crossbar links are point-to-point, so there is no alternate "
+            "path to adapt onto");
     if (params.topology == Topology::kTorus) {
         const auto &dims = params.torus.dims;
         if (dims.empty())

@@ -152,6 +152,15 @@ validate(const RmcParams &params)
         throw std::invalid_argument(
             "RmcParams: rgpQpBurst must be >= 1 (got 0); the RGP must "
             "consume at least one WQ entry per arbitration turn");
+    if (params.maxTids == 0)
+        throw std::invalid_argument(
+            "RmcParams: maxTids must be >= 1 (got 0); the RMC needs at "
+            "least one in-flight transfer id");
+    if (params.maxTids > 65536)
+        throw std::invalid_argument(
+            "RmcParams: maxTids " + std::to_string(params.maxTids) +
+            " exceeds 65536, the largest index a packed 16-bit tid "
+            "field can carry");
 }
 
 

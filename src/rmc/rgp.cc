@@ -94,6 +94,7 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
     itt.wqIndex = wqIndex;
     itt.remaining = numLines;
     itt.total = numLines;
+    itt.peer = entry.dstNid;
     itt.op = op;
     itt.error = false;
     itt.bufVa = entry.bufVa;

@@ -85,7 +85,7 @@ Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
                     [this] { sendSpace_[0].notifyAll(); });
     ni_.onSendSpace(fab::Lane::kReply,
                     [this] { sendSpace_[1].notifyAll(); });
-    ni_.onFabricFailure([this] { reset(); });
+    ni_.onFabricFailure([this] { handleFabricFailure(); });
 
     // Start the three decoupled pipelines.
     rgpLoop();
@@ -164,6 +164,46 @@ Rmc::abortTransfer(std::uint32_t tidIndex, CqStatus status)
         }
     }
     freeTid(tidIndex);
+}
+
+void
+Rmc::handleFabricFailure()
+{
+    const fab::FailureInfo &f = ni_.lastFailure();
+    switch (f.kind) {
+      case fab::FailureKind::kNodeDown:
+        if (f.a == nid_) {
+            // This node itself died: full reset (paper §5.1).
+            reset();
+            return;
+        }
+        // A peer died: abort only the transfers aimed at it, leaving
+        // healthy traffic undisturbed, and still tell the driver.
+        abortTransfersTo(f.a);
+        if (failureHook_)
+            failureHook_();
+        return;
+      case fab::FailureKind::kNodeUp:
+      case fab::FailureKind::kLinkDown:
+      case fab::FailureKind::kLinkUp:
+        // Link faults lose packets, not endpoints: in-flight transfers
+        // over the dead link surface through the transfer timeout (or
+        // complete via a detour under adaptive routing).
+        return;
+      case fab::FailureKind::kNone:
+        // Legacy bare notification (no info recorded): conservative reset.
+        reset();
+        return;
+    }
+}
+
+void
+Rmc::abortTransfersTo(sim::NodeId peer)
+{
+    for (std::uint32_t i = 0; i < itt_.size(); ++i) {
+        if (itt_[i].active && itt_[i].peer == peer)
+            abortTransfer(i, CqStatus::kFabricError);
+    }
 }
 
 void

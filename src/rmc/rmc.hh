@@ -68,6 +68,7 @@ struct IttEntry
     std::uint32_t wqIndex = 0;
     std::uint32_t remaining = 0; //!< line replies still outstanding
     std::uint32_t total = 0;
+    sim::NodeId peer = 0;        //!< destination node of the transfer
     WqOp op = WqOp::kRead;
     bool error = false;
     vm::VAddr bufVa = 0;
@@ -129,6 +130,12 @@ class Rmc
      * pre-failure era are dropped (§5.1).
      */
     void reset();
+
+    /**
+     * The most recent fabric failure notification, for software that
+     * wants the reason (which peer, node-vs-link) behind aborted ops.
+     */
+    const fab::FailureInfo &lastFailure() const { return ni_.lastFailure(); }
 
     //
     // Observability
@@ -245,6 +252,12 @@ class Rmc
 
     /** Abort one transfer with a (functional) error completion. */
     void abortTransfer(std::uint32_t tidIndex, CqStatus status);
+
+    /** Abort every active transfer destined to @p peer (peer death). */
+    void abortTransfersTo(sim::NodeId peer);
+
+    /** Dispatch a fabric failure notification by kind and victim. */
+    void handleFabricFailure();
 
     /** Timeout sweep over active ITT entries. */
     void scheduleSweep();

@@ -71,6 +71,30 @@ TEST(BenchArgs, TypoInValueFlagIsCaught)
         << err;
 }
 
+TEST(BenchArgs, DegradedModeFlagsValidate)
+{
+    std::string err;
+    EXPECT_TRUE(Args::validate(
+        {"--faults=node-kill@50us+100us", "--routing=adaptive",
+         "--retries=4", "--retry-backoff-us=10"},
+        {"faults", "routing", "retries", "retry-backoff-us"}, &err))
+        << err;
+}
+
+TEST(BenchArgs, TypodDegradedFlagsGetDidYouMean)
+{
+    const std::vector<std::string> known = {"faults", "routing",
+                                           "retries",
+                                           "retry-backoff-us"};
+    std::string err;
+    EXPECT_FALSE(Args::validate({"--fault=node-kill@50us"}, known, &err));
+    EXPECT_NE(err.find("did you mean --faults"), std::string::npos)
+        << err;
+    EXPECT_FALSE(Args::validate({"--routng=adaptive"}, known, &err));
+    EXPECT_NE(err.find("did you mean --routing"), std::string::npos)
+        << err;
+}
+
 TEST(BenchArgs, TopoDimsParse)
 {
     std::vector<std::uint32_t> dims;

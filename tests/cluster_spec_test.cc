@@ -11,6 +11,8 @@
 #include <stdexcept>
 
 #include "api/testbed.hh"
+#include "fabric/fault.hh"
+#include "fabric/router.hh"
 #include "sim/simulation.hh"
 
 namespace {
@@ -281,6 +283,51 @@ TEST(ClusterSpecTest, QpDepthReachesTheQueuePair)
     bed.run();
     EXPECT_LE(maxOutstanding, 16u);
     EXPECT_GT(maxOutstanding, 4u); // but the window does fill
+}
+
+TEST(ClusterSpecTest, AdaptiveRoutingRequiresATorus)
+{
+    // Adaptive routing is a torus policy; on a crossbar the spec must
+    // fail eagerly at build time, not silently route dor.
+    EXPECT_THROW(TestBed(ClusterSpec{}
+                             .nodes(4)
+                             .segmentPerNode(64_KiB)
+                             .routing(fab::RoutingMode::kAdaptive)),
+                 std::invalid_argument);
+    // On a torus it builds.
+    TestBed bed(ClusterSpec{}
+                    .nodes(4)
+                    .torus(2, 2)
+                    .segmentPerNode(64_KiB)
+                    .routing(fab::RoutingMode::kAdaptive));
+    EXPECT_FALSE(bed.faultsActive());
+}
+
+TEST(ClusterSpecTest, FaultPlanArmsAndFires)
+{
+    // A spec-level fault plan is validated and armed at build time and
+    // its events fire on the bed's queue: kill+recover leaves the
+    // fabric healthy again but the NIs saw both notifications.
+    fab::FaultPlan plan;
+    plan.killNode(sim::usToTicks(1), 1);
+    plan.recoverNode(sim::usToTicks(2), 1);
+    TestBed bed(ClusterSpec{}
+                    .nodes(2)
+                    .segmentPerNode(64_KiB)
+                    .faultPlan(plan));
+    EXPECT_TRUE(bed.faultsActive());
+    bed.run();
+    EXPECT_EQ(bed.cluster().node(0).ni().lastFailure().kind,
+              fab::FailureKind::kNodeUp);
+
+    // An out-of-range victim throws from the TestBed constructor.
+    fab::FaultPlan bad;
+    bad.killNode(sim::usToTicks(1), 7);
+    EXPECT_THROW(TestBed(ClusterSpec{}
+                             .nodes(2)
+                             .segmentPerNode(64_KiB)
+                             .faultPlan(bad)),
+                 std::invalid_argument);
 }
 
 TEST(ClusterSpecTest, LiteralsAndPhysMemSizing)

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "api/testbed.hh"
+#include "fabric/fault.hh"
 #include "node/cluster.hh"
 #include "sim/rng.hh"
 #include "sim/simulation.hh"
@@ -263,17 +264,24 @@ struct IterationResult
 
 /**
  * One seeded soak iteration. @p injectFailure schedules a failNode on a
- * seed-derived victim at a seed-derived tick mid-flight.
+ * seed-derived victim at a seed-derived tick mid-flight. @p plan
+ * optionally arms a scheduled FaultPlan (link flaps, drop windows) and
+ * @p ctx picks the context id, so teardown/rebuild loops can vary it.
  */
 IterationResult
-runIteration(std::uint64_t seed, bool injectFailure, int opsPerSession)
+runIteration(std::uint64_t seed, bool injectFailure, int opsPerSession,
+             const fab::FaultPlan *plan = nullptr, sim::CtxId ctx = 1)
 {
-    TestBed bed(ClusterSpec{}
-                    .nodes(kNodes)
-                    .qpCount(kQpCount)
-                    .qpDepth(kQpDepth)
-                    .segmentPerNode(kSegBytes)
-                    .seed(seed));
+    ClusterSpec spec = ClusterSpec{}
+                           .nodes(kNodes)
+                           .qpCount(kQpCount)
+                           .qpDepth(kQpDepth)
+                           .segmentPerNode(kSegBytes)
+                           .context(ctx)
+                           .seed(seed);
+    if (plan)
+        spec.faultPlan(*plan);
+    TestBed bed(spec);
 
     // Four sessions: two on node 1 (distinct coroutines — sessions are
     // single-owner), one each on nodes 0 and 2. Odd sessions batch
@@ -311,7 +319,7 @@ runIteration(std::uint64_t seed, bool injectFailure, int opsPerSession)
         EXPECT_EQ(d.posts, d.completions);
         EXPECT_EQ(d.s->outstanding(), 0u);
         EXPECT_EQ(d.s->pendingDoorbells(), 0u);
-        if (!injectFailure) {
+        if (!injectFailure && !plan) {
             EXPECT_EQ(d.okStatus, d.posts);
             EXPECT_EQ(d.fabricErrors, 0u);
         }
@@ -370,6 +378,56 @@ TEST(SessionStress, SeededSoakIsDeterministicWithFabricResets)
     // The injection window must actually bite in at least one seed, or
     // this test stops covering the abort paths.
     EXPECT_GT(sawFabricErrors, 0u);
+}
+
+TEST(SessionStress, LinkFlapSoakIsDeterministic)
+{
+    // A scheduled link-flap plan (kill/recover cycles on 0->1 and 1->0)
+    // layered under the random op soup: packets crossing a down link
+    // are dropped, the transfer timeout aborts them, and the exact-once
+    // invariants of runIteration must still hold. Two same-seed runs
+    // must be byte-identical including the fault events.
+    std::uint64_t sawFabricErrors = 0;
+    for (int seed = 3; seed <= seedCount() + 2; seed += 2) {
+        fab::FaultPlan plan;
+        plan.flapLink(sim::usToTicks(5), sim::usToTicks(10), 4, 0, 1);
+        plan.flapLink(sim::usToTicks(8), sim::usToTicks(10), 4, 1, 0);
+        const IterationResult a = runIteration(seed, false, 60, &plan);
+        const IterationResult b = runIteration(seed, false, 60, &plan);
+        EXPECT_EQ(a.statsDump, b.statsDump)
+            << "seed " << seed << " with link flaps not reproducible";
+        EXPECT_EQ(a.fabricErrors, b.fabricErrors);
+        EXPECT_EQ(a.otherErrors, 0u);
+        sawFabricErrors += a.fabricErrors;
+    }
+    // The flap windows must actually drop traffic in at least one seed.
+    EXPECT_GT(sawFabricErrors, 0u);
+}
+
+TEST(SessionStress, TeardownRebuildWithFaultsIsStable)
+{
+    // Repeated build/run/destroy of whole TestBeds — alternating
+    // context ids and fault plans — must neither leak state across
+    // builds nor drift: every iteration with the same (seed, plan, ctx)
+    // reproduces the same stats dump as its first occurrence.
+    fab::FaultPlan flap;
+    flap.flapLink(sim::usToTicks(5), sim::usToTicks(10), 3, 0, 1);
+    std::string reference[2];
+    for (int iter = 0; iter < 6; ++iter) {
+        const bool faulted = (iter % 2) == 1;
+        const sim::CtxId ctx = faulted ? 2 : 1;
+        const IterationResult r = runIteration(
+            42, false, 40, faulted ? &flap : nullptr, ctx);
+        EXPECT_GT(r.posts, 0u);
+        EXPECT_EQ(r.otherErrors, 0u);
+        std::string &ref = reference[faulted ? 1 : 0];
+        if (ref.empty())
+            ref = r.statsDump;
+        else
+            EXPECT_EQ(r.statsDump, ref)
+                << "iteration " << iter
+                << " diverged from an identical earlier build";
+    }
 }
 
 TEST(SessionStress, SteadyStateIsAllocationFree)
