@@ -14,7 +14,10 @@
 #   BENCH_sweep/DEGRADED_*.json   - degraded-mode study: goodput, drop
 #                                   counts and p50/p95/p99 under node
 #                                   kill/recover, link kill (adaptive
-#                                   routing) and an incast storm
+#                                   routing), an incast storm, and a
+#                                   silent drop window recovered purely
+#                                   by RMC retransmission (retransmits,
+#                                   dup_suppressed, unrecoverable)
 #
 # Usage: bench/run_benches.sh [--smoke] [build-dir]
 #                             (default build dir: build-release)
@@ -89,6 +92,30 @@ for c in cells:
     assert d["dropped_messages"] > 0, f"{c}: node kill dropped nothing"
 print(f"{len(cells)} degraded cell(s) OK (goodput > 0, exact accounting)")
 PY
+    echo "== smoke: recovery cell (silent drop window, RMC retransmission) =="
+    # Workload-level retries are OFF (--retries=0): every dropped packet
+    # must be recovered by the RMC's timeout-driven retransmission
+    # alone, and the ok + unrecoverable == ops identity must close.
+    "$BUILD_DIR/bench_sweep" --quick --nodes=16 --topo=4x4 --sizes=64 \
+        --depths=16 --ops=32 --faults=drop@10us+60us --max-attempts=6 \
+        --retries=0 --out-dir="$SMOKE_DIR" >/dev/null
+    python3 - "$SMOKE_DIR" <<'PY'
+import json, pathlib, sys
+cells = list(pathlib.Path(sys.argv[1]).glob("DEGRADED_*_drop.json"))
+assert cells, "drop sweep wrote no DEGRADED_*_drop cells"
+for c in cells:
+    d = json.loads(c.read_text())
+    assert d["fault_scenario"].startswith("drop@"), c
+    assert d["dropped_messages"] > 0, f"{c}: drop window dropped nothing"
+    assert d["retransmits"] > 0, f"{c}: drops but no retransmissions"
+    assert d["unrecoverable"] == 0, f"{c}: {d['unrecoverable']} ops lost"
+    assert d["ok_ops"] + d["unrecoverable"] == d["ops"], \
+        f"{c}: ok {d['ok_ops']} + unrecoverable {d['unrecoverable']} " \
+        f"!= ops {d['ops']}"
+    assert d["ok_ops"] == d["ops"], \
+        f"{c}: ok {d['ok_ops']} != ops {d['ops']} despite retransmission"
+print(f"{len(cells)} recovery cell(s) OK (drops retransmitted, none lost)")
+PY
     echo "== smoke: fig9 pagerank workload cell (8 nodes, tiny graph) =="
     "$BUILD_DIR/bench_sweep" --workload=pagerank --nodes=8 --ndims=3 \
         --sizes=64 --depths=16 --pr-vertices=1024 --pr-degree=4 \
@@ -141,6 +168,11 @@ echo "== degraded-mode study (node kill, link kill + adaptive, incast) =="
     --out-dir="$REPO_ROOT/BENCH_sweep"
 "$BUILD_DIR/bench_sweep" --nodes=64 --topo=4x4x4 --sizes=64 --depths=16 \
     --ops=64 --faults=incast \
+    --out-dir="$REPO_ROOT/BENCH_sweep"
+# Silent drop window, workload retries off: recovery is carried by RMC
+# retransmission alone (retransmits > 0, unrecoverable == 0).
+"$BUILD_DIR/bench_sweep" --nodes=64 --topo=4x4x4 --sizes=64 --depths=16 \
+    --ops=64 --faults=drop@10us+100us --max-attempts=6 --retries=0 \
     --out-dir="$REPO_ROOT/BENCH_sweep"
 
 echo "== fig7_remote_read =="

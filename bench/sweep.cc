@@ -45,7 +45,8 @@ main(int argc, char **argv)
                       "sizes", "depths", "qps", "batching", "ops", "seed",
                       "out-dir", "quick", "pr-vertices", "pr-degree",
                       "pr-supersteps", "pr-warmup", "pr-verify", "faults",
-                      "routing", "retries", "retry-backoff-us"});
+                      "routing", "retries", "retry-backoff-us",
+                      "max-attempts", "rnr-backoff-us", "bg-traffic"});
     const bool quick = args.has("quick");
     app::registerPageRankSweepWorkload();
 
@@ -104,6 +105,33 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(args.getU64("retries", 8));
     cfg.retryBackoff = sim::usToTicks(
         static_cast<double>(args.getU64("retry-backoff-us", 5)));
+
+    // RMC-level reliable delivery: per-transfer attempt budget and the
+    // first retransmit backoff (doubles per attempt, capped). Distinct
+    // from --retries, which reposts whole ops in software.
+    cfg.rmcParams.maxAttempts = static_cast<std::uint32_t>(args.getU64(
+        "max-attempts", cfg.rmcParams.maxAttempts));
+    if (args.has("rnr-backoff-us"))
+        cfg.rmcParams.rnrBackoff = sim::usToTicks(
+            static_cast<double>(args.getU64("rnr-backoff-us", 5)));
+
+    // Background-load axis: a fraction of the foreground window spent
+    // on uniform single-line reads next to the measured workload.
+    if (args.has("bg-traffic")) {
+        const std::string raw = args.get("bg-traffic", "0");
+        try {
+            cfg.bgTraffic = std::stod(raw);
+        } catch (const std::exception &) {
+            cfg.bgTraffic = -1.0; // falls into the range error below
+        }
+        if (cfg.bgTraffic < 0.0 || cfg.bgTraffic > 1.0) {
+            std::fprintf(stderr,
+                         "--bg-traffic: fraction must be in [0, 1] "
+                         "(got '%s')\n",
+                         raw.c_str());
+            return 2;
+        }
+    }
 
     // PageRank axis (paper Fig. 9; see src/app/README.md).
     cfg.pagerank.vertices = static_cast<std::uint32_t>(

@@ -244,9 +244,15 @@ RmcSession::postOp(rmc::WqEntry entry, bool atomic, std::uint32_t qpHint)
 
     // Inline-function overhead + the producing store (one cache line).
     co_await core_.compute(params_.issueOverheadCycles);
-    const vm::VAddr entryVa = qp.handle.wqEntryVa(slot);
-    co_await core_.store(entryVa);
-    proc_.addressSpace().write(entryVa, &entry, sizeof(entry));
+    if (!closed_) {
+        const vm::VAddr entryVa = qp.handle.wqEntryVa(slot);
+        co_await core_.store(entryVa);
+        // close() may have landed during either charge above; its fence
+        // already scanned the WQ, so a late functional write would
+        // publish an entry nobody will ever consume. Skip it.
+        if (!closed_)
+            proc_.addressSpace().write(entryVa, &entry, sizeof(entry));
+    }
 
     SlotRecord &r = records_[g];
     r.token = ++nextToken_;
@@ -257,6 +263,19 @@ RmcSession::postOp(rmc::WqEntry entry, bool atomic, std::uint32_t qpHint)
     r.completedAt = 0;
     r.bufVa = entry.bufVa;
     r.oldValue = 0;
+
+    if (closed_) {
+        // Post-close stub: the queue pairs are gone, so complete the op
+        // immediately with kFlushed. No busy slot, no outstanding count
+        // — there is no CQ entry coming, and drain() must not wait for
+        // one. The cursor still advances so successive closed posts get
+        // distinct slot records.
+        r.completed = true;
+        r.status = rmc::CqStatus::kFlushed;
+        r.completedAt = r.postedAt;
+        qp.wq.advance();
+        co_return OpHandle(this, g, r.token);
+    }
 
     slotBusy_[g] = true;
     ++outstanding_;
@@ -398,6 +417,34 @@ RmcSession::drain()
         co_await reapAvailable(&reaped);
         if (outstanding_ > 0 && reaped == 0)
             co_await pollWait();
+    }
+}
+
+//
+// ----------------------------- teardown --------------------------------
+//
+
+void
+RmcSession::close(CloseMode mode)
+{
+    if (closed_)
+        return;
+    // Cancel batched doorbells instead of ringing them: the fence's WQ
+    // scan flush-completes those entries, and ringing a dead QP would
+    // bounce anyway. Must happen before the fence runs so a concurrent
+    // pollWait() can't re-ring.
+    for (QpState &q : qps_)
+        q.doorbellPending = false;
+    pendingDoorbells_ = 0;
+    closed_ = true;
+    // The fence posts a kFlushed completion for every in-flight op and
+    // fires the completion hooks, so anyone parked in pollWait() wakes
+    // and reaps normally.
+    if (mode == CloseMode::kUnregisterContext) {
+        driver_.unregisterContext(proc_, ctx_);
+    } else {
+        for (QpState &q : qps_)
+            driver_.destroyQueuePair(q.handle);
     }
 }
 

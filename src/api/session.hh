@@ -233,6 +233,37 @@ class RmcSession
     [[nodiscard]] sim::Task drain();
 
     //
+    // Teardown
+    //
+
+    /** What close() tears down beneath the session. */
+    enum class CloseMode
+    {
+        kDestroyQps,        //!< destroy this session's queue pairs
+        kUnregisterContext, //!< also drop the whole context on this node
+    };
+
+    /**
+     * Tear the session down mid-flight. Batched doorbells are cancelled
+     * (the fence completes those entries instead of ringing them), then
+     * every queue pair is destroyed — each op in flight gets exactly
+     * one CqStatus::kFlushed completion, which the owner still reaps
+     * normally via drain()/handle awaits. kUnregisterContext
+     * additionally removes the context from this node's RMC, so use it
+     * only when no other session shares the context on this node.
+     *
+     * After close() the session stays usable as a stub: further posts
+     * complete immediately with kFlushed (no WQ traffic), so drivers
+     * that keep posting terminate cleanly instead of hanging. Plain
+     * function (no simulated time) — callable from event context, e.g.
+     * a scheduled teardown in a test.
+     */
+    void close(CloseMode mode = CloseMode::kDestroyQps);
+
+    /** True once close() ran. */
+    bool closed() const { return closed_; }
+
+    //
     // Doorbell batching
     //
 
@@ -330,6 +361,7 @@ class RmcSession
 
     std::uint32_t outstanding_ = 0;
     std::vector<bool> slotBusy_;          //!< by session-global slot
+    bool closed_ = false;                 //!< see close()
 
     /** Completion rendezvous state, one fixed record per WQ slot. */
     struct SlotRecord

@@ -49,6 +49,9 @@ SweepCellResult::label() const
         out += "_adaptive";
     if (faultScenario != "none")
         out += "_" + fab::FaultPlan::scenarioOf(faultScenario);
+    if (bgTraffic > 0)
+        out += "_bg" + std::to_string(static_cast<int>(
+                           std::lround(bgTraffic * 100)));
     return out;
 }
 
@@ -68,6 +71,10 @@ SweepCellResult::writeJson(std::ostream &os) const
        << ", \"gbps\": " << gbps
        << ", \"mean_latency_ns\": " << meanLatencyNs
        << ", \"p99_latency_ns\": " << p99LatencyNs;
+    if (bgTraffic > 0) {
+        os << ", \"bg_traffic\": " << bgTraffic
+           << ", \"bg_ops\": " << bgOps;
+    }
     if (degraded()) {
         // Degraded fields only appear for degraded cells, so healthy
         // artifacts stay byte-identical to the pre-fault schema.
@@ -79,6 +86,9 @@ SweepCellResult::writeJson(std::ostream &os) const
            << ", \"retried_ops\": " << retriedOps
            << ", \"failed_ops\": " << failedOps
            << ", \"dropped_messages\": " << droppedMessages
+           << ", \"retransmits\": " << retransmits
+           << ", \"dup_suppressed\": " << dupSuppressed
+           << ", \"unrecoverable\": " << unrecoverable
            << ", \"p50_latency_ns\": " << p50LatencyNs
            << ", \"p95_latency_ns\": " << p95LatencyNs;
     }
@@ -358,6 +368,11 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
     cell.doorbellBatching = cfg_.doorbellBatching;
     cell.faultScenario = cfg_.faultSpec;
     cell.routing = cfg_.routing;
+    if (cfg_.bgTraffic < 0.0 || cfg_.bgTraffic > 1.0)
+        throw std::invalid_argument(
+            "SweepDriver: bgTraffic must be in [0, 1] (got " +
+            std::to_string(cfg_.bgTraffic) + ")");
+    cell.bgTraffic = cfg_.bgTraffic;
     if (topo == node::Topology::kTorus) {
         cell.torusDims = cfg_.torusDims.empty()
                              ? torusDimsFor(nodes, cfg_.torusNdims)
@@ -389,6 +404,8 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
         rp.backoff = cfg_.retryBackoff;
         wl.setRetryPolicy(rp);
     }
+    if (cfg_.bgTraffic > 0)
+        wl.setBackground(cfg_.bgTraffic);
     body->install(bed, wl, cell, cfg_);
     wl.run();
 
@@ -445,8 +462,36 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
     cell.abortedOps = sumCounters("abortedOps");
     cell.retriedOps = sumCounters("retriedOps");
     cell.failedOps = sumCounters("failedOps");
+    cell.bgOps = sumCounters("bgOps");
     cell.droppedMessages = bed.cluster().fabric().droppedMessages();
     cell.goodputMops = static_cast<double>(cell.okOps) / secs / 1e6;
+
+    // Reliable-delivery counters live on the RMCs, not the workload.
+    const auto sumRmcCounters = [&](const std::string &name) {
+        std::uint64_t total = 0;
+        for (std::uint32_t i = 0; i < nodes; ++i)
+            if (const auto *c = bed.sim().stats().counter(
+                    "node" + std::to_string(i) + ".rmc." + name))
+                total += c->value();
+        return total;
+    };
+    cell.retransmits = sumRmcCounters("retransmits");
+    cell.dupSuppressed = sumRmcCounters("rrpp.dupSuppressed");
+    cell.unrecoverable = sumRmcCounters("unrecoverable");
+
+    // Drops-vs-lost-ops audit: a dropped packet may be retransmitted
+    // (then it is a drop but not a lost op). With the workload-level
+    // retry loop disabled, every op either completes or is aborted as
+    // unrecoverable — anything else means a completion was lost or
+    // double-delivered.
+    if (cell.workload == "uniform" && cfg_.maxRetries == 0 &&
+        cfg_.bgTraffic == 0.0 &&
+        fab::FaultPlan::scenarioOf(cell.faultScenario) == "drop" &&
+        cell.okOps + cell.unrecoverable != cell.ops)
+        sim::fatal("sweep: drop cell accounting broke: ok_ops " +
+                   std::to_string(cell.okOps) + " + unrecoverable " +
+                   std::to_string(cell.unrecoverable) + " != ops " +
+                   std::to_string(cell.ops));
 
     body->annotate(cell);
     return cell;

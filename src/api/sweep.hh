@@ -101,6 +101,16 @@ struct SweepConfig
     std::uint32_t maxRetries = 8;
     sim::Tick retryBackoff = sim::usToTicks(5);
 
+    /**
+     * Background traffic: every node additionally runs a closed-loop
+     * stream of single-line uniform reads over a private one-QP
+     * session, with a window of max(1, bgTraffic * qpDepth) — a
+     * fraction of the foreground intensity. 0 disables it (and keeps
+     * healthy artifacts byte-identical). Cells with background load
+     * get a "_bg<pct>" label suffix and bg_traffic/bg_ops JSON fields.
+     */
+    double bgTraffic = 0.0;
+
     /** PageRank workload axis (used when workload == "pagerank"). */
     struct PageRankAxis
     {
@@ -142,6 +152,7 @@ struct SweepCellResult
     // degraded fields below appear in its label and JSON).
     std::string faultScenario = "none";
     fab::RoutingMode routing = fab::RoutingMode::kDor;
+    double bgTraffic = 0.0;         //!< background-load fraction (0 = off)
 
     // Measurements.
     std::uint64_t ops = 0;          //!< total remote ops issued
@@ -160,6 +171,15 @@ struct SweepCellResult
     std::uint64_t retriedOps = 0;   //!< reposts after an aborted attempt
     std::uint64_t failedOps = 0;    //!< ops given up at the retry cap
     std::uint64_t droppedMessages = 0; //!< fabric-level packet drops
+    // Reliable-delivery accounting, pooled from the RMC counters. A
+    // dropped-then-retransmitted packet shows up in droppedMessages AND
+    // retransmits but never as a lost op: with retries disabled,
+    // okOps + unrecoverable == ops holds exactly (asserted for
+    // drop-scenario uniform cells in runCell).
+    std::uint64_t retransmits = 0;  //!< timed-out transfers re-sent
+    std::uint64_t dupSuppressed = 0; //!< replays answered from dedup
+    std::uint64_t unrecoverable = 0; //!< transfers given up for good
+    std::uint64_t bgOps = 0;        //!< background reads completed ok
     double goodputMops = 0;         //!< successful ops per simulated second
     double p50LatencyNs = 0;
     double p95LatencyNs = 0;
@@ -178,8 +198,9 @@ struct SweepCellResult
     /**
      * Stable identifier, e.g. "n64_torus_8x8_rs64_qd64"; multi-QP
      * cells append "_qp<N>", batched cells "_db", non-uniform
-     * workloads "_<workload>", adaptively-routed cells "_adaptive"
-     * and faulted cells "_<scenario>" (single-QP uniform dor-routed
+     * workloads "_<workload>", adaptively-routed cells "_adaptive",
+     * faulted cells "_<scenario>" and background-loaded cells
+     * "_bg<pct>" (single-QP uniform dor-routed
      * healthy labels keep their original spelling so existing
      * artifacts stay diffable).
      */

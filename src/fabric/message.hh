@@ -104,6 +104,16 @@ struct Message
      */
     std::uint8_t lastDir = 0xff;
 
+    /**
+     * Retransmission attempt of the transfer this packet belongs to
+     * (0 = first send). Together with the tid's epoch this forms the
+     * (tid, epoch, attempt) sequence the source uses to discard stale
+     * replies after a timeout-driven retransmit. Carried in existing
+     * protocol-header padding, so it does not change kHeaderBytes or
+     * wireBytes() — stamping it is timing-neutral.
+     */
+    std::uint8_t attempt = 0;
+
     /** Fixed header size on the wire (routing + protocol). */
     static constexpr std::uint32_t kHeaderBytes = 24;
 
@@ -127,6 +137,9 @@ struct Message
         r.ctxId = ctxId;
         r.tid = tid;
         r.offset = offset;
+        // Replies echo the attempt so the source RCP can tell a reply
+        // to the current attempt from one the fabric delivered late.
+        r.attempt = attempt;
         return r;
     }
 

@@ -124,10 +124,39 @@ void
 RmcDriver::destroyQueuePair(const QpHandle &qp)
 {
     rmc::CtEntry *entry = rmc_.contextTable().entryMutable(qp.ctx);
-    if (!entry || qp.qpIndex >= entry->qps.size())
-        return;
+    if (!entry || qp.qpIndex >= entry->qps.size() ||
+        !entry->qps[qp.qpIndex].valid)
+        return; // unknown or already destroyed: idempotent
+    // Invalidate first (new posts/doorbells bounce off), then fence:
+    // every op already in flight through this QP gets exactly one
+    // CqStatus::kFlushed completion, tids/epochs are reclaimed. Both
+    // steps are synchronous, so no pipeline coroutine can interleave.
     entry->qps[qp.qpIndex].valid = false;
     rmc_.contextTable().install(qp.ctx, *entry);
+    rmc_.fenceQueuePair(qp.ctx, qp.qpIndex);
+}
+
+void
+RmcDriver::unregisterContext(Process &proc, sim::CtxId ctx)
+{
+    requireOpened(proc, ctx);
+    rmc::CtEntry *entry = rmc_.contextTable().entryMutable(ctx);
+    if (!entry)
+        return;
+    // Destroy-and-fence every live QP, then drop the CT entry: the node
+    // stops serving remote requests for this context (peers see
+    // bad-context error replies) and local software keeps only its
+    // ring memory, which stays with the process.
+    for (std::uint32_t q = 0;
+         q < static_cast<std::uint32_t>(entry->qps.size()); ++q) {
+        if (!entry->qps[q].valid)
+            continue;
+        entry->qps[q].valid = false;
+        rmc_.contextTable().install(ctx, *entry);
+        rmc_.fenceQueuePair(ctx, q);
+        entry = rmc_.contextTable().entryMutable(ctx);
+    }
+    rmc_.contextTable().remove(ctx);
 }
 
 void

@@ -77,8 +77,22 @@ class RmcDriver
      */
     QpHandle createQueuePair(Process &proc, sim::CtxId ctx);
 
-    /** Unregister a QP (its ring memory stays with the process). */
+    /**
+     * Unregister a QP (its ring memory stays with the process). Safe
+     * mid-flight: the descriptor is invalidated and the RMC fences the
+     * QP — ops already completed keep their completions, every other
+     * posted op gets exactly one CqStatus::kFlushed completion, and
+     * tids/epochs are reclaimed. Idempotent.
+     */
     void destroyQueuePair(const QpHandle &qp);
+
+    /**
+     * Tear down context @p ctx on this node: destroy-and-fence every
+     * registered QP (kFlushed completions as in destroyQueuePair), then
+     * remove the CT entry — after which this node answers remote
+     * requests for the context with bad-context error replies.
+     */
+    void unregisterContext(Process &proc, sim::CtxId ctx);
 
     /** Register a callback for fabric-failure notifications (§5.1). */
     void onFailure(sim::Callback fn);

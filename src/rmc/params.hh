@@ -80,6 +80,31 @@ struct RmcParams
     sim::Tick transferTimeout = sim::usToTicks(200);
 
     //
+    // Reliable delivery (timeout-driven retransmission). A transfer
+    // whose replies stop arriving is retransmitted by the sweep instead
+    // of aborted: up to maxAttempts total attempts, each retransmit
+    // delayed by rnrBackoff doubled per attempt (capped at
+    // rnrBackoffCapDoublings doublings). Only after the attempt budget
+    // is exhausted does the transfer abort with a fabric-error
+    // completion. maxAttempts == 1 restores the legacy abort-on-first-
+    // timeout behaviour.
+    //
+    std::uint32_t maxAttempts = 4;
+    sim::Tick rnrBackoff = sim::usToTicks(5);
+    std::uint32_t rnrBackoffCapDoublings = 4;
+
+    //
+    // Destination-side replay-dedup window: the RRPP remembers the last
+    // dedupWindow mutating requests (writes/atomics) by (srcNid, tid,
+    // offset) and answers a replayed one with its cached reply instead
+    // of executing it again — the exactly-once half of the protocol
+    // (reads are idempotent and are never deduplicated). 0 disables the
+    // window. Purely functional: lookups charge no cycles, so the
+    // no-loss path is timing-identical with the window on or off.
+    //
+    std::uint32_t dedupWindow = 1024;
+
+    //
     // Emulation-platform software costs (only used when platform ==
     // kEmulation). These model RMCemu's per-item processing on its
     // dedicated virtual CPUs.
@@ -161,6 +186,22 @@ validate(const RmcParams &params)
             "RmcParams: maxTids " + std::to_string(params.maxTids) +
             " exceeds 65536, the largest index a packed 16-bit tid "
             "field can carry");
+    if (params.maxAttempts == 0)
+        throw std::invalid_argument(
+            "RmcParams: maxAttempts must be >= 1 (got 0); every "
+            "transfer needs at least its first attempt");
+    if (params.maxAttempts > 255)
+        throw std::invalid_argument(
+            "RmcParams: maxAttempts " +
+            std::to_string(params.maxAttempts) +
+            " exceeds 255, the largest value the packet's 8-bit "
+            "attempt tag can carry");
+    if (params.dedupWindow > (1u << 20))
+        throw std::invalid_argument(
+            "RmcParams: dedupWindow " +
+            std::to_string(params.dedupWindow) +
+            " exceeds 2^20 entries; the replay window is a bounded "
+            "cache, not a log");
 }
 
 

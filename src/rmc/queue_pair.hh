@@ -73,6 +73,7 @@ enum class CqStatus : std::uint8_t
     kBoundsError = 1,   //!< offset outside the destination segment
     kBadContext = 2,    //!< ctx not registered at the destination
     kFabricError = 3,   //!< node/link failure while in flight
+    kFlushed = 4,       //!< QP/context torn down while in flight
 };
 
 /**

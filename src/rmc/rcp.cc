@@ -40,8 +40,11 @@ Rmc::processReply(fab::Message msg)
     const std::uint32_t tidIndex = msg.tid & 0xffff;
 
     if (tidIndex >= itt_.size() || !itt_[tidIndex].active ||
-        itt_[tidIndex].epoch != ep) {
-        // Stale reply from before an RMC reset: drop it.
+        itt_[tidIndex].epoch != ep ||
+        itt_[tidIndex].attempt != msg.attempt) {
+        // Stale reply — from before an RMC reset (epoch) or from a
+        // superseded attempt of a retransmitted transfer: drop it. The
+        // retransmit already re-counts every line of the new attempt.
         rcpSlots_.release();
         co_return;
     }
@@ -55,10 +58,11 @@ Rmc::processReply(fab::Message msg)
                             params_.emuPerReply);
 
     // The charges above suspend; a reset() may have aborted this
-    // transfer and freed (epoch-bumped) its tid meanwhile. Re-check
-    // before reading buffer coordinates out of the entry — the slot may
-    // already belong to a new transfer.
-    if (!itt.active || itt.epoch != ep) {
+    // transfer and freed (epoch-bumped) its tid meanwhile — or the
+    // timeout sweep may have bumped the attempt, superseding this
+    // reply. Re-check before reading buffer coordinates out of the
+    // entry — the slot may already belong to a new transfer/attempt.
+    if (!itt.active || itt.epoch != ep || itt.attempt != msg.attempt) {
         rcpSlots_.release();
         co_return;
     }
@@ -78,8 +82,9 @@ Rmc::processReply(fab::Message msg)
         co_await translate(itt.ctx, dst, ce->ptRoot, &pa);
         // Translation suspends too: re-check before writing the error
         // flag (or payload bookkeeping) into an entry a reset may have
-        // handed to a new transfer.
-        if (!itt.active || itt.epoch != ep) {
+        // handed to a new transfer (or a sweep to a new attempt).
+        if (!itt.active || itt.epoch != ep ||
+            itt.attempt != msg.attempt) {
             rcpSlots_.release();
             co_return;
         }
@@ -97,10 +102,11 @@ Rmc::processReply(fab::Message msg)
 
     // Update the ITT ("Update ITT", a memory write through the MAQ).
     co_await maq_.write(ittAddr(tidIndex));
-    // The payload/ITT writes suspend too — same reset window as above.
-    // Decrementing a freed entry would post a duplicate completion for
-    // whatever transfer reuses the slot.
-    if (!itt.active || itt.epoch != ep) {
+    // The payload/ITT writes suspend too — same reset/retransmit window
+    // as above. Decrementing a freed entry would post a duplicate
+    // completion for whatever transfer reuses the slot; decrementing a
+    // re-attempted one would double-count this line.
+    if (!itt.active || itt.epoch != ep || itt.attempt != msg.attempt) {
         rcpSlots_.release();
         co_return;
     }

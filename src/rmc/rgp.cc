@@ -31,7 +31,7 @@ Rmc::rgpLoop()
 sim::Task
 Rmc::processWq(sim::CtxId ctx, std::uint32_t qpIndex)
 {
-    const CtEntry *ce = ct_.entry(ctx);
+    const CtEntry *ce = ct_.entry(ctx); // re-fetched after suspensions
     if (!ce || qpIndex >= ce->qps.size() || !ce->qps[qpIndex].valid)
         co_return; // QP vanished (context teardown)
     const QpDescriptor qp = ce->qps[qpIndex];
@@ -50,9 +50,19 @@ Rmc::processWq(sim::CtxId ctx, std::uint32_t qpIndex)
         const vm::VAddr entryVa = qp.wqEntryVa(cursor.index());
         std::optional<mem::PAddr> pa;
         co_await translate(ctx, entryVa, ce->ptRoot, &pa);
+        // Re-validate after every suspension: a teardown fence may have
+        // run while this coroutine slept, flush-completing the very
+        // entry under the cursor. Touching the cursor after that would
+        // double-complete it.
+        ce = ct_.entry(ctx);
+        if (!ce || qpIndex >= ce->qps.size() || !ce->qps[qpIndex].valid)
+            co_return; // QP fenced during the translation
         if (!pa)
             co_return; // unmapped WQ (teardown)
         co_await maq_.read(*pa);
+        ce = ct_.entry(ctx);
+        if (!ce || qpIndex >= ce->qps.size() || !ce->qps[qpIndex].valid)
+            co_return; // QP fenced during the WQ read
 
         WqEntry entry;
         phys_.read(*pa, &entry, sizeof(entry));
@@ -99,7 +109,21 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
     itt.error = false;
     itt.bufVa = entry.bufVa;
     itt.baseOffset = entry.offset;
+    itt.attempt = 0;
+    itt.retransmitPending = false;
+    itt.unrolled = false;
+    itt.operand1 = entry.operand1;
+    itt.operand2 = entry.operand2;
     const std::uint16_t myEpoch = itt.epoch;
+    // Close the teardown window between WQ consumption and ITT entry:
+    // while this coroutine waited for a tid the op was invisible to a
+    // fence (already consumed from the WQ, not yet in the ITT). If the
+    // QP died meanwhile, self-flush — exactly one completion either way.
+    ce = ct_.entry(ctx);
+    if (!ce || qpIndex >= ce->qps.size() || !ce->qps[qpIndex].valid) {
+        abortTransfer(tidIndex, CqStatus::kFlushed);
+        co_return;
+    }
     co_await maq_.write(ittAddr(tidIndex));
 
     // Per-WQ-entry front-end cost (parse/schedule).
@@ -119,6 +143,7 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
         msg.dstNid = entry.dstNid;
         msg.ctxId = ctx;
         msg.tid = tidOf(itt.epoch, tidIndex);
+        msg.attempt = itt.attempt;
         msg.offset = entry.offset + std::uint64_t(i) * sim::kCacheLineBytes;
 
         switch (op) {
@@ -144,6 +169,10 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
                 itt.error = true;
                 itt.remaining -= numLines - i;
                 itt.total = i;
+                // The transfer is fully unrolled as far as it ever will
+                // be; without this the timeout sweep would skip it
+                // forever if its in-flight replies get dropped.
+                itt.unrolled = true;
                 if (itt.remaining == 0)
                     co_await postCompletion(itt, tidIndex);
                 co_return;
@@ -171,6 +200,102 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
         co_await sendMessage(msg);
         requestPacketsSent_.inc();
     }
+    // All lines injected: the transfer's timeout clock may start.
+    if (itt.active && itt.epoch == myEpoch)
+        itt.unrolled = true;
+}
+
+sim::FireAndForget
+Rmc::retransmitTransfer(std::uint32_t tidIndex)
+{
+    IttEntry &itt = itt_[tidIndex];
+    const std::uint16_t myEpoch = itt.epoch;
+    const std::uint8_t myAttempt = itt.attempt;
+
+    // Capped deterministic backoff: attempt 1 resends after rnrBackoff,
+    // each further attempt doubles, up to rnrBackoffCapDoublings.
+    const std::uint32_t shift = std::min<std::uint32_t>(
+        std::uint32_t(myAttempt) - 1, params_.rnrBackoffCapDoublings);
+    co_await sim::Delay(eq_, params_.rnrBackoff << shift);
+
+    // Same re-check discipline as generateRequests: a fence/reset in
+    // any suspension frees the tid (epoch bump); a newer sweep pass
+    // cannot re-own the entry while retransmitPending, so an attempt
+    // mismatch here means the entry was freed and reused.
+    const CtEntry *ce = ct_.entry(itt.ctx);
+    if (!itt.active || itt.epoch != myEpoch || itt.attempt != myAttempt ||
+        !ce) {
+        co_return;
+    }
+
+    const std::uint32_t total = itt.total;
+    for (std::uint32_t i = 0; i < total; ++i) {
+        if (!itt.active || itt.epoch != myEpoch ||
+            itt.attempt != myAttempt)
+            co_return;
+        fab::Message msg;
+        msg.srcNid = nid_;
+        msg.dstNid = itt.peer;
+        msg.ctxId = itt.ctx;
+        msg.tid = tidOf(itt.epoch, tidIndex);
+        msg.attempt = itt.attempt;
+        msg.offset =
+            itt.baseOffset + std::uint64_t(i) * sim::kCacheLineBytes;
+
+        switch (itt.op) {
+          case WqOp::kRead:
+            msg.op = fab::Op::kReadReq;
+            break;
+          case WqOp::kWrite: {
+            msg.op = fab::Op::kWriteReq;
+            // Re-read the payload line through the MAQ, exactly as the
+            // first attempt did.
+            const vm::VAddr lineVa =
+                itt.bufVa + std::uint64_t(i) * sim::kCacheLineBytes;
+            std::optional<mem::PAddr> pa;
+            co_await translate(itt.ctx, lineVa, ce->ptRoot, &pa);
+            if (!itt.active || itt.epoch != myEpoch ||
+                itt.attempt != myAttempt)
+                co_return;
+            if (!pa) {
+                // The buffer was unmapped between attempts (application
+                // bug). Mark the error and hand the entry back; the
+                // next sweep pass aborts it.
+                itt.error = true;
+                itt.issuedAt = eq_.now();
+                itt.retransmitPending = false;
+                co_return;
+            }
+            co_await maq_.read(*pa);
+            if (!itt.active || itt.epoch != myEpoch ||
+                itt.attempt != myAttempt)
+                co_return;
+            std::uint8_t line[sim::kCacheLineBytes];
+            phys_.read(*pa, line, sizeof(line));
+            msg.setPayload(line, sim::kCacheLineBytes);
+            break;
+          }
+          case WqOp::kCas:
+            msg.op = fab::Op::kCasReq;
+            msg.operand1 = itt.operand1;
+            msg.operand2 = itt.operand2;
+            break;
+          case WqOp::kFetchAdd:
+            msg.op = fab::Op::kFetchAddReq;
+            msg.operand1 = itt.operand1;
+            break;
+        }
+
+        co_await chargeFrontend(params_.cycles(params_.rgpPerLineCycles),
+                                params_.emuPerLine);
+        co_await sendMessage(msg);
+        requestPacketsSent_.inc();
+    }
+    if (!itt.active || itt.epoch != myEpoch || itt.attempt != myAttempt)
+        co_return;
+    // Fresh deadline for this attempt; the sweep owns the entry again.
+    itt.issuedAt = eq_.now();
+    itt.retransmitPending = false;
 }
 
 } // namespace sonuma::rmc

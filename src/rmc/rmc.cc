@@ -52,7 +52,20 @@ Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
       atomicsExecuted_(stats, name + ".rrpp.atomics",
                        "remote atomics executed"),
       failureAborts_(stats, name + ".failureAborts",
-                     "transfers aborted by fabric failures")
+                     "transfers aborted by fabric failures or teardown"),
+      retransmits_(stats, name + ".retransmits",
+                   "timed-out transfers retransmitted"),
+      dupSuppressed_(stats, name + ".rrpp.dupSuppressed",
+                     "replayed writes/atomics answered from the dedup "
+                     "window"),
+      unrecoverable_(stats, name + ".unrecoverable",
+                     "transfers given up as unrecoverable (attempt "
+                     "budget exhausted or peer dead)"),
+      dedupRing_(params.dedupWindow),
+      // 4x the live window keeps the index far from its rehash
+      // threshold: tombstone drift from FIFO eviction stays amortized
+      // out of the steady state.
+      dedupIndex_(std::size_t(params.dedupWindow) * 4)
 {
     freeTids_.reserve(params.maxTids);
     for (std::uint32_t i = 0; i < params.maxTids; ++i)
@@ -124,46 +137,103 @@ Rmc::setFailureHook(sim::Callback hook)
     failureHook_ = std::move(hook);
 }
 
+std::optional<mem::PAddr>
+Rmc::walkFunctional(mem::PAddr ptRoot, vm::VAddr va) const
+{
+    mem::PAddr table = ptRoot;
+    for (std::uint32_t level = 0; level < vm::kLevels; ++level) {
+        const auto pte = phys_.readT<std::uint64_t>(
+            vm::PageTable::pteAddr(table, level, va));
+        if (!vm::PageTable::pteValid(pte))
+            return std::nullopt;
+        table = vm::PageTable::pteFrame(pte);
+    }
+    return table + vm::pageOffset(va);
+}
+
+void
+Rmc::postFunctionalCompletion(sim::CtxId ctx, std::uint32_t qpIndex,
+                              std::uint32_t wqIndex, CqStatus status)
+{
+    const CtEntry *ce = ct_.entry(ctx);
+    if (!ce || qpIndex >= ce->qps.size())
+        return;
+    const QpDescriptor &qp = ce->qps[qpIndex];
+    RingCursor &cur = cqCursor_[ctx][qpIndex];
+    CqEntry cq;
+    cq.phase = cur.expectedPhase();
+    cq.status = static_cast<std::uint8_t>(status);
+    cq.wqIndex = static_cast<std::uint16_t>(wqIndex);
+    cq.pad = 0;
+    // Functional-only post: the RMC is aborting or draining, not
+    // timing-accurately completing; applications just need to observe
+    // the status (paper §5.1). CQ pages are pinned.
+    const std::optional<mem::PAddr> pa =
+        walkFunctional(ce->ptRoot, qp.cqEntryVa(cur.index()));
+    if (!pa)
+        return;
+    phys_.write(*pa, &cq, sizeof(cq));
+    cur.advance();
+    completionsPosted_.inc();
+    if (completionHooks_[ctx][qpIndex])
+        completionHooks_[ctx][qpIndex]();
+}
+
 void
 Rmc::abortTransfer(std::uint32_t tidIndex, CqStatus status)
 {
     IttEntry &e = itt_[tidIndex];
     assert(e.active);
     failureAborts_.inc();
+    if (status == CqStatus::kFabricError)
+        unrecoverable_.inc();
     const CtEntry *ctx = ct_.entry(e.ctx);
-    if (ctx && e.qpIndex < ctx->qps.size() && ctx->qps[e.qpIndex].valid) {
-        const QpDescriptor &qp = ctx->qps[e.qpIndex];
-        RingCursor &cur = cqCursor_[e.ctx][e.qpIndex];
-        CqEntry cq;
-        cq.phase = cur.expectedPhase();
-        cq.status = static_cast<std::uint8_t>(status);
-        cq.wqIndex = static_cast<std::uint16_t>(e.wqIndex);
-        cq.pad = 0;
-        // Functional-only post: the RMC is aborting, not timing-
-        // accurately draining; applications just need to observe the
-        // abort (paper §5.1). Translate with a direct functional walk of
-        // the context's page table; CQ pages are pinned.
-        mem::PAddr table = ctx->ptRoot;
-        const vm::VAddr va = qp.cqEntryVa(cur.index());
-        bool ok = true;
-        for (std::uint32_t level = 0; level < vm::kLevels; ++level) {
-            const auto pte = phys_.readT<std::uint64_t>(
-                vm::PageTable::pteAddr(table, level, va));
-            if (!vm::PageTable::pteValid(pte)) {
-                ok = false;
-                break;
-            }
-            table = vm::PageTable::pteFrame(pte);
-        }
-        if (ok) {
-            phys_.write(table + vm::pageOffset(va), &cq, sizeof(cq));
-            cur.advance();
-            completionsPosted_.inc();
-            if (completionHooks_[e.ctx][e.qpIndex])
-                completionHooks_[e.ctx][e.qpIndex]();
-        }
-    }
+    // A flush (teardown) posts through the just-invalidated descriptor:
+    // the driver clears `valid` before fencing, but the rings are still
+    // mapped and the application still holds handles to drain.
+    const bool usable =
+        ctx && e.qpIndex < ctx->qps.size() &&
+        (ctx->qps[e.qpIndex].valid || status == CqStatus::kFlushed);
+    if (usable)
+        postFunctionalCompletion(e.ctx, e.qpIndex, e.wqIndex, status);
     freeTid(tidIndex);
+}
+
+void
+Rmc::fenceQueuePair(sim::CtxId ctx, std::uint32_t qpIndex)
+{
+    // 1. In-flight transfers of this (ctx, qp): one clean flushed
+    //    completion each; freeTid bumps the epoch so late replies drop.
+    for (std::uint32_t i = 0; i < itt_.size(); ++i) {
+        if (itt_[i].active && itt_[i].ctx == ctx &&
+            itt_[i].qpIndex == qpIndex)
+            abortTransfer(i, CqStatus::kFlushed);
+    }
+    // 2. Posted-but-unconsumed WQ entries — including doorbell-batched
+    //    ones that were never rung — flush-complete in ring order so
+    //    every application post gets exactly one completion. Ops the
+    //    RGP consumed but has not yet entered into the ITT (parked in
+    //    allocTid) complete themselves: generateRequests re-checks the
+    //    descriptor after allocation and self-aborts with kFlushed.
+    const CtEntry *ce = ct_.entry(ctx);
+    if (!ce || qpIndex >= ce->qps.size())
+        return;
+    const QpDescriptor &qp = ce->qps[qpIndex];
+    RingCursor &cur = wqCursor_[ctx][qpIndex];
+    while (true) {
+        const std::optional<mem::PAddr> pa =
+            walkFunctional(ce->ptRoot, qp.wqEntryVa(cur.index()));
+        if (!pa)
+            break;
+        WqEntry entry;
+        phys_.read(*pa, &entry, sizeof(entry));
+        if (entry.phase != cur.expectedPhase())
+            break;
+        const std::uint32_t wqIndex = cur.index();
+        cur.advance();
+        postFunctionalCompletion(ctx, qpIndex, wqIndex,
+                                 CqStatus::kFlushed);
+    }
 }
 
 void
@@ -240,8 +310,26 @@ Rmc::sweepTimeouts()
     const sim::Tick now = eq_.now();
     for (std::uint32_t i = 0; i < itt_.size(); ++i) {
         IttEntry &e = itt_[i];
-        if (e.active && now - e.issuedAt >= params_.transferTimeout)
+        // Skip entries a retransmit coroutine already owns and entries
+        // the RGP is still unrolling (their deadline starts when the
+        // last line leaves).
+        if (!e.active || e.retransmitPending || !e.unrolled)
+            continue;
+        if (now - e.issuedAt < params_.transferTimeout)
+            continue;
+        // Transfers that already took a source-side error (unmapped
+        // buffer) and transfers out of attempts abort; everything else
+        // retransmits with capped deterministic backoff.
+        if (e.error ||
+            std::uint32_t(e.attempt) + 1 >= params_.maxAttempts) {
             abortTransfer(i, CqStatus::kFabricError);
+            continue;
+        }
+        ++e.attempt;
+        e.remaining = e.total;
+        e.retransmitPending = true;
+        retransmits_.inc();
+        retransmitTransfer(i);
     }
     if (activeTids_ > 0)
         scheduleSweep();

@@ -50,6 +50,7 @@
 #include "rmc/tlb.hh"
 #include "sim/callback.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/service.hh"
 #include "sim/stats.hh"
@@ -74,6 +75,22 @@ struct IttEntry
     vm::VAddr bufVa = 0;
     std::uint64_t baseOffset = 0;
     sim::Tick issuedAt = 0;      //!< for the transfer timeout
+
+    //
+    // Reliable-delivery state. `attempt` tags every packet of the
+    // transfer; replies carrying a stale attempt are dropped by the
+    // RCP. `retransmitPending` parks the entry while a backoff/resend
+    // coroutine owns it (the sweep must not double-fire). `unrolled`
+    // flips once the RGP has injected (or error-skipped) every line —
+    // the sweep ignores half-unrolled transfers, whose deadline starts
+    // only when the last line leaves. Atomics keep their operands here
+    // so a retransmit can rebuild the packets without the WQ entry.
+    //
+    std::uint8_t attempt = 0;
+    bool retransmitPending = false;
+    bool unrolled = false;
+    std::uint64_t operand1 = 0;
+    std::uint64_t operand2 = 0;
 };
 
 /** In-memory footprint of one ITT entry (for MAQ timing addresses). */
@@ -136,6 +153,18 @@ class Rmc
      * wants the reason (which peer, node-vs-link) behind aborted ops.
      */
     const fab::FailureInfo &lastFailure() const { return ni_.lastFailure(); }
+
+    /**
+     * Drain one queue pair after the driver invalidated its descriptor
+     * (QP destroy / context unregister with ops in flight, §5.1). Every
+     * op the application posted gets exactly one completion: transfers
+     * already in the ITT abort with CqStatus::kFlushed (tid freed,
+     * epoch bumped so late replies drop), and posted-but-unconsumed WQ
+     * entries — including doorbell-batched ones that were never rung —
+     * are flush-completed in ring order. Purely functional; the
+     * descriptor must already be invalid when this is called.
+     */
+    void fenceQueuePair(sim::CtxId ctx, std::uint32_t qpIndex);
 
     //
     // Observability
@@ -212,6 +241,31 @@ class Rmc
     sim::Counter badContextErrors_;
     sim::Counter atomicsExecuted_;
     sim::Counter failureAborts_;
+    sim::Counter retransmits_;
+    sim::Counter dupSuppressed_;
+    sim::Counter unrecoverable_;
+
+    //
+    // RRPP replay-dedup window: a FIFO ring of the last dedupWindow
+    // mutating requests keyed by (srcNid, tid, offset), indexed by a
+    // pre-sized FlatMap from a 64-bit packed key to the ring slot. The
+    // triple is verified at the ring entry on every hit, so packed-key
+    // collisions degrade to a miss, never to a wrong suppression. Both
+    // structures are sized at construction; steady state is
+    // allocation-free.
+    //
+    struct DedupEntry
+    {
+        bool valid = false;
+        sim::NodeId srcNid = 0;
+        std::uint32_t tid = 0;
+        std::uint64_t offset = 0;
+        fab::Op replyOp = fab::Op::kWriteReply;
+        std::uint64_t oldValue = 0; //!< atomic replies replay this
+    };
+    std::vector<DedupEntry> dedupRing_;
+    sim::FlatMap<std::uint64_t, std::uint32_t> dedupIndex_;
+    std::uint32_t dedupNext_ = 0;
 
     //
     // Pipelines (one .cc file each).
@@ -250,8 +304,43 @@ class Rmc
     /** Arm (ctx, qp) for the RGP if it is not already queued. */
     void armQp(sim::CtxId ctx, std::uint32_t qpIndex);
 
+    /**
+     * Timeout-driven resend of every line of transfer @p tidIndex
+     * (attempt already bumped by the sweep): waits out the capped
+     * exponential backoff, then rebuilds and re-injects the packets —
+     * write payloads re-read through translate+MAQ, atomic operands
+     * from the ITT. Bails silently if the entry is freed or re-bumped
+     * while suspended (epoch/attempt re-check discipline).
+     */
+    sim::FireAndForget retransmitTransfer(std::uint32_t tidIndex); // rgp.cc
+
+    /** RRPP replay-dedup window (rrpp.cc). */
+    const DedupEntry *dedupLookup(const fab::Message &msg) const;
+    void dedupRecord(const fab::Message &msg, fab::Op replyOp,
+                     std::uint64_t oldValue);
+
+    /** Packed (srcNid, tid, offset) key; collisions verified at the ring. */
+    static std::uint64_t
+    dedupKey(sim::NodeId src, std::uint32_t tid, std::uint64_t offset)
+    {
+        return (std::uint64_t(src) << 48) ^ (std::uint64_t(tid) << 16) ^
+               offset;
+    }
+
     /** Abort one transfer with a (functional) error completion. */
     void abortTransfer(std::uint32_t tidIndex, CqStatus status);
+
+    /**
+     * Functional (untimed) page-table walk, used by the error/teardown
+     * completion paths where charging MAQ time is impossible (the
+     * caller is not a coroutine) and unnecessary.
+     */
+    std::optional<mem::PAddr> walkFunctional(mem::PAddr ptRoot,
+                                             vm::VAddr va) const;
+
+    /** Functionally write one CQ entry for (ctx, qp) and fire hooks. */
+    void postFunctionalCompletion(sim::CtxId ctx, std::uint32_t qpIndex,
+                                  std::uint32_t wqIndex, CqStatus status);
 
     /** Abort every active transfer destined to @p peer (peer death). */
     void abortTransfersTo(sim::NodeId peer);

@@ -326,7 +326,15 @@ jsonSansHostSeconds(const api::SweepCellResult &cell)
 
 TEST(DegradedRun, NodeKillRecoverCompletesWithExactAccounting)
 {
-    api::SweepDriver driver(degradedConfig("node-kill@20us+40us"));
+    // maxAttempts = 1 pins the legacy fail-fast RMC: every timed-out
+    // transfer aborts to software immediately, which is what this
+    // test's workload-level retry accounting exercises. (With the
+    // default retransmission budget the RMC would ride out the kill
+    // window transparently and abortedOps would stay 0 — that path is
+    // covered by the drop-window tests.)
+    auto cfg = degradedConfig("node-kill@20us+40us");
+    cfg.rmcParams.maxAttempts = 1;
+    api::SweepDriver driver(cfg);
     const auto cell =
         driver.runCell(16, node::Topology::kTorus, 64, 16);
 
@@ -340,6 +348,28 @@ TEST(DegradedRun, NodeKillRecoverCompletesWithExactAccounting)
     EXPECT_GT(cell.abortedOps, 0u) << "the kill window must bite";
     EXPECT_GT(cell.droppedMessages, 0u);
     EXPECT_GT(cell.goodputMops, 0.0);
+    EXPECT_TRUE(cell.degraded());
+}
+
+TEST(DegradedRun, DropWindowRecoversAllOpsViaRetransmission)
+{
+    // Workload-level retries off: every packet lost in the silent drop
+    // window must be recovered by the RMC's timeout-driven
+    // retransmission alone. Nothing aborts to software, nothing is
+    // lost, and the drops-vs-lost-ops audit (ok + unrecoverable == ops,
+    // checked fatally inside runCell for exactly this shape of cell)
+    // closes.
+    auto cfg = degradedConfig("drop@10us+60us");
+    cfg.maxRetries = 0;
+    api::SweepDriver driver(cfg);
+    const auto cell =
+        driver.runCell(16, node::Topology::kTorus, 64, 16);
+    EXPECT_GT(cell.droppedMessages, 0u) << "the drop window must bite";
+    EXPECT_GT(cell.retransmits, 0u) << "recovery never ran";
+    EXPECT_EQ(cell.unrecoverable, 0u);
+    EXPECT_EQ(cell.okOps, cell.ops) << "ops lost despite retransmission";
+    EXPECT_EQ(cell.abortedOps, 0u)
+        << "recovery must be invisible to the workload retry ladder";
     EXPECT_TRUE(cell.degraded());
 }
 

@@ -119,10 +119,14 @@ TEST(OneShotEvent, WakesAllWaiters)
     };
     sim.spawn(waiter());
     sim.spawn(waiter());
-    sim.spawn([&]() -> Task {
+    // Capturing lambdas must be named: the coroutine frame holds a
+    // pointer to the closure object, so a spawned temporary dangles
+    // after the full expression while the coroutine is still parked.
+    auto setter = [&]() -> Task {
         co_await Delay(sim.eq(), 500);
         ev.set();
-    }());
+    };
+    sim.spawn(setter());
     sim.run();
     EXPECT_EQ(woken, 2);
     EXPECT_EQ(sim.now(), 500u);
@@ -134,10 +138,11 @@ TEST(OneShotEvent, AwaitAfterSetDoesNotBlock)
     OneShotEvent ev(sim.eq());
     ev.set();
     bool done = false;
-    sim.spawn([&]() -> Task {
+    auto body = [&]() -> Task {
         co_await ev;
         done = true;
-    }());
+    };
+    sim.spawn(body());
     sim.run();
     EXPECT_TRUE(done);
 }
@@ -188,10 +193,11 @@ TEST(Semaphore, FifoFairness)
     sim.spawn(waiter(1));
     sim.spawn(waiter(2));
     sim.spawn(waiter(3));
-    sim.spawn([&]() -> Task {
+    auto releaser = [&]() -> Task {
         co_await Delay(sim.eq(), 10);
         sem.release(3);
-    }());
+    };
+    sim.spawn(releaser());
     sim.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -209,11 +215,12 @@ TEST(Condition, NotifyAllWakesEveryWaiter)
     };
     sim.spawn(waiter());
     sim.spawn(waiter());
-    sim.spawn([&]() -> Task {
+    auto notifier = [&]() -> Task {
         co_await Delay(sim.eq(), 50);
         EXPECT_EQ(ready, 2);
         cond.notifyAll();
-    }());
+    };
+    sim.spawn(notifier());
     sim.run();
     EXPECT_EQ(woken, 2);
 }
