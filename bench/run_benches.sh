@@ -133,8 +133,33 @@ for c in cells:
     assert d["topology"].count("x") == 2, f"{c}: expected a 3D torus"
 print(f"{len(cells)} FIG9 cell(s) OK (ranks verified in-process)")
 PY
+    echo "== smoke: observability cell (8 nodes, sampling on, OBS schema) =="
+    "$BUILD_DIR/bench_sweep" --quick --nodes=8 --sizes=64 --depths=16 \
+        --ops=32 --obs-period-ns=200 --out-dir="$SMOKE_DIR" >/dev/null
+    python3 - "$SMOKE_DIR" <<'PY'
+import json, pathlib, sys
+obs = list(pathlib.Path(sys.argv[1]).glob("OBS_*.json"))
+assert obs, "obs-enabled sweep wrote no OBS_* sidecars"
+for o in obs:
+    d = json.loads(o.read_text())
+    assert d["bench"] == "obs" and d["schema"] == 1, o
+    assert d["period_ns"] == 200, f"{o}: period {d['period_ns']}"
+    assert d["series_count"] == len(d["series"]) >= 1, \
+        f"{o}: no live series sampled"
+    for s in d["series"]:
+        for key in ("name", "unit", "dropped", "samples"):
+            assert key in s, f"{o}: series missing {key}"
+        ts = [t for t, _ in s["samples"]]
+        assert ts == sorted(ts), f"{o}: {s['name']} timestamps not sorted"
+print(f"{len(obs)} OBS sidecar(s) OK (schema 1, sorted timestamps)")
+PY
     echo "== smoke: fig7 (hw side only, binary runs) =="
     "$BUILD_DIR/bench_fig7_remote_read" --platform=hw >/dev/null
+    echo "== smoke: JSON validity (every emitted artifact) =="
+    for f in "$SMOKE_DIR"/*.json; do
+        python3 -m json.tool "$f" >/dev/null || {
+            echo "invalid JSON: $f" >&2; exit 1; }
+    done
     echo "smoke OK (no repository artifacts touched)"
     exit 0
 fi
@@ -148,8 +173,15 @@ mkdir -p "$REPO_ROOT/BENCH_sweep"
     --sizes=64,512 --depths=16,64 --ops=64 \
     --out-dir="$REPO_ROOT/BENCH_sweep"
 
-echo "== table2 IOPS-vs-qpCount curve (Table 2 QP axis) =="
-"$BUILD_DIR/bench_table2_comparison" --curve-only \
+echo "== sweep exemplar (8-node cell byte-compared by observability_test) =="
+"$BUILD_DIR/bench_sweep" --nodes=8 --sizes=64 --depths=16 \
+    --out-dir="$REPO_ROOT/BENCH_sweep"
+
+echo "== table2 IOPS-vs-qpCount curve (Table 2 QP axis, OBS sampled) =="
+# Sampling is read-only (observability_test proves the cell artifact is
+# unchanged), so the curve and its OBS_TABLE2_* sidecars come from the
+# same run.
+"$BUILD_DIR/bench_table2_comparison" --curve-only --obs-period-ns=10000 \
     --out-dir="$REPO_ROOT/BENCH_sweep"
 
 echo "== fig9 PageRank scale study (64/256/512 nodes, 3D tori) =="
@@ -160,8 +192,11 @@ echo "== degraded-mode study (node kill, link kill + adaptive, incast) =="
 # The kill lands mid-flight (in-flight ops to the victim peak in the
 # first ~15 simulated us) so the abort/retry accounting is exercised,
 # not just the recovery.
+# The node-kill cell also carries the observability exemplar: sampling
+# every 10 simulated us writes an OBS_*_node-kill.json sidecar next to
+# the (unchanged) DEGRADED artifact.
 "$BUILD_DIR/bench_sweep" --nodes=64 --topo=4x4x4 --sizes=64 --depths=16 \
-    --ops=64 --faults=node-kill@10us+100us \
+    --ops=64 --faults=node-kill@10us+100us --obs-period-ns=10000 \
     --out-dir="$REPO_ROOT/BENCH_sweep"
 "$BUILD_DIR/bench_sweep" --nodes=64 --topo=4x4x4 --sizes=64 --depths=16 \
     --ops=64 --routing=adaptive --faults=link-kill@10us \
@@ -203,3 +238,10 @@ cat > "$FIG7_JSON" <<EOF
 }
 EOF
 echo "wrote $FIG7_JSON (wall ${WALL}s)"
+
+echo "== JSON validity (every tracked artifact) =="
+for f in "$REPO_ROOT"/BENCH_*.json "$REPO_ROOT"/BENCH_sweep/*.json; do
+    python3 -m json.tool "$f" >/dev/null || {
+        echo "invalid JSON: $f" >&2; exit 1; }
+done
+echo "all artifacts are valid JSON"

@@ -46,7 +46,8 @@ main(int argc, char **argv)
                       "out-dir", "quick", "pr-vertices", "pr-degree",
                       "pr-supersteps", "pr-warmup", "pr-verify", "faults",
                       "routing", "retries", "retry-backoff-us",
-                      "max-attempts", "rnr-backoff-us", "bg-traffic"});
+                      "max-attempts", "rnr-backoff-us", "bg-traffic",
+                      "obs-period-ns", "obs-slots"});
     const bool quick = args.has("quick");
     app::registerPageRankSweepWorkload();
 
@@ -73,6 +74,8 @@ main(int argc, char **argv)
         args.getU64("ops", quick ? 32 : 128));
     cfg.seed = args.getU64("seed", 1);
     cfg.outDir = args.get("out-dir", "");
+    cfg.obsPeriodNs = args.getU64("obs-period-ns", 0);
+    cfg.obsSlots = static_cast<std::size_t>(args.getU64("obs-slots", 1024));
     cfg.torusDims = args.getDims("topo");
     cfg.torusNdims = static_cast<std::uint32_t>(
         args.getU64("ndims", cfg.torusDims.empty() ? 2

@@ -23,6 +23,7 @@
 
 #include "baseline/rdma.hh"
 #include "bench/common.hh"
+#include "sim/time_series.hh"
 
 namespace {
 
@@ -157,7 +158,8 @@ measureRdma()
  * Table 2 reports per-QP IOPS on.
  */
 double
-measureIopsAtQps(std::uint32_t qpCount)
+measureIopsAtQps(std::uint32_t qpCount, std::uint64_t obsPeriodNs,
+                 std::string *obsJson)
 {
     auto params = sonuma::rmc::RmcParams::simulatedHardware();
     params.qpEntries = 8;
@@ -167,7 +169,8 @@ measureIopsAtQps(std::uint32_t qpCount)
                     .nodes(2)
                     .rmc(params)
                     .segmentPerNode(64ull << 20)
-                    .doorbellBatching(true));
+                    .doorbellBatching(true)
+                    .observability(obsPeriodNs));
     auto &s = bed.session(1);
     const auto buf =
         s.allocBuffer(std::uint64_t(s.queueDepth()) * 64);
@@ -193,18 +196,24 @@ measureIopsAtQps(std::uint32_t qpCount)
         *out = ops / secs / 1e6;
     }(&bed.sim(), &s, buf, bed.segBytes(), &mops));
     bed.run();
+    if (obsPeriodNs > 0 && obsJson) {
+        *obsJson = sim::renderObsJson(
+            bed.sim().stats(),
+            "TABLE2_iops_qp" + std::to_string(qpCount), obsPeriodNs);
+    }
     return mops;
 }
 
 void
-runQpCurve(const std::string &outDir)
+runQpCurve(const std::string &outDir, std::uint64_t obsPeriodNs)
 {
     const std::vector<std::uint32_t> qps{1, 2, 4, 8};
     std::printf("\n# IOPS vs queue pairs (64 B reads, 8-entry rings, "
                 "doorbell batching)\n");
     std::printf("%-8s %14s %14s\n", "QPs", "Mops/s", "Mops/s-per-QP");
     for (const auto n : qps) {
-        const double mops = measureIopsAtQps(n);
+        std::string obsJson;
+        const double mops = measureIopsAtQps(n, obsPeriodNs, &obsJson);
         std::printf("%-8u %14.2f %14.2f\n", n, mops, mops / n);
         if (outDir.empty())
             continue;
@@ -220,6 +229,17 @@ runQpCurve(const std::string &outDir)
           << ", \"qp_count\": " << n << ", \"qp_depth\": 8"
           << ", \"doorbell_batching\": 1, \"request_bytes\": 64"
           << ", \"mops\": " << mops << "}\n";
+        if (!obsJson.empty()) {
+            const std::string obsPath = outDir + "/OBS_TABLE2_iops_qp" +
+                                        std::to_string(n) + ".json";
+            std::ofstream of(obsPath);
+            if (!of) {
+                std::fprintf(stderr, "table2: cannot write %s\n",
+                             obsPath.c_str());
+                std::exit(2);
+            }
+            of << obsJson;
+        }
     }
     std::printf("# paper Table 2: IOPS scale with the number of QPs "
                 "(IB: ~8.75 Mops per QP)\n");
@@ -230,10 +250,12 @@ runQpCurve(const std::string &outDir)
 int
 main(int argc, char **argv)
 {
-    bench::Args args(argc, argv, {"out-dir", "curve-only"});
+    bench::Args args(argc, argv,
+                     {"out-dir", "curve-only", "obs-period-ns"});
     const std::string outDir = args.get("out-dir", "");
+    const std::uint64_t obsPeriodNs = args.getU64("obs-period-ns", 0);
     if (args.has("curve-only")) {
-        runQpCurve(outDir);
+        runQpCurve(outDir, obsPeriodNs);
         return 0;
     }
     std::printf("# Table 2: soNUMA vs RDMA/InfiniBand\n");
@@ -261,6 +283,6 @@ main(int argc, char **argv)
     std::printf("#                      1.5 / 0.3 / 1.15 us ; "
                 "1.97 / 10.9 / ~8.75-per-QP Mops\n");
 
-    runQpCurve(outDir);
+    runQpCurve(outDir, obsPeriodNs);
     return 0;
 }

@@ -66,6 +66,23 @@ RmcSession::RmcSession(node::Core &core, os::RmcDriver &driver,
     }
     slotBusy_.assign(std::size_t(qpEntries_) * n, false);
     records_.assign(std::size_t(qpEntries_) * n, SlotRecord{});
+
+    sim::StatRegistry &stats = core_.simulation().stats();
+    if (stats.samplingEnabled()) {
+        // Sessions are anonymous; claim the first free per-node index so
+        // series names stay stable for a deterministic creation order.
+        const std::string prefix = "node" + std::to_string(nid_) +
+                                   ".session";
+        std::uint32_t k = 0;
+        while (stats.timeSeries(prefix + std::to_string(k) +
+                                ".outstanding"))
+            ++k;
+        outstandingProbe_ = std::make_unique<sim::TimeSeries>(
+            stats, prefix + std::to_string(k) + ".outstanding", "ops",
+            "operations posted, completion not yet reaped",
+            sim::TimeSeries::Kind::kGauge,
+            [this] { return static_cast<double>(outstanding_); });
+    }
 }
 
 vm::VAddr
@@ -154,6 +171,7 @@ RmcSession::reapAvailable(std::uint32_t *reaped)
                 sim::fatal("CQ completion with no outstanding ops");
             --outstanding_;
             qp.cq.advance();
+            driver_.rmc().noteCqConsumed(ctx_, qp.handle.qpIndex);
             ++n;
 
             SlotRecord &r = records_[g];

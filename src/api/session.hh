@@ -51,6 +51,7 @@
 #define SONUMA_API_SESSION_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "node/core.hh"
@@ -59,6 +60,7 @@
 #include "sim/log.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
+#include "sim/time_series.hh"
 
 namespace sonuma::api {
 
@@ -362,6 +364,10 @@ class RmcSession
     std::uint32_t outstanding_ = 0;
     std::vector<bool> slotBusy_;          //!< by session-global slot
     bool closed_ = false;                 //!< see close()
+
+    // Outstanding-op gauge, created in the constructor when sampling is
+    // enabled ("node<i>.session<k>.outstanding").
+    std::unique_ptr<sim::TimeSeries> outstandingProbe_;
 
     /** Completion rendezvous state, one fixed record per WQ slot. */
     struct SlotRecord

@@ -15,6 +15,7 @@
 #include <stdexcept>
 
 #include "sim/log.hh"
+#include "sim/time_series.hh"
 
 namespace sonuma::api {
 
@@ -59,9 +60,9 @@ void
 SweepCellResult::writeJson(std::ostream &os) const
 {
     os << "{\"bench\": \"sweep\", \"schema\": 1"
-       << ", \"workload\": \"" << workload << "\""
+       << ", \"workload\": \"" << sim::jsonEscape(workload) << "\""
        << ", \"nodes\": " << nodes
-       << ", \"topology\": \"" << topologyName() << "\""
+       << ", \"topology\": \"" << sim::jsonEscape(topologyName()) << "\""
        << ", \"request_bytes\": " << requestBytes
        << ", \"qp_depth\": " << qpDepth
        << ", \"qp_count\": " << qpCount
@@ -78,8 +79,10 @@ SweepCellResult::writeJson(std::ostream &os) const
     if (degraded()) {
         // Degraded fields only appear for degraded cells, so healthy
         // artifacts stay byte-identical to the pre-fault schema.
-        os << ", \"routing\": \"" << fab::routingModeName(routing) << "\""
-           << ", \"fault_scenario\": \"" << faultScenario << "\""
+        os << ", \"routing\": \""
+           << sim::jsonEscape(fab::routingModeName(routing)) << "\""
+           << ", \"fault_scenario\": \"" << sim::jsonEscape(faultScenario)
+           << "\""
            << ", \"goodput_mops\": " << goodputMops
            << ", \"ok_ops\": " << okOps
            << ", \"aborted_ops\": " << abortedOps
@@ -93,7 +96,7 @@ SweepCellResult::writeJson(std::ostream &os) const
            << ", \"p95_latency_ns\": " << p95LatencyNs;
     }
     for (const auto &[key, value] : extra) {
-        os << ", \"" << key << "\": ";
+        os << ", \"" << sim::jsonEscape(key) << "\": ";
         // Exact counts (vertices, edges) must never be rounded by the
         // default 6-significant-digit double formatting.
         if (value == std::floor(value) && std::abs(value) < 1e15)
@@ -389,6 +392,8 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
         .doorbellBatching(cfg_.doorbellBatching)
         .routing(cfg_.routing)
         .seed(cfg_.seed);
+    if (cfg_.obsPeriodNs > 0)
+        spec.observability(cfg_.obsPeriodNs, cfg_.obsSlots);
     if (topo == node::Topology::kTorus)
         spec.torus(cell.torusDims);
     if (!plan.empty())
@@ -494,6 +499,11 @@ SweepDriver::runCell(std::uint32_t nodes, node::Topology topo,
                    std::to_string(cell.ops));
 
     body->annotate(cell);
+    // Render the OBS sidecar while the TestBed (and its registered
+    // series) is still alive; the string outlives the cell's models.
+    if (cfg_.obsPeriodNs > 0)
+        cell.obsJson = sim::renderObsJson(bed.sim().stats(), cell.label(),
+                                          cfg_.obsPeriodNs);
     return cell;
 }
 
@@ -513,6 +523,16 @@ SweepDriver::emit(const SweepCellResult &cell,
             sim::fatal("sweep: cannot write " + path);
         cell.writeJson(f);
         f << "\n";
+        // Sampling sidecar (labels are unique across cell families, so
+        // one OBS_ namespace cannot collide).
+        if (!cell.obsJson.empty()) {
+            const std::string obsPath =
+                cfg_.outDir + "/OBS_" + cell.label() + ".json";
+            std::ofstream of(obsPath);
+            if (!of)
+                sim::fatal("sweep: cannot write " + obsPath);
+            of << cell.obsJson;
+        }
     }
 }
 

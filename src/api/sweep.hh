@@ -130,6 +130,15 @@ struct SweepConfig
     };
     PageRankAxis pagerank;
 
+    /**
+     * Time-series sampling period in simulated ns; 0 (default) keeps
+     * sampling off and every cell artifact byte-identical. When set,
+     * each cell also renders an OBS_<label>.json sidecar (written next
+     * to the cell artifact when outDir is set; docs/observability.md).
+     */
+    std::uint64_t obsPeriodNs = 0;
+    std::size_t obsSlots = 1024; //!< fixed ring slots per series
+
     std::string outDir;   //!< write one <prefix><label>.json per cell
     bool echo = true;     //!< print each cell's JSON line to stdout
 };
@@ -194,6 +203,13 @@ struct SweepCellResult
 
     /** Workload-specific JSON fields, appended in order. */
     std::vector<std::pair<std::string, double>> extra;
+
+    /**
+     * Rendered OBS_<label>.json sidecar (empty unless the cell ran with
+     * SweepConfig::obsPeriodNs > 0). Captured before the cell's TestBed
+     * is torn down; not part of writeJson().
+     */
+    std::string obsJson;
 
     /**
      * Stable identifier, e.g. "n64_torus_8x8_rs64_qd64"; multi-QP

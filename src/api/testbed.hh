@@ -222,6 +222,20 @@ class ClusterSpec
         return *this;
     }
 
+    /**
+     * Enable time-series sampling: every registered probe records one
+     * sample per @p periodNs of simulated time into @p slots fixed ring
+     * slots (docs/observability.md). Off by default; enabling it never
+     * changes model timing (the sampler is read-only).
+     */
+    ClusterSpec &
+    observability(std::uint64_t periodNs, std::size_t slots = 1024)
+    {
+        params_.obs.periodNs = periodNs;
+        params_.obs.slots = slots;
+        return *this;
+    }
+
     /** Simulation seed (default 1). */
     ClusterSpec &
     seed(std::uint64_t s)

@@ -17,7 +17,7 @@ namespace sonuma::fab {
 CrossbarFabric::CrossbarFabric(sim::EventQueue &eq,
                                sim::StatRegistry &stats,
                                const CrossbarParams &params)
-    : eq_(eq), params_(params),
+    : eq_(eq), stats_(stats), params_(params),
       delivered_(stats, "fabric.delivered", "messages delivered"),
       dropped_(stats, "fabric.dropped", "messages dropped (failures)"),
       parkedCount_(stats, "fabric.parked",
@@ -35,6 +35,30 @@ CrossbarFabric::attach(sim::NodeId id, NetworkInterface *ni)
     ep.ni = ni;
     for (std::size_t l = 0; l < kNumLanes; ++l)
         ep.credits[l] = params_.creditsPerLane;
+
+    if (!stats_.samplingEnabled())
+        return;
+    // Per-node egress probes; lanes share the node's egress bandwidth
+    // budget, so their busy time and depth are summed.
+    const std::string base = "fabric.node" + std::to_string(id) + ".egress";
+    probes_.push_back(std::make_unique<sim::TimeSeries>(
+        stats_, base + ".util", "fraction",
+        "egress pipe serialization utilization",
+        sim::TimeSeries::Kind::kRate, [this, id] {
+            sim::Tick busy = 0;
+            for (std::size_t l = 0; l < kNumLanes; ++l)
+                busy += endpoints_[id].egress[l].busyThrough(eq_.now());
+            return static_cast<double>(busy);
+        }));
+    probes_.push_back(std::make_unique<sim::TimeSeries>(
+        stats_, base + ".qdepth", "packets",
+        "packets serialized or in flight from this node",
+        sim::TimeSeries::Kind::kGauge, [this, id] {
+            std::size_t depth = 0;
+            for (std::size_t l = 0; l < kNumLanes; ++l)
+                depth += endpoints_[id].egress[l].queued();
+            return static_cast<double>(depth);
+        }));
 }
 
 bool

@@ -20,12 +20,14 @@
 #ifndef SONUMA_FABRIC_CROSSBAR_HH
 #define SONUMA_FABRIC_CROSSBAR_HH
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "fabric/fabric.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/serialized_link.hh"
+#include "sim/time_series.hh"
 
 namespace sonuma::fab {
 
@@ -81,8 +83,13 @@ class CrossbarFabric : public Fabric
     };
 
     sim::EventQueue &eq_;
+    sim::StatRegistry &stats_;
     CrossbarParams params_;
     std::vector<Endpoint> endpoints_;
+    // Per-node egress probes (utilization + queue depth), created at
+    // attach() time. endpoints_ grows with attach(), so probe closures
+    // index endpoints_[id] at sample time instead of caching addresses.
+    std::vector<std::unique_ptr<sim::TimeSeries>> probes_;
     // Directed point-to-point link faults. Rack-scale crossbars have a few
     // faulted pairs at most, so a scanned vector keeps the healthy path
     // allocation- and hash-free.

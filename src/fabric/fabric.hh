@@ -12,6 +12,7 @@
 #ifndef SONUMA_FABRIC_FABRIC_HH
 #define SONUMA_FABRIC_FABRIC_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "sim/event_queue.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/stats.hh"
+#include "sim/time_series.hh"
 #include "sim/types.hh"
 
 namespace sonuma::fab {
@@ -197,6 +199,9 @@ class NetworkInterface
 
     sim::Counter sent_;
     sim::Counter received_;
+    // Eject-queue depth probe (reply-path backpressure indicator);
+    // created in the constructor when sampling is enabled.
+    std::unique_ptr<sim::TimeSeries> ejectDepthProbe_;
 
     void pumpInject(Lane lane);
 

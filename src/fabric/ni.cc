@@ -19,6 +19,17 @@ NetworkInterface::NetworkInterface(sim::EventQueue &eq,
         injectQ_[l] = sim::RingBuffer<Message>(params_.injectQueueDepth);
         ejectQ_[l] = sim::RingBuffer<Message>(params_.ejectQueueDepth);
     }
+    if (stats.samplingEnabled()) {
+        ejectDepthProbe_ = std::make_unique<sim::TimeSeries>(
+            stats, name + ".ejectDepth", "messages",
+            "eject-queue depth (both lanes)",
+            sim::TimeSeries::Kind::kGauge, [this] {
+                std::size_t depth = 0;
+                for (std::size_t l = 0; l < kNumLanes; ++l)
+                    depth += ejectQ_[l].size();
+                return static_cast<double>(depth);
+            });
+    }
     fabric_.attach(id_, this);
 }
 

@@ -14,7 +14,7 @@ namespace sonuma::fab {
 
 TorusFabric::TorusFabric(sim::EventQueue &eq, sim::StatRegistry &stats,
                          const TorusParams &params)
-    : eq_(eq), params_(params), routing_(params.dims),
+    : eq_(eq), stats_(stats), params_(params), routing_(params.dims),
       delivered_(stats, "torus.delivered", "messages delivered"),
       dropped_(stats, "torus.dropped", "messages dropped (failures)"),
       totalHops_(stats, "torus.totalHops", "sum of per-message hop counts")
@@ -42,6 +42,39 @@ TorusFabric::attach(sim::NodeId id, NetworkInterface *ni)
     endpoints_[id].ni = ni;
     for (std::size_t l = 0; l < kNumLanes; ++l)
         endpoints_[id].credits[l] = params_.creditsPerLane;
+
+    if (!stats_.samplingEnabled())
+        return;
+    // One utilization + one queue-depth series per outgoing direction
+    // (lanes share the physical link, so their busy time is summed).
+    // endpoints_ is sized once in the constructor, so capturing the
+    // Endpoint's port vector through `this` + indices is stable.
+    for (std::uint32_t dir = 0; dir < routing_.portCount(); ++dir) {
+        const std::string base = "torus.node" + std::to_string(id) +
+                                 ".link" + std::to_string(dir);
+        probes_.push_back(std::make_unique<sim::TimeSeries>(
+            stats_, base + ".util", "fraction",
+            "link serialization utilization",
+            sim::TimeSeries::Kind::kRate, [this, id, dir] {
+                sim::Tick busy = 0;
+                for (std::size_t l = 0; l < kNumLanes; ++l)
+                    busy += endpoints_[id]
+                                .ports[dir * kNumLanes + l]
+                                .busyThrough(eq_.now());
+                return static_cast<double>(busy);
+            }));
+        probes_.push_back(std::make_unique<sim::TimeSeries>(
+            stats_, base + ".qdepth", "packets",
+            "packets serialized or in flight on the link",
+            sim::TimeSeries::Kind::kGauge, [this, id, dir] {
+                std::size_t depth = 0;
+                for (std::size_t l = 0; l < kNumLanes; ++l)
+                    depth += endpoints_[id]
+                                 .ports[dir * kNumLanes + l]
+                                 .queued();
+                return static_cast<double>(depth);
+            }));
+    }
 }
 
 bool

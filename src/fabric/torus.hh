@@ -18,12 +18,14 @@
 #ifndef SONUMA_FABRIC_TORUS_HH
 #define SONUMA_FABRIC_TORUS_HH
 
+#include <memory>
 #include <vector>
 
 #include "fabric/fabric.hh"
 #include "fabric/router.hh"
 #include "sim/ring_buffer.hh"
 #include "sim/serialized_link.hh"
+#include "sim/time_series.hh"
 
 namespace sonuma::fab {
 
@@ -103,6 +105,7 @@ class TorusFabric : public Fabric
     static constexpr std::uint32_t kNoDir = 0xff;
 
     sim::EventQueue &eq_;
+    sim::StatRegistry &stats_;
     TorusParams params_;
     TorusRouting routing_;
     std::vector<Endpoint> endpoints_;
@@ -111,6 +114,10 @@ class TorusFabric : public Fabric
     sim::Counter delivered_;
     sim::Counter dropped_;
     sim::Counter totalHops_;
+
+    // Per-(node, direction) link probes (utilization + queue depth),
+    // created at attach() time; see docs/observability.md.
+    std::vector<std::unique_ptr<sim::TimeSeries>> probes_;
 
     void forward(sim::NodeId here, const Message &msg, std::uint32_t hops);
     void drain(sim::NodeId node, std::uint32_t portIdx);

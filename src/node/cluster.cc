@@ -94,6 +94,17 @@ Cluster::Cluster(sim::Simulation &sim, const ClusterParams &params)
 {
     validate(params_);
     deriveCapacities(params_);
+
+    // Observability: enable sampling *before* any model construction so
+    // every series registered below gets its fixed ring slots at add()
+    // time — no allocation ever happens on the sampling path itself.
+    if (params_.obs.periodNs > 0) {
+        eq_ = &sim.eq();
+        stats_ = &sim.stats();
+        obsPeriod_ = params_.obs.periodNs * sim::kTicksPerNs;
+        stats_->enableSampling(params_.obs.slots);
+    }
+
     switch (params_.topology) {
       case Topology::kCrossbar:
         fabric_ = std::make_unique<fab::CrossbarFabric>(
@@ -110,6 +121,32 @@ Cluster::Cluster(sim::Simulation &sim, const ClusterParams &params)
             sim, "node" + std::to_string(i), static_cast<sim::NodeId>(i),
             *fabric_, registry_, params_.node));
     }
+
+    if (obsPeriod_ > 0)
+        armSampler();
+}
+
+Cluster::~Cluster()
+{
+    // The pending sampler event captures `this`; the event queue may
+    // outlive the cluster (TestBed tears the cluster down first).
+    if (samplerArmed_)
+        eq_->cancel(samplerEvent_);
+}
+
+void
+Cluster::armSampler()
+{
+    samplerArmed_ = true;
+    samplerEvent_ = eq_->scheduleAfter(obsPeriod_, [this] {
+        samplerArmed_ = false;
+        stats_->sampleAll(eq_->now());
+        // Re-arm only while model events remain: probes are read-only,
+        // so once the model quiesces the sampler lets run() terminate
+        // instead of ticking an idle cluster forever.
+        if (eq_->pendingEvents() > 0)
+            armSampler();
+    });
 }
 
 void

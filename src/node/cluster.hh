@@ -25,6 +25,17 @@ enum class Topology
     kTorus,    //!< k-ary n-cube for the topology ablation
 };
 
+/**
+ * Time-series sampling configuration (see docs/observability.md). Off by
+ * default (periodNs == 0): no sampler event is ever scheduled, rings stay
+ * empty, and model timing plus every checked-in artifact are unchanged.
+ */
+struct ObsParams
+{
+    std::uint64_t periodNs = 0;  //!< sampling period; 0 disables
+    std::size_t slots = 1024;    //!< fixed ring slots per series
+};
+
 struct ClusterParams
 {
     std::uint32_t nodes = 2;
@@ -32,6 +43,7 @@ struct ClusterParams
     fab::CrossbarParams crossbar;
     fab::TorusParams torus;    //!< dims must multiply to `nodes`
     NodeParams node;
+    ObsParams obs;
 };
 
 /**
@@ -71,6 +83,7 @@ class Cluster
 {
   public:
     Cluster(sim::Simulation &sim, const ClusterParams &params = {});
+    ~Cluster();
 
     Node &node(std::size_t i) { return *nodes_.at(i); }
     std::size_t nodeCount() const { return nodes_.size(); }
@@ -89,6 +102,17 @@ class Cluster
     os::ContextRegistry registry_;
     std::unique_ptr<fab::Fabric> fabric_;
     std::vector<std::unique_ptr<Node>> nodes_;
+
+    // Periodic sampler service (armed only when obs.periodNs > 0). The
+    // pending event captures `this`, so the destructor cancels it — the
+    // event queue can outlive the cluster.
+    sim::EventQueue *eq_ = nullptr;
+    sim::StatRegistry *stats_ = nullptr;
+    sim::Tick obsPeriod_ = 0;
+    sim::EventId samplerEvent_{};
+    bool samplerArmed_ = false;
+
+    void armSampler();
 };
 
 } // namespace sonuma::node

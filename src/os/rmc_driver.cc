@@ -117,6 +117,9 @@ RmcDriver::createQueuePair(Process &proc, sim::CtxId ctx)
     // Installing again refreshes the in-memory CT image and invalidates
     // the CT$ (the driver wrote behind it).
     rmc_.contextTable().install(ctx, *entry);
+    // Register the per-QP observability series now, at setup time, so
+    // sampling never allocates inside a measured window.
+    rmc_.noteQpCreated(ctx, handle.qpIndex);
     return handle;
 }
 

@@ -137,6 +137,19 @@ slotIndex(std::uint32_t g, std::uint32_t entries)
 }
 
 /**
+ * Live occupancy of one queue pair as the RMC sees it: WQ entries
+ * consumed but not yet completed (transfers in flight), and CQ entries
+ * written but not yet reaped by software. Maintained unconditionally
+ * (two integer bumps per op) and exported as per-QP time series when
+ * sampling is on (docs/observability.md).
+ */
+struct QpOccupancy
+{
+    std::uint32_t wq = 0; //!< in-flight transfers charged to this QP
+    std::uint32_t cq = 0; //!< completions posted, not yet consumed
+};
+
+/**
  * Ring cursor: index + current lap phase. Used by the producing and
  * consuming sides of both queues.
  */

@@ -166,6 +166,7 @@ Rmc::postCompletion(IttEntry &itt, std::uint32_t tidIndex)
         co_await maq_.write(*pa);
         phys_.write(*pa, &cq, sizeof(cq));
         completionsPosted_.inc();
+        ++qpOcc_[ctx][qpIndex].cq;
     }
 
     if (completionHooks_[ctx][qpIndex])

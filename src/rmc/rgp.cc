@@ -114,6 +114,9 @@ Rmc::generateRequests(sim::CtxId ctx, std::uint32_t qpIndex,
     itt.unrolled = false;
     itt.operand1 = entry.operand1;
     itt.operand2 = entry.operand2;
+    // Counted here — synchronously with the ITT init, so every freeTid
+    // on this entry (the single decrement point) sees a counted entry.
+    ++qpOcc_[ctx][qpIndex].wq;
     const std::uint16_t myEpoch = itt.epoch;
     // Close the teardown window between WQ consumption and ITT entry:
     // while this coroutine waited for a tid the op was invisible to a

@@ -15,8 +15,8 @@ Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
          const std::string &name, sim::NodeId nid, const RmcParams &params,
          mem::PhysMem &phys, mem::L1Cache &l1, fab::NetworkInterface &ni,
          mem::PAddr ctBasePa, mem::PAddr ittBasePa)
-    : eq_(eq), name_(name), nid_(nid), params_(params), phys_(phys),
-      ni_(ni),
+    : eq_(eq), stats_(stats), name_(name), nid_(nid), params_(params),
+      phys_(phys), ni_(ni),
       tlb_(stats, name + ".tlb", params.tlbEntries),
       maq_(eq, stats, name + ".maq", l1, params.maqEntries),
       walker_(stats, name + ".walker", phys, maq_, tlb_),
@@ -71,15 +71,25 @@ Rmc::Rmc(sim::EventQueue &eq, sim::StatRegistry &stats,
     for (std::uint32_t i = 0; i < params.maxTids; ++i)
         freeTids_.push_back(params.maxTids - 1 - i);
 
-    // Per-(ctx, qp) ring cursors and completion hooks.
+    // Per-(ctx, qp) ring cursors, completion hooks, and occupancy.
     for (std::uint32_t c = 0; c < params.maxContexts; ++c) {
         wqCursor_.emplace_back();
         cqCursor_.emplace_back();
         completionHooks_.emplace_back(params.maxQpsPerContext);
+        qpOcc_.emplace_back(params.maxQpsPerContext);
+        qpProbed_.emplace_back(params.maxQpsPerContext, false);
         for (std::uint32_t q = 0; q < params.maxQpsPerContext; ++q) {
             wqCursor_.back().emplace_back(params.qpEntries);
             cqCursor_.back().emplace_back(params.qpEntries);
         }
+    }
+
+    if (stats_.samplingEnabled()) {
+        ittProbe_ = std::make_unique<sim::TimeSeries>(
+            stats_, name + ".ittOccupancy", "transfers",
+            "active ITT entries (in-flight transfers)",
+            sim::TimeSeries::Kind::kGauge,
+            [this] { return static_cast<double>(activeTids_); });
     }
 
     if (params_.emulation()) {
@@ -132,6 +142,36 @@ Rmc::setCompletionHook(sim::CtxId ctx, std::uint32_t qpIndex,
 }
 
 void
+Rmc::noteQpCreated(sim::CtxId ctx, std::uint32_t qpIndex)
+{
+    if (!stats_.samplingEnabled() || qpProbed_[ctx][qpIndex])
+        return;
+    qpProbed_[ctx][qpIndex] = true;
+    const std::string base = name_ + ".ctx" + std::to_string(ctx) + ".qp" +
+                             std::to_string(qpIndex);
+    qpProbes_.push_back(std::make_unique<sim::TimeSeries>(
+        stats_, base + ".wqOccupancy", "transfers",
+        "WQ entries consumed, transfer not yet completed",
+        sim::TimeSeries::Kind::kGauge, [this, ctx, qpIndex] {
+            return static_cast<double>(qpOcc_[ctx][qpIndex].wq);
+        }));
+    qpProbes_.push_back(std::make_unique<sim::TimeSeries>(
+        stats_, base + ".cqOccupancy", "completions",
+        "CQ entries written, not yet reaped by software",
+        sim::TimeSeries::Kind::kGauge, [this, ctx, qpIndex] {
+            return static_cast<double>(qpOcc_[ctx][qpIndex].cq);
+        }));
+}
+
+void
+Rmc::noteCqConsumed(sim::CtxId ctx, std::uint32_t qpIndex)
+{
+    QpOccupancy &occ = qpOcc_[ctx][qpIndex];
+    if (occ.cq > 0)
+        --occ.cq;
+}
+
+void
 Rmc::setFailureHook(sim::Callback hook)
 {
     failureHook_ = std::move(hook);
@@ -175,6 +215,7 @@ Rmc::postFunctionalCompletion(sim::CtxId ctx, std::uint32_t qpIndex,
     phys_.write(*pa, &cq, sizeof(cq));
     cur.advance();
     completionsPosted_.inc();
+    ++qpOcc_[ctx][qpIndex].cq;
     if (completionHooks_[ctx][qpIndex])
         completionHooks_[ctx][qpIndex]();
 }
@@ -378,6 +419,15 @@ void
 Rmc::freeTid(std::uint32_t tidIndex)
 {
     assert(tidIndex < itt_.size());
+    // Every transfer release funnels through here, so this is the single
+    // WQ-occupancy decrement matching generateRequests' increment. The
+    // guard covers entries freed before their ITT init (never counted).
+    {
+        QpOccupancy &occ =
+            qpOcc_[itt_[tidIndex].ctx][itt_[tidIndex].qpIndex];
+        if (occ.wq > 0)
+            --occ.wq;
+    }
     itt_[tidIndex].active = false;
     // Bump the per-entry epoch so a late reply for the old incarnation
     // of this tid cannot be confused with a future reuse.

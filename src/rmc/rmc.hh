@@ -56,6 +56,7 @@
 #include "sim/stats.hh"
 #include "sim/sync.hh"
 #include "sim/task.hh"
+#include "sim/time_series.hh"
 
 namespace sonuma::rmc {
 
@@ -170,6 +171,24 @@ class Rmc
     // Observability
     //
 
+    /**
+     * Driver notification that (ctx, qp) now exists: registers the
+     * per-QP WQ/CQ occupancy time series (when sampling is enabled) at
+     * setup time, so no series is ever allocated mid-measurement.
+     */
+    void noteQpCreated(sim::CtxId ctx, std::uint32_t qpIndex);
+
+    /** Software reaped one CQ entry of (ctx, qp); keeps the occupancy
+     *  gauge honest on the consumer side. */
+    void noteCqConsumed(sim::CtxId ctx, std::uint32_t qpIndex);
+
+    /** Live occupancy of one queue pair (tests + probes). */
+    const QpOccupancy &
+    qpOccupancy(sim::CtxId ctx, std::uint32_t qpIndex) const
+    {
+        return qpOcc_[ctx][qpIndex];
+    }
+
     std::uint32_t activeTransfers() const { return activeTids_; }
     Tlb &tlb() { return tlb_; }
     Maq &maq() { return maq_; }
@@ -178,6 +197,7 @@ class Rmc
 
   private:
     sim::EventQueue &eq_;
+    sim::StatRegistry &stats_;
     std::string name_;
     sim::NodeId nid_;
     RmcParams params_;
@@ -213,6 +233,13 @@ class Rmc
     std::vector<std::vector<RingCursor>> cqCursor_;
     std::vector<std::vector<sim::Callback>> completionHooks_;
     sim::Condition rgpWork_;
+
+    // Per-QP live occupancy, maintained unconditionally (two integer
+    // bumps per op); exported as time series when sampling is on.
+    std::vector<std::vector<QpOccupancy>> qpOcc_;    //!< [ctx][qp]
+    std::vector<std::vector<bool>> qpProbed_;        //!< [ctx][qp]
+    std::unique_ptr<sim::TimeSeries> ittProbe_;
+    std::vector<std::unique_ptr<sim::TimeSeries>> qpProbes_;
 
     // NI wakeups.
     sim::Condition sendSpace_[fab::kNumLanes];

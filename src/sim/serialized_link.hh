@@ -38,8 +38,24 @@ class SerializedLink
     {
         const Tick start = std::max(now, busyUntil_);
         busyUntil_ = start + ser;
+        totalBusy_ += ser;
         q_.push(Entry{busyUntil_ + latency, std::move(payload)});
     }
+
+    /**
+     * Cumulative serialization ticks consumed up to @p now: total busy
+     * time charged minus the portion still scheduled in the future.
+     * Sampling this as a rate over wall (simulated) time yields the
+     * link's utilization fraction.
+     */
+    Tick
+    busyThrough(Tick now) const
+    {
+        return totalBusy_ - (busyUntil_ > now ? busyUntil_ - now : 0);
+    }
+
+    /** Packets serialized or in flight, not yet delivered. */
+    std::size_t queued() const { return q_.size(); }
 
     /**
      * Schedule @p drainEvent at the head's arrival tick unless a drain
@@ -87,6 +103,7 @@ class SerializedLink
 
     RingBuffer<Entry> q_{4};
     Tick busyUntil_ = 0;
+    Tick totalBusy_ = 0;
     bool drainArmed_ = false;
 };
 

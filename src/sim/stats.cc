@@ -6,9 +6,49 @@
 #include "sim/stats.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 
+#include "sim/time_series.hh"
+
 namespace sonuma::sim {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
 
 Counter::Counter(StatRegistry &reg, std::string name, std::string desc)
     : name_(std::move(name)), desc_(std::move(desc))
@@ -56,9 +96,18 @@ Histogram::percentileFromBuckets(const std::vector<std::uint64_t> &buckets,
 {
     if (count == 0)
         return 0.0;
-    const auto target =
+    // p >= 100 asks for the maximum; the bucket scan would answer with
+    // the last occupied bucket's midpoint, which undershoots the true
+    // max the caller already tracks. Hand back the fallback directly.
+    if (p >= 100.0)
+        return maxFallback;
+    auto target =
         static_cast<std::uint64_t>(std::ceil(p / 100.0 *
                                              static_cast<double>(count)));
+    // p <= 0 would make target 0 and trivially "find" bucket 0 even when
+    // it is empty (returning 0.5 for data that never saw a sub-1 sample).
+    // Clamp to the first sample instead.
+    target = std::max<std::uint64_t>(target, 1);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets.size(); ++i) {
         seen += buckets[i];
@@ -92,6 +141,47 @@ void
 StatRegistry::add(Histogram *h)
 {
     histograms_[h->name()] = h;
+}
+
+void
+StatRegistry::add(TimeSeries *ts)
+{
+    series_[ts->name()] = ts;
+    if (samplingSlots_ > 0)
+        ts->reserve(samplingSlots_);
+}
+
+void
+StatRegistry::enableSampling(std::size_t slots)
+{
+    samplingSlots_ = slots;
+    for (auto &[name, ts] : series_)
+        ts->reserve(slots);
+}
+
+const TimeSeries *
+StatRegistry::timeSeries(const std::string &name) const
+{
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : it->second;
+}
+
+std::vector<const TimeSeries *>
+StatRegistry::allTimeSeries() const
+{
+    std::vector<const TimeSeries *> out;
+    out.reserve(series_.size());
+    for (const auto &[name, ts] : series_)
+        out.push_back(ts);
+    return out;
+}
+
+void
+StatRegistry::sampleAll(Tick now)
+{
+    // Hot path when sampling is on: plain map walk, no allocation.
+    for (auto &[name, ts] : series_)
+        ts->sample(now);
 }
 
 const Counter *

@@ -17,9 +17,20 @@
 #include <string>
 #include <vector>
 
+#include "sim/types.hh"
+
 namespace sonuma::sim {
 
 class StatRegistry;
+class TimeSeries;
+
+/**
+ * Escape a string for embedding inside a JSON string literal: backslash,
+ * double quote, and control characters (\uXXXX). Every string that
+ * reaches an artifact must pass through here — raw labels with quotes or
+ * backslashes would otherwise corrupt the JSON.
+ */
+std::string jsonEscape(const std::string &s);
 
 /** Monotonically increasing event counter. */
 class Counter
@@ -59,7 +70,12 @@ class Histogram
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
-    /** Approximate p-th percentile (0 < p < 100) from log2 buckets. */
+    /**
+     * Approximate p-th percentile from log2 buckets. Edge cases are
+     * pinned down (and unit-tested): count==0 returns 0; p <= 0 is
+     * clamped to the first sample; p >= 100 returns the true max (the
+     * maxFallback) rather than a bucket midpoint below it.
+     */
     double percentile(double p) const;
 
     /**
@@ -97,6 +113,7 @@ class StatRegistry
   public:
     void add(Counter *c);
     void add(Histogram *h);
+    void add(TimeSeries *ts);
 
     /** Find a counter by exact name; nullptr if absent. */
     const Counter *counter(const std::string &name) const;
@@ -113,9 +130,35 @@ class StatRegistry
     /** Reset every registered stat to zero. */
     void resetAll();
 
+    //
+    // Time-series sampling (off by default; see sim/time_series.hh).
+    //
+
+    /**
+     * Turn sampling on with @p slots fixed ring slots per series. Must
+     * be called before model construction: series registered afterwards
+     * get their rings sized here at add() time; series registered while
+     * sampling is off keep zero slots and sample() no-ops.
+     */
+    void enableSampling(std::size_t slots);
+
+    bool samplingEnabled() const { return samplingSlots_ > 0; }
+    std::size_t samplingSlots() const { return samplingSlots_; }
+
+    /** Find a time series by exact name; nullptr if absent. */
+    const TimeSeries *timeSeries(const std::string &name) const;
+
+    /** Every registered series, in name order. */
+    std::vector<const TimeSeries *> allTimeSeries() const;
+
+    /** Record one sample in every registered series (sampler service). */
+    void sampleAll(Tick now);
+
   private:
     std::map<std::string, Counter *> counters_;
     std::map<std::string, Histogram *> histograms_;
+    std::map<std::string, TimeSeries *> series_;
+    std::size_t samplingSlots_ = 0;
 };
 
 } // namespace sonuma::sim

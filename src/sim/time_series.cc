@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Time-series sampler implementation and OBS artifact rendering.
+ */
+
+#include "sim/time_series.hh"
+
+#include <sstream>
+
+namespace sonuma::sim {
+
+TimeSeries::TimeSeries(StatRegistry &reg, std::string name, std::string unit,
+                       std::string desc, Kind kind, SampleFn fn)
+    : name_(std::move(name)), unit_(std::move(unit)),
+      desc_(std::move(desc)), kind_(kind), fn_(std::move(fn))
+{
+    reg.add(this);
+}
+
+void
+TimeSeries::reserve(std::size_t slots)
+{
+    ring_.assign(slots, Sample{});
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+void
+TimeSeries::sample(Tick now)
+{
+    if (ring_.empty())
+        return; // sampling disabled: zero overhead beyond this branch
+
+    const double raw = fn_();
+    double v = raw;
+    if (kind_ == Kind::kRate) {
+        const Tick dt = now - lastTick_;
+        v = dt ? (raw - lastRaw_) / static_cast<double>(dt) : 0.0;
+        lastRaw_ = raw;
+        lastTick_ = now;
+    }
+
+    ring_[head_] = Sample{now, v};
+    head_ = (head_ + 1) % ring_.size();
+    if (count_ < ring_.size())
+        ++count_;
+    else
+        ++dropped_;
+}
+
+namespace {
+
+/** Deterministic, locale-independent double rendering. */
+void
+renderValue(std::ostringstream &os, double v)
+{
+    if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+        os << static_cast<std::int64_t>(v);
+    } else {
+        os << v;
+    }
+}
+
+} // namespace
+
+std::string
+renderObsJson(const StatRegistry &reg, const std::string &label,
+              std::uint64_t periodNs)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"bench\": \"obs\",\n"
+       << "  \"schema\": 1,\n"
+       << "  \"label\": \"" << jsonEscape(label) << "\",\n"
+       << "  \"period_ns\": " << periodNs << ",\n";
+
+    // Elide all-zero series: an idle link's flat line carries no signal
+    // and a 512-node torus has thousands of them.
+    std::size_t elided = 0;
+    std::vector<const TimeSeries *> live;
+    for (const TimeSeries *ts : reg.allTimeSeries()) {
+        bool allZero = true;
+        for (std::size_t i = 0; i < ts->size() && allZero; ++i)
+            allZero = ts->at(i).value == 0.0;
+        if (allZero)
+            ++elided;
+        else
+            live.push_back(ts);
+    }
+    os << "  \"series_elided\": " << elided << ",\n"
+       << "  \"series\": [";
+
+    bool firstSeries = true;
+    for (const TimeSeries *ts : live) {
+        if (!firstSeries)
+            os << ",";
+        firstSeries = false;
+        os << "\n    {\"name\": \"" << jsonEscape(ts->name())
+           << "\", \"unit\": \"" << jsonEscape(ts->unit())
+           << "\", \"dropped\": " << ts->dropped()
+           << ", \"samples\": [";
+        for (std::size_t i = 0; i < ts->size(); ++i) {
+            if (i)
+                os << ", ";
+            const TimeSeries::Sample &s = ts->at(i);
+            os << "[" << s.tick / kTicksPerNs << ", ";
+            renderValue(os, s.value);
+            os << "]";
+        }
+        os << "]}";
+    }
+    if (!firstSeries)
+        os << "\n  ";
+    os << "],\n"
+       << "  \"series_count\": " << live.size() << "\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace sonuma::sim
